@@ -1,0 +1,182 @@
+"""Ablations of the new algorithm's design choices (DESIGN.md §5).
+
+The O(n⁴)→O(n³) gap comes from two separable ideas; Table 1 measures
+their product, this bench isolates each:
+
+* **best-first queue** (stale scores as upper bounds) — ablated by a
+  variant that keeps the bottom-row cache but realigns *every* stale
+  task after each acceptance;
+* **bottom-row cache** (Appendix A shadow test) — ablated by a variant
+  that keeps the queue but validates realignments by aligning twice
+  (with and without the triangle), the appendix's "computationally
+  expensive" alternative.
+
+All variants must produce identical top alignments (asserted).  A third
+ablation compares dense vs. sparse override-triangle storage.
+"""
+
+import numpy as np
+import pytest
+
+from repro.align.base import AlignmentProblem
+from repro.bench import bench_sequence, default_scoring
+from repro.core import TaskQueue, TopAlignmentState, find_top_alignments
+
+from conftest import save_table
+
+LENGTH = 250
+K = 8
+
+
+def _key(alignments):
+    return [(a.index, a.r, a.score, a.pairs) for a in alignments]
+
+
+def run_baseline(seq, exchange, gaps):
+    """The full algorithm: queue + cache."""
+    state = TopAlignmentState(seq, exchange, gaps)
+    tops, stats = find_top_alignments(seq, K, exchange, gaps, state=state)
+    return tops, stats.alignments
+
+
+def run_no_queue(seq, exchange, gaps):
+    """Ablate the best-first queue: realign every stale task per round,
+    keeping the cached-bottom-row shadow test."""
+    state = TopAlignmentState(seq, exchange, gaps)
+    tasks = state.make_tasks()
+    for task in tasks:
+        state.align_task(task)
+    while state.n_found < K:
+        best = max(tasks, key=lambda t: (t.score, -t.r))
+        if best.score <= 0:
+            break
+        state.accept_task(best)
+        for task in tasks:  # the ablated part: no pruning at all
+            state.align_task(task)
+    return list(state.found), state.stats.alignments
+
+
+def run_no_cache(seq, exchange, gaps):
+    """Ablate the bottom-row cache: best-first queue, but shadow
+    validity via the align-twice scheme (no stored first rows)."""
+    state = TopAlignmentState(seq, exchange, gaps)
+    counter = {"alignments": 0}
+
+    def plain_row(r):
+        problem = AlignmentProblem(
+            state.codes[:r], state.codes[r:], exchange, gaps
+        )
+        counter["alignments"] += 1
+        return state.engine.last_row(problem)
+
+    def overridden_row(r):
+        counter["alignments"] += 1
+        return state.engine.last_row(state.problem_for(r))
+
+    queue = TaskQueue()
+    tasks = state.make_tasks()
+    for task in tasks:
+        queue.insert(task)
+    while state.n_found < K and queue:
+        task = queue.pop_highest()
+        if task.score <= 0:
+            break
+        if task.is_current(state.n_found):
+            # accept_task needs the stored rows; feed them lazily from a
+            # fresh plain alignment so its machinery stays intact.
+            if task.r not in state.bottom_rows:
+                state.bottom_rows.put(task.r, plain_row(task.r))
+            state.accept_task(task)
+        else:
+            plain = plain_row(task.r)
+            if state.triangle.version == 0:
+                over = plain
+            else:
+                over = overridden_row(task.r)
+            valid = over == plain
+            task.score = float(over[valid].max()) if valid.any() else 0.0
+            task.aligned_with = state.n_found
+            if task.r not in state.bottom_rows:
+                state.bottom_rows.put(task.r, plain)
+        queue.insert(task)
+    return list(state.found), counter["alignments"]
+
+
+@pytest.fixture(scope="module")
+def scoring_mod():
+    return default_scoring()
+
+
+@pytest.fixture(scope="module")
+def seq_mod():
+    return bench_sequence(LENGTH)
+
+
+def test_ablation_queue(benchmark, seq_mod, scoring_mod):
+    exchange, gaps = scoring_mod
+    benchmark.group = "ablation"
+    tops, _ = benchmark.pedantic(
+        lambda: run_no_queue(seq_mod, exchange, gaps), rounds=1, iterations=1
+    )
+    base, _ = find_top_alignments(seq_mod, K, exchange, gaps)
+    assert _key(tops) == _key(base)
+
+
+def test_ablation_cache(benchmark, seq_mod, scoring_mod):
+    exchange, gaps = scoring_mod
+    benchmark.group = "ablation"
+    tops, _ = benchmark.pedantic(
+        lambda: run_no_cache(seq_mod, exchange, gaps), rounds=1, iterations=1
+    )
+    base, _ = find_top_alignments(seq_mod, K, exchange, gaps)
+    assert _key(tops) == _key(base)
+
+
+def test_ablation_baseline(benchmark, seq_mod, scoring_mod):
+    exchange, gaps = scoring_mod
+    benchmark.group = "ablation"
+    benchmark.pedantic(
+        lambda: run_baseline(seq_mod, exchange, gaps), rounds=1, iterations=1
+    )
+
+
+def test_ablation_work_accounting(benchmark, seq_mod, scoring_mod, results_dir):
+    """Both ideas must independently reduce alignment counts; together
+    they give the Table 1 factor."""
+    exchange, gaps = scoring_mod
+    benchmark.group = "ablation"
+
+    def run_all():
+        _, full = run_baseline(seq_mod, exchange, gaps)
+        _, no_queue = run_no_queue(seq_mod, exchange, gaps)
+        _, no_cache = run_no_cache(seq_mod, exchange, gaps)
+        return full, no_queue, no_cache
+
+    full, no_queue, no_cache = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    save_table(
+        results_dir,
+        "ablation",
+        "Ablation — engine alignments to find "
+        f"{K} top alignments (m={LENGTH})\n"
+        f"full algorithm (queue + bottom-row cache): {full}\n"
+        f"no best-first queue (realign everything):  {no_queue}\n"
+        f"no bottom-row cache (align twice):         {no_cache}\n"
+        "every variant returns identical top alignments",
+    )
+    assert full < no_cache < no_queue
+
+
+@pytest.mark.parametrize("triangle", ["dense", "sparse"])
+def test_triangle_storage(benchmark, seq_mod, scoring_mod, triangle):
+    """Dense vs sparse override triangle: same results, different
+    memory/speed trade-off (the paper's 'can be compressed' remark)."""
+    exchange, gaps = scoring_mod
+    benchmark.group = "ablation-triangle"
+    tops = benchmark.pedantic(
+        lambda: find_top_alignments(
+            seq_mod, K, exchange, gaps, triangle=triangle
+        )[0],
+        rounds=2,
+        iterations=1,
+    )
+    assert len(tops) == K

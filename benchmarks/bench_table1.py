@@ -1,0 +1,76 @@
+"""Table 1 — old vs new sequential algorithm run times.
+
+Paper (P3, 1 GHz, k=50, titin prefixes)::
+
+    length   old (s)   new (s)   speedup
+      1000      1121      10.6       106
+      1200      2460      17.6       140
+      1400      5251      28.4       185
+      1600      8347      42.3       197
+      1800     14672      57.4       256
+
+Shape to reproduce: the new algorithm wins by a large factor that
+*grows with sequence length* (the O(n⁴) -> O(n³) gap).  Lengths and k
+are scaled down for CPython; both algorithms run on the same engine so
+the ratio isolates the algorithm, not the instruction tier.
+"""
+
+import pytest
+
+from repro.bench import bench_sequence, table1_rows
+from repro.core import find_top_alignments, old_find_top_alignments
+
+from conftest import save_table
+
+K = 8
+LENGTHS = (150, 250, 350)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_new_algorithm(benchmark, scoring, length):
+    exchange, gaps = scoring
+    seq = bench_sequence(length)
+    benchmark.group = f"table1-len{length}"
+    tops = benchmark.pedantic(
+        lambda: find_top_alignments(seq, K, exchange, gaps)[0],
+        rounds=2,
+        iterations=1,
+    )
+    assert len(tops) == K
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_old_algorithm(benchmark, scoring, length):
+    exchange, gaps = scoring
+    seq = bench_sequence(length)
+    benchmark.group = f"table1-len{length}"
+    tops = benchmark.pedantic(
+        lambda: old_find_top_alignments(seq, K, exchange, gaps)[0],
+        rounds=1,
+        iterations=1,
+    )
+    assert len(tops) == K
+
+
+def test_table1_shape(benchmark, results_dir):
+    """The published table's shape: the new algorithm wins by a large
+    factor at every length, because it computes a small fraction of the
+    old algorithm's alignments.
+
+    The paper's speedups also *grow* with length (106 -> 256); at our
+    scaled-down lengths that trend is workload-dependent (the
+    realignment fraction of pseudo-titin prefixes varies), so the
+    assertion here is the robust part of the shape — see EXPERIMENTS.md
+    for the measured trend discussion.
+    """
+    benchmark.group = "table1-shape"
+    table = benchmark.pedantic(
+        lambda: table1_rows(lengths=(150, 250, 350), k=K), rounds=1, iterations=1
+    )
+    save_table(results_dir, "table1", table.render())
+    speedups = [row[3] for row in table.rows]
+    assert all(s > 4.0 for s in speedups), speedups
+    # The algorithmic cause: the queue prunes most realignments, so the
+    # new algorithm computes a fraction of the old one's alignments.
+    for row in table.rows:
+        assert row[5] < row[4] / 2

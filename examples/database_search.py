@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Batched database search — the paper's §6 generalisation in action.
+
+"We claim that the way we perform parallel alignment using multimedia
+extensions is also applicable to other application areas that require
+many alignments" — here: a ParAlign/Smith-Waterman-style database
+search.  A zinc-finger query is scored against a synthetic protein
+database; matrices are batched through the lane engine in groups of
+similar size, and the one-at-a-time engine is timed for comparison.
+
+Usage::
+
+    python examples/database_search.py [db_size]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.align import AlignmentProblem
+from repro.align.search import best_local_score, search_database
+from repro.scoring import GapPenalties, blosum62
+from repro.sequences import PROTEIN, Sequence, mutate, random_sequence
+
+
+def build_database(size: int, query: Sequence, seed: int = 17):
+    """Random proteins; every fifth one carries a diverged query motif."""
+    rng = np.random.default_rng(seed)
+    db = []
+    planted = []
+    for i in range(size):
+        length = int(rng.integers(50, 90))
+        body = random_sequence(length, PROTEIN, seed=1000 + i).codes.copy()
+        if i % 5 == 0:
+            motif = mutate(query.codes, PROTEIN, substitution_rate=0.2, rng=rng)
+            at = int(rng.integers(0, max(1, length - motif.size)))
+            body[at : at + motif.size] = motif[: length - at][: motif.size]
+            planted.append(f"db{i:03d}")
+        db.append(Sequence(body, PROTEIN, id=f"db{i:03d}"))
+    return db, set(planted)
+
+
+def main(db_size: int = 40) -> None:
+    query = Sequence("HQRTHTGEKPYKCPECGKSFSQSSNLQKH", PROTEIN, id="zf-query")
+    gaps = GapPenalties(8, 1)
+    db, planted = build_database(db_size, query)
+    print(f"query: {query.id} ({len(query)} aa); database: {db_size} proteins, "
+          f"{len(planted)} with a planted motif\n")
+
+    t0 = time.perf_counter()
+    hits = search_database(query, db, blosum62(), gaps, lanes=8)
+    t_batched = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    singles = [
+        best_local_score(AlignmentProblem(query.codes, s.codes, blosum62(), gaps))
+        for s in db
+    ]
+    t_single = time.perf_counter() - t0
+    assert [h.score for h in sorted(hits, key=lambda h: h.index)] == singles
+
+    print("top hits:")
+    print(f"  {'rank':>4} {'id':<8} {'len':>4} {'score':>6}  planted?")
+    for rank, hit in enumerate(hits[:10], 1):
+        mark = "yes" if hit.id in planted else ""
+        print(f"  {rank:>4} {hit.id:<8} {hit.length:>4} {hit.score:>6g}  {mark}")
+
+    recovered = sum(1 for h in hits[: len(planted)] if h.id in planted)
+    print(f"\nplanted motifs in the top {len(planted)}: {recovered}/{len(planted)}")
+    print(
+        f"timing: batched lanes {t_batched * 1e3:.0f} ms vs "
+        f"one-at-a-time {t_single * 1e3:.0f} ms "
+        f"({t_single / t_batched:.1f}x from batching alone — identical scores)"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 40)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Scan a titin-like protein for internal repeats — the paper's flagship
+workload.
+
+Human titin (34 350 aa) is the longest known protein and is built from
+hundreds of heavily diverged ~95-residue Ig/fn3 domains; processing it
+is what motivated the million-fold speedup.  This example scans a
+scaled pseudo-titin, reports the repeat architecture, and contrasts the
+new algorithm's work against the old quartic baseline.
+
+Usage::
+
+    python examples/titin_repeats.py [length] [top_alignments]
+"""
+
+import sys
+import time
+
+from repro import find_repeats, pseudo_titin
+from repro.core import old_find_top_alignments
+from repro.scoring import GapPenalties, blosum62
+
+
+def main(length: int = 400, k: int = 15) -> None:
+    seq = pseudo_titin(length, seed=1912)
+    gaps = GapPenalties(8, 1)
+    print(f"pseudo-titin: {length} aa of diverged ~95-residue domains")
+
+    start = time.perf_counter()
+    result = find_repeats(seq, top_alignments=k, gaps=gaps, max_gap=2)
+    elapsed = time.perf_counter() - start
+
+    print(f"\nnew algorithm: {k} top alignments in {elapsed:.2f} s")
+    print(
+        f"  alignments computed: {result.stats.alignments} "
+        f"({result.stats.realignments} realignments; a full-rescan "
+        f"strategy would need {(k - 1) * (length - 1)})"
+    )
+    print(f"  matrix cells evaluated: {result.stats.cells:,}")
+
+    print("\ntop alignments (score, prefix span ~ suffix span):")
+    for aln in result.top_alignments[:8]:
+        p0, p1 = aln.prefix_interval
+        s0, s1 = aln.suffix_interval
+        print(f"  #{aln.index:<2d} score {aln.score:>6g}  {p0:>4}-{p1:<4} ~ {s0:>4}-{s1:<4}")
+    if len(result.top_alignments) > 8:
+        print(f"  ... and {len(result.top_alignments) - 8} more")
+
+    print("\ndelineated repeat families:")
+    for rep in result.repeats:
+        spans = ", ".join(f"{s}..{e}" for s, e in rep.copies[:6])
+        more = "" if rep.n_copies <= 6 else f", ... ({rep.n_copies} copies total)"
+        print(
+            f"  family {rep.family}: {rep.n_copies} copies, "
+            f"~{rep.unit_length:.0f} aa units, {rep.columns} conserved columns: "
+            f"{spans}{more}"
+        )
+
+    # Contrast with the old algorithm on a smaller prefix (it is quartic).
+    small = pseudo_titin(min(length, 200), seed=1912)
+    t0 = time.perf_counter()
+    _, old_stats = old_find_top_alignments(small, 8, blosum62(), gaps)
+    t_old = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    small_result = find_repeats(small, top_alignments=8, gaps=gaps)
+    t_new = time.perf_counter() - t0
+    print(
+        f"\nold vs new on a {len(small)}-aa prefix (k=8): "
+        f"{t_old:.2f} s vs {t_new:.2f} s "
+        f"({t_old / t_new:.1f}x, alignments {old_stats.alignments} vs "
+        f"{small_result.stats.alignments})"
+    )
+
+
+if __name__ == "__main__":
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 400,
+        int(sys.argv[2]) if len(sys.argv) > 2 else 15,
+    )

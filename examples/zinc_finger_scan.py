@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Scan a zinc-finger-like protein and write annotated FASTA output.
+
+C2H2 zinc fingers are the classic interspersed protein repeat: ~28-aa
+units with a conserved C..C...H..H skeleton, repeated many times with
+heavy divergence in between — exactly the "only 10–25 % of the amino
+acids ... conserved" regime of the paper's introduction.  This example
+
+* builds a synthetic multi-finger protein around the canonical motif,
+* detects the fingers with the top-alignment method,
+* prints one rendered alignment the way the paper's §2.1 does, and
+* round-trips everything through FASTA.
+
+Usage::
+
+    python examples/zinc_finger_scan.py
+"""
+
+import io
+
+import numpy as np
+
+from repro import find_repeats
+from repro.align import AlignmentProblem, full_matrix, render_alignment, traceback
+from repro.scoring import GapPenalties, blosum62
+from repro.sequences import PROTEIN, Sequence, mutate, read_fasta, write_fasta
+
+#: The canonical C2H2 zinc-finger consensus (28 residues).
+C2H2 = "PYKCPECGKSFSQSSNLQKHQRTHTGEK"
+
+
+def build_protein(fingers: int = 6, seed: int = 11) -> Sequence:
+    """A protein of diverged C2H2 fingers separated by random linkers."""
+    rng = np.random.default_rng(seed)
+    pieces = []
+    consensus = PROTEIN.encode(C2H2)
+    for _ in range(fingers):
+        finger = mutate(
+            consensus, PROTEIN, substitution_rate=0.35, indel_rate=0.01, rng=rng
+        )
+        linker = rng.choice(20, size=rng.integers(4, 9)).astype(np.int8)
+        pieces.extend([finger, linker])
+    codes = np.concatenate(pieces)
+    return Sequence(codes, PROTEIN, id="zf-synth", description="synthetic C2H2 array")
+
+
+def main() -> None:
+    protein = build_protein()
+    print(f"{protein.id}: {len(protein)} aa, expecting ~6 diverged C2H2 fingers\n")
+
+    result = find_repeats(
+        protein,
+        top_alignments=12,
+        gaps=GapPenalties(8, 1),
+        max_gap=3,
+        min_copy_length=8,
+    )
+
+    print("repeat families found:")
+    for rep in result.repeats:
+        spans = ", ".join(f"{s}..{e}" for s, e in rep.copies)
+        print(
+            f"  family {rep.family}: {rep.n_copies} copies "
+            f"(~{rep.unit_length:.0f} aa, {rep.columns} conserved cols) at {spans}"
+        )
+
+    # Render the best top alignment like the paper's §2.1 figure.
+    best = result.top_alignments[0]
+    problem = AlignmentProblem(
+        protein.codes[: best.r], protein.codes[best.r :], blosum62(), GapPenalties(8, 1)
+    )
+    matrix = full_matrix(problem)
+    end_i, end_j = best.pairs[-1]
+    path = traceback(problem, matrix, end_i, end_j - best.r)
+    top, mid, bot = render_alignment(problem, path)
+    print(f"\nbest top alignment (score {best.score:g}):")
+    print(f"  {top}\n  {mid}\n  {bot}")
+
+    # FASTA round trip: write the protein plus each detected copy.
+    records = [protein]
+    for rep in result.repeats:
+        for idx, (s, e) in enumerate(rep.copies):
+            records.append(
+                Sequence(
+                    protein.codes[s - 1 : e],
+                    PROTEIN,
+                    id=f"zf-synth/fam{rep.family}.copy{idx}",
+                    description=f"residues {s}-{e}",
+                )
+            )
+    buffer = io.StringIO()
+    write_fasta(records, buffer)
+    reread = read_fasta(io.StringIO(buffer.getvalue()))
+    print(f"\nFASTA round trip: wrote {len(records)} records, reread {len(reread)}")
+    print(buffer.getvalue().splitlines()[0])
+    for line in buffer.getvalue().splitlines()[1:3]:
+        print(line)
+
+
+if __name__ == "__main__":
+    main()

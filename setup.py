@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The pyproject.toml carries all metadata; this file exists so that
+``python setup.py develop`` works on minimal offline environments whose
+setuptools predates PEP 660 editable installs (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,68 @@
+"""repro — parallel top-alignment repeat detection.
+
+A production-quality reproduction of Romein, Heringa & Bal,
+*A Million-Fold Speed Improvement in Genomic Repeats Detection*
+(SC 2003): the O(n³) nonoverlapping top-alignment algorithm behind the
+Repro protein-repeat detector, its SIMD-style batched alignment
+engines, shared/distributed-memory schedulers, and a discrete-event
+cluster simulator reproducing the paper's performance study.
+
+Quickstart::
+
+    from repro import find_repeats, tandem_repeat_sequence
+
+    seq = tandem_repeat_sequence("ATGC", 3)       # "ATGCATGCATGC"
+    result = find_repeats(seq, top_alignments=3)
+    for aln in result.top_alignments:
+        print(aln.score, aln.pairs)
+"""
+
+from .scoring import GapPenalties, blosum62, match_mismatch, pam250
+from .sequences import (
+    DNA,
+    PROTEIN,
+    RNA,
+    Alphabet,
+    Sequence,
+    implant_repeats,
+    pseudo_titin,
+    random_sequence,
+    read_fasta,
+    tandem_repeat_sequence,
+    write_fasta,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Alphabet",
+    "DNA",
+    "RNA",
+    "PROTEIN",
+    "Sequence",
+    "read_fasta",
+    "write_fasta",
+    "random_sequence",
+    "tandem_repeat_sequence",
+    "implant_repeats",
+    "pseudo_titin",
+    "GapPenalties",
+    "match_mismatch",
+    "blosum62",
+    "pam250",
+    "find_top_alignments",
+    "find_repeats",
+    "RepeatFinder",
+]
+
+_CORE_EXPORTS = {"find_top_alignments", "find_repeats", "RepeatFinder"}
+
+
+def __getattr__(name):
+    """Lazily expose the core API (keeps ``import repro`` light)."""
+    if name in _CORE_EXPORTS:
+        from . import core
+
+        return getattr(core, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

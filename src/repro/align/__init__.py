@@ -1,0 +1,51 @@
+"""Alignment engines: the Equation 1 recurrence at three "instruction tiers"."""
+
+from .base import (
+    NEG_INF,
+    AlignmentEngine,
+    AlignmentProblem,
+    OverrideProvider,
+    available_engines,
+    get_engine,
+    register_engine,
+)
+from .diagonal import DiagonalEngine
+from .gotoh import GotohEngine, gotoh_matrix
+from .lanes import INT16_MAX, LanesEngine
+from .matrix import full_matrix, matrix_for_texts
+from .scalar import ScalarEngine
+from .striped import StripedEngine
+from .traceback import (
+    AlignmentPath,
+    TracebackStep,
+    alignment_identity,
+    render_alignment,
+    traceback,
+)
+from .vector import VectorEngine, iter_rows
+
+__all__ = [
+    "NEG_INF",
+    "INT16_MAX",
+    "AlignmentEngine",
+    "AlignmentProblem",
+    "OverrideProvider",
+    "available_engines",
+    "get_engine",
+    "register_engine",
+    "ScalarEngine",
+    "VectorEngine",
+    "GotohEngine",
+    "DiagonalEngine",
+    "gotoh_matrix",
+    "LanesEngine",
+    "StripedEngine",
+    "full_matrix",
+    "matrix_for_texts",
+    "iter_rows",
+    "traceback",
+    "render_alignment",
+    "alignment_identity",
+    "AlignmentPath",
+    "TracebackStep",
+]

@@ -1,0 +1,168 @@
+"""Alignment engine interface.
+
+An *engine* evaluates the paper's Equation 1 / Figure 3 recurrence for
+one (or, for the lane engine, several) pairwise local alignments.  The
+three concrete engines mirror the paper's instruction-set tiers:
+
+=================  =====================================================
+``scalar``         pure-Python reference — the "conventional
+                   instruction set" baseline of Table 2
+``vector``         numpy row-vectorised — one matrix, each row computed
+                   with O(1) array operations (the per-row running
+                   maximum ``MaxX`` becomes a prefix-max scan)
+``lanes``          batched — G neighbouring matrices computed in
+                   lockstep with lane-interleaved entries, the paper's
+                   coarse-grained SSE/SSE2 technique (§4.1, Figures 6–7)
+=================  =====================================================
+
+Engines only ever *score*; traceback lives in
+:mod:`repro.align.traceback` and operates on a full matrix produced by
+:func:`repro.align.matrix.full_matrix`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..scoring.exchange import ExchangeMatrix
+from ..scoring.gaps import GapPenalties
+from ..sequences.sequence import Sequence
+
+__all__ = [
+    "NEG_INF",
+    "OverrideProvider",
+    "AlignmentProblem",
+    "AlignmentEngine",
+    "register_engine",
+    "get_engine",
+    "available_engines",
+]
+
+#: Sentinel for "no gap possible yet" in the running maxima.  Matrix
+#: values are always >= 0, so any sufficiently negative value works; we
+#: use -inf in float engines and a large negative integer in the lane
+#: engine's integer modes.
+NEG_INF = float("-inf")
+
+
+class OverrideProvider(Protocol):
+    """Supplies the per-row override mask of the paper's override triangle.
+
+    ``row_mask(y)`` returns, for the local matrix row ``y`` (1-based), a
+    boolean array over the local columns ``1..cols`` where ``True``
+    forces the corresponding matrix entry to zero — or ``None`` when no
+    entry of that row is overridden (the overwhelmingly common case,
+    since the triangle is sparse).
+    """
+
+    def row_mask(self, y: int) -> np.ndarray | None: ...
+
+
+@dataclass(frozen=True)
+class AlignmentProblem:
+    """One local-alignment instance: two code arrays plus scoring model.
+
+    ``seq1`` runs vertically (matrix rows ``y = 1..len(seq1)``), ``seq2``
+    horizontally (columns ``x = 1..len(seq2)``), matching Figure 2.  The
+    optional ``override`` masks entries contained in previously accepted
+    top alignments.
+    """
+
+    seq1: np.ndarray
+    seq2: np.ndarray
+    exchange: ExchangeMatrix
+    gaps: GapPenalties
+    override: OverrideProvider | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seq1", np.ascontiguousarray(self.seq1, dtype=np.int8))
+        object.__setattr__(self, "seq2", np.ascontiguousarray(self.seq2, dtype=np.int8))
+
+    @classmethod
+    def from_sequences(
+        cls,
+        seq1: Sequence | str,
+        seq2: Sequence | str,
+        exchange: ExchangeMatrix,
+        gaps: GapPenalties = GapPenalties(),
+        override: OverrideProvider | None = None,
+    ) -> "AlignmentProblem":
+        """Build a problem from :class:`Sequence` objects or raw text."""
+        if isinstance(seq1, str):
+            seq1 = Sequence(seq1, exchange.alphabet)
+        if isinstance(seq2, str):
+            seq2 = Sequence(seq2, exchange.alphabet)
+        return cls(seq1.codes, seq2.codes, exchange, gaps, override)
+
+    @property
+    def rows(self) -> int:
+        """Number of matrix rows (length of the vertical sequence)."""
+        return self.seq1.size
+
+    @property
+    def cols(self) -> int:
+        """Number of matrix columns (length of the horizontal sequence)."""
+        return self.seq2.size
+
+    @property
+    def cells(self) -> int:
+        """Matrix size — the unit of the engines' cost model."""
+        return self.rows * self.cols
+
+
+class AlignmentEngine(ABC):
+    """Computes Equation 1 scores for alignment problems."""
+
+    #: Registry key, e.g. ``"vector"``.
+    name: str = "abstract"
+
+    @abstractmethod
+    def last_row(self, problem: AlignmentProblem) -> np.ndarray:
+        """The bottom matrix row ``M[rows, 0..cols]`` as float64.
+
+        Index 0 is the boundary column (always 0).  Only the bottom row
+        is needed to locate top alignments (Appendix A), which is what
+        makes the O(n²)-space algorithm possible.
+        """
+
+    def score(self, problem: AlignmentProblem) -> float:
+        """Best bottom-row score (the task score used by the queue)."""
+        return float(self.last_row(problem).max())
+
+    def last_rows_batch(self, problems: list[AlignmentProblem]) -> list[np.ndarray]:
+        """Bottom rows for several problems.
+
+        The default loops; the lane engine overrides this with a true
+        lockstep batch.
+        """
+        return [self.last_row(p) for p in problems]
+
+
+_ENGINES: dict[str, Callable[[], AlignmentEngine]] = {}
+
+
+def register_engine(name: str, factory: Callable[[], AlignmentEngine]) -> None:
+    """Register an engine factory under ``name`` (last write wins)."""
+    _ENGINES[name] = factory
+
+
+def get_engine(name: str | AlignmentEngine = "vector") -> AlignmentEngine:
+    """Instantiate a registered engine, or pass an instance through."""
+    if isinstance(name, AlignmentEngine):
+        return name
+    try:
+        factory = _ENGINES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown engine {name!r}; available: {sorted(_ENGINES)}"
+        ) from None
+    return factory()
+
+
+def available_engines() -> list[str]:
+    """Names of all registered engines."""
+    return sorted(_ENGINES)

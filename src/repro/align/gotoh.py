@@ -1,0 +1,91 @@
+"""Standard Smith–Waterman–Gotoh local alignment (comparator substrate).
+
+The paper's Equation 1 is the Heringa/Argos variant of local alignment:
+gap jumps originate from row ``i-1`` / column ``j-1``, so *every* path
+cell is a matched pair — which is what lets the override triangle mark
+exactly the matched residues.  The textbook formulation (Smith &
+Waterman 1981 with Gotoh's affine-gap states) instead lets gaps extend
+from the current row/column::
+
+    H[i][j] = max(0, H[i-1][j-1] + E(a_i, b_j), F[i][j], G[i][j])
+    F[i][j] = max(H[i][j-1] - open - ext, F[i][j-1] - ext)   # gap in A
+    G[i][j] = max(H[i-1][j] - open - ext, G[i-1][j] - ext)   # gap in B
+
+This module implements that classic recurrence (row-vectorised like
+:mod:`repro.align.vector`; ``F`` is again a prefix-max scan) so that the
+two formulations can be compared — tests establish the semantic
+relationships (identical optima for gapless alignments; bounded
+divergence otherwise) and benchmarks can use it as an external
+reference point.  It is **not** used by the top-alignment driver: the
+override-triangle machinery is specific to Equation 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AlignmentEngine, AlignmentProblem, register_engine
+
+__all__ = ["GotohEngine", "gotoh_matrix"]
+
+
+def gotoh_matrix(problem: AlignmentProblem) -> np.ndarray:
+    """Full ``H`` matrix of the Smith–Waterman–Gotoh recurrence.
+
+    The override hook is honoured the same way as in Equation 1 (cells
+    forced to zero after computation) so the engines stay comparable.
+    """
+    rows, cols = problem.rows, problem.cols
+    H = np.zeros((rows + 1, cols + 1), dtype=np.float64)
+    if rows == 0 or cols == 0:
+        return H
+    open_, ext = problem.gaps.open_, problem.gaps.extend
+    first = open_ + ext  # cost of opening a gap of length 1
+    sub = problem.exchange.scores[:, problem.seq2.astype(np.int64)]
+    override = problem.override
+
+    G = np.full(cols, -np.inf)  # vertical gap state, per column
+    for y in range(1, rows + 1):
+        prev = H[y - 1]
+        erow = sub[problem.seq1[y - 1]]
+        # Vertical gaps: G[j] = max(H[y-1][j] - first, G[j] - ext).
+        np.maximum(prev[1:] - first, G - ext, out=G)
+        diag = prev[:cols] + erow
+        best = np.maximum(diag, G)
+        # Horizontal gaps depend on the *current* row: F[j] =
+        # max_k<=j-1 (H[y][k] - open - ext*(j-k)) — a left-to-right scan
+        # that interacts with the max(0, .) clamp, so do it scalar; the
+        # scan state is one register, still O(cols).
+        row = H[y]
+        f = -np.inf
+        mask = override.row_mask(y) if override is not None else None
+        for x in range(1, cols + 1):
+            h = best[x - 1]
+            if f > h:
+                h = f
+            if h < 0.0:
+                h = 0.0
+            if mask is not None and mask[x - 1]:
+                h = 0.0
+            row[x] = h
+            seed = h - first
+            f = f - ext
+            if seed > f:
+                f = seed
+    return H
+
+
+class GotohEngine(AlignmentEngine):
+    """Bottom row / best score under the textbook recurrence."""
+
+    name = "gotoh"
+
+    def last_row(self, problem: AlignmentProblem) -> np.ndarray:
+        return gotoh_matrix(problem)[-1].astype(np.float64)
+
+    def score(self, problem: AlignmentProblem) -> float:
+        """Best score anywhere (the textbook optimum, not bottom-row)."""
+        return float(gotoh_matrix(problem).max())
+
+
+register_engine("gotoh", GotohEngine)

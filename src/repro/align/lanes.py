@@ -1,0 +1,182 @@
+"""Batched lane engine — the paper's coarse-grained SIMD technique (§4.1).
+
+Instead of vectorising *inside* one matrix (hard, because of the
+``MaxX`` dependency), the paper computes 4 (SSE) or 8 (SSE2)
+*neighbouring* matrices in lockstep, with corresponding entries
+interleaved in memory (Figure 7).  This engine reproduces that design
+with numpy: a group of G alignment problems is evaluated together, the
+working rows shaped ``(columns, G)`` so that the G lane values of one
+cell are adjacent in memory — exactly the interleaving of Figure 7.
+
+Each lane processes its own matrix in its own local coordinates; lanes
+shorter than the group maximum simply ignore the padded garbage at
+their right/bottom borders, which never contaminates valid cells
+because data dependencies flow left-to-right and top-to-bottom (the
+paper's "corrections for the left and bottom borders").
+
+Three value modes mirror the instruction tiers:
+
+* ``float64`` — exact, used for correctness tests;
+* ``int32``   — exact integer mode ("wide" registers);
+* ``int16``   — scores saturate at the signed-short maximum, the
+  paper's SSE/SSE2 value range ("limiting" analogue of §4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AlignmentEngine, AlignmentProblem, register_engine
+
+__all__ = ["LanesEngine", "INT16_MAX"]
+
+#: Saturation ceiling of the int16 mode (signed short, as in SSE ``pmaxsw``).
+INT16_MAX = 32767
+
+_NEG = {
+    "float64": -np.inf,
+    "int32": -(2**30),
+    "int16": -(2**30),  # internal arithmetic is int32; only values saturate
+}
+
+
+class LanesEngine(AlignmentEngine):
+    """Lockstep evaluation of a group of alignment problems.
+
+    Parameters
+    ----------
+    lanes:
+        Preferred group width (4 for "SSE", 8 for "SSE2").  Groups of
+        any size are accepted; this is the width schedulers should aim
+        for and the width :meth:`last_row` pads single problems to.
+    dtype:
+        ``"float64"`` (default), ``"int32"`` or ``"int16"`` (saturating).
+    """
+
+    name = "lanes"
+
+    def __init__(self, lanes: int = 4, dtype: str = "float64") -> None:
+        if lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        if dtype not in _NEG:
+            raise ValueError(f"dtype must be one of {sorted(_NEG)}")
+        self.lanes = lanes
+        self.dtype = dtype
+
+    def __repr__(self) -> str:
+        return f"LanesEngine(lanes={self.lanes}, dtype={self.dtype!r})"
+
+    # -- single problem (interface compliance) ---------------------------
+
+    def last_row(self, problem: AlignmentProblem) -> np.ndarray:
+        return self.last_rows_batch([problem])[0]
+
+    # -- the lockstep batch ----------------------------------------------
+
+    def last_rows_batch(self, problems: list[AlignmentProblem]) -> list[np.ndarray]:
+        """Bottom rows of all problems, computed in lockstep.
+
+        All problems must share the same gap penalties and exchange
+        matrix (true for the top-alignment workload, where neighbouring
+        matrices split the same sequence).
+        """
+        if not problems:
+            return []
+        gaps = problems[0].gaps
+        exchange = problems[0].exchange
+        for p in problems[1:]:
+            if p.gaps != gaps:
+                raise ValueError("lane group must share gap penalties")
+            if p.exchange is not exchange and p.exchange.name != exchange.name:
+                raise ValueError("lane group must share the exchange matrix")
+
+        group = len(problems)
+        rows_l = np.array([p.rows for p in problems])
+        cols_l = np.array([p.cols for p in problems])
+        max_rows = int(rows_l.max())
+        max_cols = int(cols_l.max())
+        results: list[np.ndarray | None] = [None] * group
+        for lane, p in enumerate(problems):
+            if p.rows == 0 or p.cols == 0:
+                results[lane] = np.zeros(p.cols + 1, dtype=np.float64)
+        if max_rows == 0 or max_cols == 0:
+            return [r if r is not None else np.zeros(1) for r in results]
+
+        is_float = self.dtype == "float64"
+        work = np.float64 if is_float else np.int64
+        neg = _NEG[self.dtype]
+        if is_float:
+            open_, ext = gaps.open_, gaps.extend
+            escores = exchange.scores
+        else:
+            open_, ext = gaps.as_integers()
+            escores = exchange.as_integers().astype(np.int64)
+
+        # Per-lane exchange gathers for the horizontal sequences:
+        # subs[lane, code, x] = E[code, seq2_lane[x]].  One fancy-index
+        # per row then fetches all lanes' exchange rows at once.
+        nsym = exchange.size
+        subs = np.zeros((group, nsym, max_cols), dtype=work)
+        codes1 = np.zeros((max_rows, group), dtype=np.int64)
+        for lane, p in enumerate(problems):
+            subs[lane, :, : p.cols] = escores[:, p.seq2.astype(np.int64)]
+            codes1[: p.rows, lane] = p.seq1
+        lane_idx = np.arange(group)
+
+        # Interleaved working rows, Figure 7 style: shape (cols, lanes),
+        # C-contiguous, so one cell's lane values are adjacent.
+        prev = np.zeros((max_cols + 1, group), dtype=work)
+        curr = np.zeros((max_cols + 1, group), dtype=work)
+        max_y = np.full((max_cols, group), neg, dtype=work)
+        k_up = (ext * np.arange(1, max_cols + 1, dtype=work))[:, None]
+        x_dn = (ext * np.arange(2, max_cols + 1, dtype=work))[:, None]
+        inner = np.empty((max_cols, group), dtype=work)
+        b = np.empty((max_cols, group), dtype=work)
+
+        for y in range(1, max_rows + 1):
+            diag = prev[:max_cols]
+            erow = subs[lane_idx, codes1[y - 1]].T  # (cols, lanes)
+
+            np.add(diag, k_up, out=b)
+            b -= open_
+            np.maximum.accumulate(b, axis=0, out=b)
+            np.maximum(max_y, diag, out=inner)
+            if max_cols > 1:
+                np.maximum(inner[1:], b[:-1] - x_dn, out=inner[1:])
+
+            np.add(inner, erow, out=curr[1:])
+            np.maximum(curr, 0, out=curr)
+            if self.dtype == "int16":
+                np.minimum(curr, INT16_MAX, out=curr)
+            for lane, p in enumerate(problems):
+                if p.override is not None and y <= p.rows:
+                    mask = p.override.row_mask(y)
+                    if mask is not None:
+                        curr[1 : p.cols + 1, lane][mask] = 0
+
+            np.maximum(max_y, diag - open_, out=max_y)
+            max_y -= ext
+
+            # Harvest lanes whose matrix ends at this row.
+            for lane in np.flatnonzero(rows_l == y):
+                p = problems[lane]
+                out = np.zeros(p.cols + 1, dtype=np.float64)
+                out[1:] = curr[1 : p.cols + 1, lane]
+                results[lane] = out
+
+            prev, curr = curr, prev
+
+        return [r for r in results]  # every lane harvested by construction
+
+
+def _sse() -> LanesEngine:
+    return LanesEngine(lanes=4, dtype="int16")
+
+
+def _sse2() -> LanesEngine:
+    return LanesEngine(lanes=8, dtype="int16")
+
+
+register_engine("lanes", LanesEngine)
+register_engine("lanes-sse", _sse)
+register_engine("lanes-sse2", _sse2)

@@ -1,0 +1,42 @@
+"""Full alignment-matrix computation.
+
+Engines normally keep only the previous row (the paper's memory
+argument); the full matrix is materialised only when a traceback is
+about to run — i.e. once per *accepted* top alignment, which the paper
+notes is the sequential tail of each iteration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AlignmentProblem
+from .vector import iter_rows
+
+__all__ = ["full_matrix", "matrix_for_texts"]
+
+
+def full_matrix(problem: AlignmentProblem, dtype=np.float64) -> np.ndarray:
+    """The complete ``(rows+1) x (cols+1)`` score matrix of Equation 1.
+
+    Row 0 and column 0 are the zero boundary, so ``matrix[y, x]``
+    matches the paper's ``M[y][x]`` indices directly (Figure 2).
+    """
+    rows, cols = problem.rows, problem.cols
+    matrix = np.zeros((rows + 1, cols + 1), dtype=dtype)
+    if rows == 0 or cols == 0:
+        return matrix
+    for y, row in iter_rows(problem):
+        matrix[y] = row
+    return matrix
+
+
+def matrix_for_texts(
+    seq1: str,
+    seq2: str,
+    exchange,
+    gaps,
+) -> np.ndarray:
+    """Convenience wrapper used by docs/tests: matrix from raw strings."""
+    problem = AlignmentProblem.from_sequences(seq1, seq2, exchange, gaps)
+    return full_matrix(problem)

@@ -1,0 +1,125 @@
+"""Cache-aware vertical striping (§4.1, last part).
+
+The paper computes each matrix in vertical stripes sized to a third of
+the L1 cache: a section of a row is computed, then the section of the
+row *below* it, so the working set (current row section, ``MaxY``
+section, exchange rows) stays cache-resident.  This engine reproduces
+that traversal order on top of the vectorised recurrence.
+
+Carrying the recurrence across a stripe boundary needs, per row ``y``:
+
+* ``M[y][x0-1]`` — the diagonal feed of the stripe's first column, and
+* the running prefix maximum of the transformed horizontal-gap series
+  ``B[k] = M[y][k-1] - open + ext*k`` over all columns left of the
+  stripe (the ``MaxX`` state, which composes across stripes because it
+  is a plain running maximum in the transformed coordinates).
+
+Both are O(rows) vectors saved while sweeping one stripe and consumed
+by the next, so memory stays linear exactly as in the single-pass
+engine.
+
+Whether striping *helps* in numpy depends on where the per-row working
+set falls relative to the cache hierarchy — the striping benchmark
+(`benchmarks/bench_striping.py`) measures this and EXPERIMENTS.md
+compares the shape against the paper's 4–6.5x claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AlignmentEngine, AlignmentProblem, register_engine
+
+__all__ = ["StripedEngine"]
+
+
+class StripedEngine(AlignmentEngine):
+    """Vector engine with the paper's stripe-wise traversal order.
+
+    Parameters
+    ----------
+    stripe:
+        Stripe width in matrix columns.  The paper sizes stripes to a
+        third of the 16 KB L1 data cache of the Pentium III — 2730
+        two-byte entries; the default uses the same cell count.
+    """
+
+    name = "striped"
+
+    def __init__(self, stripe: int = 2730) -> None:
+        if stripe < 1:
+            raise ValueError("stripe width must be positive")
+        self.stripe = stripe
+
+    def __repr__(self) -> str:
+        return f"StripedEngine(stripe={self.stripe})"
+
+    def last_row(self, problem: AlignmentProblem) -> np.ndarray:
+        rows, cols = problem.rows, problem.cols
+        out = np.zeros(cols + 1, dtype=np.float64)
+        if rows == 0 or cols == 0:
+            return out
+
+        open_, ext = problem.gaps.open_, problem.gaps.extend
+        override = problem.override
+        sub = problem.exchange.scores[:, problem.seq2.astype(np.int64)]
+        seq1 = problem.seq1
+
+        # Cross-stripe carry state, indexed by row y = 0..rows:
+        # left_diag[y]  = M[y][x0-1] of the stripe being entered;
+        # carry_pref[y] = max_{k <= x0-1} B[y][k] (transformed MaxX).
+        left_diag = np.zeros(rows + 1, dtype=np.float64)
+        carry_pref = np.full(rows + 1, -np.inf, dtype=np.float64)
+
+        for x0 in range(1, cols + 1, self.stripe):
+            x1 = min(x0 + self.stripe - 1, cols)
+            width = x1 - x0 + 1
+            ks = np.arange(x0, x1 + 1, dtype=np.float64)  # global column ids
+
+            prev = np.zeros(width + 1, dtype=np.float64)  # [0] = M[y-1][x0-1]
+            curr = np.empty(width + 1, dtype=np.float64)
+            max_y = np.full(width, -np.inf, dtype=np.float64)
+            new_left = np.zeros(rows + 1, dtype=np.float64)
+            new_pref = np.full(rows + 1, -np.inf, dtype=np.float64)
+
+            for y in range(1, rows + 1):
+                prev[0] = left_diag[y - 1]
+                diag = prev[:width]  # diag[j] = M[y-1][x0-1+j]
+                erow = sub[seq1[y - 1], x0 - 1 : x1]
+
+                # B[k] = diag - open + ext*k over this stripe's columns,
+                # prefix-maxed together with the carry from the left
+                # (carry_pref[y] is the prefix over columns < x0 of the
+                # B series consumed while computing row y).
+                b = diag - open_ + ext * ks
+                np.maximum.accumulate(b, out=b)
+                np.maximum(b, carry_pref[y], out=b)
+                # MaxX used at column k is the prefix up to k-1.
+                inner = np.maximum(max_y, diag)
+                inner[0] = max(inner[0], carry_pref[y] - ext * x0)
+                if width > 1:
+                    np.maximum(inner[1:], b[:-1] - ext * ks[1:], out=inner[1:])
+
+                np.add(inner, erow, out=curr[1:])
+                np.maximum(curr[1:], 0.0, out=curr[1:])
+                if override is not None:
+                    mask = override.row_mask(y)
+                    if mask is not None:
+                        curr[1:][mask[x0 - 1 : x1]] = 0.0
+
+                np.maximum(max_y, diag - open_, out=max_y)
+                max_y -= ext
+
+                new_left[y] = curr[width]
+                new_pref[y] = b[-1]
+                if y == rows:
+                    out[x0 : x1 + 1] = curr[1:]
+                prev, curr = curr, prev
+
+            left_diag = new_left
+            carry_pref = new_pref
+
+        return out
+
+
+register_engine("striped", StripedEngine)

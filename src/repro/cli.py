@@ -1,0 +1,446 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands
+-----------
+``find``       run repeat detection on a FASTA file (or stdin)
+``scan``       rank the records of a FASTA file by repeat content
+``align``      align two sequences and render the superposition (§2.1 style)
+``search``     rank FASTA records by best local alignment to a query
+``generate``   emit synthetic workloads (pseudo-titin, implanted repeats)
+``bench``      regenerate one of the paper's evaluation artifacts
+``simulate``   run the DAS-2 cluster simulator at a given processor count
+``report``     full analysis report (alignments, families, MSA, dot plot)
+``engines``    list available alignment engines
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence as Seq
+
+from . import __version__
+from .core.api import find_repeats
+from .scoring.blosum import blosum50, blosum62
+from .scoring.exchange import match_mismatch
+from .scoring.gaps import GapPenalties
+from .scoring.pam import pam120, pam250
+from .sequences.alphabet import alphabet_for
+from .sequences.fasta import read_fasta, write_fasta
+from .sequences.workloads import RepeatSpec, implant_repeats, pseudo_titin
+
+__all__ = ["main", "build_parser"]
+
+_MATRICES = {
+    "blosum62": blosum62,
+    "blosum50": blosum50,
+    "pam250": pam250,
+    "pam120": pam120,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Internal-repeat detection via parallel top alignments "
+        "(Romein, Heringa & Bal, SC 2003 reproduction).",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    find = sub.add_parser("find", help="detect repeats in FASTA sequences")
+    find.add_argument("fasta", nargs="?", default="-", help="FASTA path or '-' for stdin")
+    find.add_argument("-k", "--top-alignments", type=int, default=20)
+    find.add_argument("--alphabet", default="protein", choices=["protein", "dna", "rna"])
+    find.add_argument(
+        "--matrix",
+        default=None,
+        choices=sorted(_MATRICES) + ["simple"],
+        help="exchange matrix (default: blosum62 for protein, simple +2/-1 otherwise)",
+    )
+    find.add_argument("--gap-open", type=float, default=8.0)
+    find.add_argument("--gap-extend", type=float, default=1.0)
+    find.add_argument("--engine", default="vector")
+    find.add_argument(
+        "--algorithm", default="new", choices=["new", "old"],
+        help="'old' runs the quartic 1993-style baseline (same results)",
+    )
+    find.add_argument("--min-score", type=float, default=0.0)
+    find.add_argument("--show-alignments", action="store_true")
+    find.add_argument(
+        "--msa",
+        action="store_true",
+        help="render a multiple alignment of each repeat family's copies",
+    )
+    find.add_argument("--max-gap", type=int, default=0)
+
+    gen = sub.add_parser("generate", help="emit a synthetic workload as FASTA")
+    gen.add_argument("kind", choices=["titin", "implanted"])
+    gen.add_argument("--length", type=int, default=1000)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--unit-length", type=int, default=40)
+    gen.add_argument("--copies", type=int, default=4)
+    gen.add_argument("--divergence", type=float, default=0.3)
+    gen.add_argument("--output", default="-")
+
+    bench = sub.add_parser("bench", help="regenerate a paper artifact")
+    bench.add_argument(
+        "artifact", choices=["table1", "table2", "figure8", "realign"],
+    )
+    bench.add_argument("--length", type=int, default=None)
+    bench.add_argument("-k", "--top-alignments", type=int, default=None)
+
+    scan = sub.add_parser("scan", help="rank FASTA records by repeat content")
+    scan.add_argument("fasta", nargs="?", default="-")
+    scan.add_argument("-k", "--top-alignments", type=int, default=10)
+    scan.add_argument("--alphabet", default="protein", choices=["protein", "dna", "rna"])
+    scan.add_argument("--mask", action="store_true", help="mask low-complexity tracts")
+    scan.add_argument("--min-length", type=int, default=10)
+    scan.add_argument("--limit", type=int, default=0, help="print only the top N")
+
+    align = sub.add_parser("align", help="align two sequences and render them")
+    align.add_argument("seq1", help="first sequence (text, vertical)")
+    align.add_argument("seq2", help="second sequence (text, horizontal)")
+    align.add_argument("--alphabet", default="dna", choices=["protein", "dna", "rna"])
+    align.add_argument("--matrix", default=None, choices=sorted(_MATRICES) + ["simple"])
+    align.add_argument("--gap-open", type=float, default=2.0)
+    align.add_argument("--gap-extend", type=float, default=1.0)
+
+    search = sub.add_parser(
+        "search", help="rank FASTA records by best local alignment to a query"
+    )
+    search.add_argument("query", help="query sequence text")
+    search.add_argument("fasta", nargs="?", default="-")
+    search.add_argument("--alphabet", default="protein", choices=["protein", "dna", "rna"])
+    search.add_argument("--matrix", default=None, choices=sorted(_MATRICES) + ["simple"])
+    search.add_argument("--gap-open", type=float, default=8.0)
+    search.add_argument("--gap-extend", type=float, default=1.0)
+    search.add_argument("--lanes", type=int, default=8)
+    search.add_argument("--top", type=int, default=10)
+
+    simulate = sub.add_parser(
+        "simulate", help="simulate a DAS-2 cluster run (Figure 8 style)"
+    )
+    simulate.add_argument("--length", type=int, default=300)
+    simulate.add_argument("-k", "--top-alignments", type=int, default=5)
+    simulate.add_argument("-P", "--processors", type=int, default=16)
+    simulate.add_argument("--machine", default="pentium3", choices=["pentium3", "pentium4"])
+    simulate.add_argument("--tier", default="sse")
+    simulate.add_argument("--gantt", action="store_true", help="print a CPU timeline")
+
+    report = sub.add_parser(
+        "report", help="full analysis report for FASTA sequences"
+    )
+    report.add_argument("fasta", nargs="?", default="-")
+    report.add_argument("-k", "--top-alignments", type=int, default=15)
+    report.add_argument("--alphabet", default="protein", choices=["protein", "dna", "rna"])
+    report.add_argument("--gap-open", type=float, default=8.0)
+    report.add_argument("--gap-extend", type=float, default=1.0)
+    report.add_argument("--max-gap", type=int, default=1)
+    report.add_argument(
+        "--shuffles", type=int, default=0,
+        help="shuffle-null significance (0 = skip)",
+    )
+    report.add_argument("--no-dotplot", action="store_true")
+
+    sub.add_parser("engines", help="list registered alignment engines")
+    return parser
+
+
+def _cmd_find(args: argparse.Namespace) -> int:
+    alphabet = alphabet_for(args.alphabet)
+    if args.matrix is None:
+        exchange = None
+    elif args.matrix == "simple":
+        exchange = match_mismatch(alphabet, 2.0, -1.0)
+    else:
+        exchange = _MATRICES[args.matrix]()
+        if alphabet.name != "protein":
+            raise SystemExit(f"matrix {args.matrix} requires --alphabet protein")
+    source = sys.stdin if args.fasta == "-" else args.fasta
+    records = read_fasta(source, alphabet)
+    if not records:
+        raise SystemExit("no FASTA records found")
+    for record in records:
+        result = find_repeats(
+            record,
+            top_alignments=args.top_alignments,
+            exchange=exchange,
+            gaps=GapPenalties(args.gap_open, args.gap_extend),
+            engine=args.engine,
+            algorithm=args.algorithm,
+            min_score=args.min_score,
+            max_gap=args.max_gap,
+        )
+        name = record.id or "<unnamed>"
+        print(f">{name} length={len(record)}")
+        print(
+            f"  top alignments: {len(result.top_alignments)}  "
+            f"repeat families: {len(result.repeats)}  "
+            f"alignments computed: {result.stats.alignments}"
+        )
+        for repeat in result.repeats:
+            spans = ", ".join(f"{s}-{e}" for s, e in repeat.copies)
+            print(
+                f"  family {repeat.family}: {repeat.n_copies} copies "
+                f"(~{repeat.unit_length:.0f} aa, {repeat.columns} conserved cols): "
+                f"{spans}"
+            )
+        if args.show_alignments:
+            for aln in result.top_alignments:
+                p0, p1 = aln.prefix_interval
+                s0, s1 = aln.suffix_interval
+                print(
+                    f"  top#{aln.index} score={aln.score:g} r={aln.r} "
+                    f"{p0}-{p1} ~ {s0}-{s1} ({len(aln)} pairs)"
+                )
+        if args.msa and result.repeats:
+            from .core.msa import align_family, render_msa
+
+            for repeat in result.repeats:
+                try:
+                    msa = align_family(record, repeat, result.top_alignments)
+                except ValueError:
+                    continue
+                print(
+                    f"  family {repeat.family} alignment "
+                    f"({msa.mean_identity:.0%} identity):"
+                )
+                for line in render_msa(msa).splitlines():
+                    print(f"    {line}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.kind == "titin":
+        seq = pseudo_titin(args.length, seed=args.seed)
+    else:
+        workload = implant_repeats(
+            args.length,
+            RepeatSpec(
+                unit_length=args.unit_length,
+                copies=args.copies,
+                substitution_rate=args.divergence,
+            ),
+            seed=args.seed,
+        )
+        seq = workload.sequence
+    target = sys.stdout if args.output == "-" else args.output
+    write_fasta(seq, target)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench.harness import (
+        figure8_series,
+        realignment_rows,
+        table1_rows,
+        table2_rows,
+    )
+
+    if args.artifact == "table1":
+        kwargs = {}
+        if args.top_alignments:
+            kwargs["k"] = args.top_alignments
+        print(table1_rows(**kwargs).render())
+    elif args.artifact == "table2":
+        print(table2_rows(size=args.length or 300).render())
+    elif args.artifact == "realign":
+        kwargs = {}
+        if args.top_alignments:
+            kwargs["k"] = args.top_alignments
+        print(realignment_rows(**kwargs).render())
+    else:
+        series = figure8_series(
+            length=args.length or 360,
+            ks=(1, 2, 5, 10, 25) if args.top_alignments is None else (args.top_alignments,),
+        )
+        print("Figure 8 — speed improvement vs processors (simulated DAS-2)")
+        for k, points in sorted(series.items()):
+            row = "  ".join(f"P={p}:{s:.0f}" for p, s, _ in points)
+            print(f"k={k:3d}  {row}")
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from .core.api import RepeatFinder
+    from .core.scan import DatabaseScanner
+
+    alphabet = alphabet_for(args.alphabet)
+    source = sys.stdin if args.fasta == "-" else args.fasta
+    records = read_fasta(source, alphabet)
+    if not records:
+        raise SystemExit("no FASTA records found")
+    scanner = DatabaseScanner(
+        finder=RepeatFinder(top_alignments=args.top_alignments),
+        mask=args.mask,
+        min_length=args.min_length,
+    )
+    reports = scanner.rank(records)
+    if args.limit:
+        reports = reports[: args.limit]
+    print(f"{'rank':>4}  {'id':<24} {'len':>6} {'best':>7} {'families':>8} {'repeat%':>8}")
+    for rank, rep in enumerate(reports, 1):
+        print(
+            f"{rank:>4}  {rep.id[:24]:<24} {rep.length:>6} {rep.best_score:>7g} "
+            f"{rep.n_families:>8} {rep.repeat_fraction:>8.1%}"
+        )
+    return 0
+
+
+def _cmd_align(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .align import AlignmentProblem, full_matrix, render_alignment, traceback
+
+    alphabet = alphabet_for(args.alphabet)
+    if args.matrix in (None, "simple"):
+        exchange = match_mismatch(alphabet, 2.0, -1.0)
+    else:
+        if alphabet.name != "protein":
+            raise SystemExit(f"matrix {args.matrix} requires --alphabet protein")
+        exchange = _MATRICES[args.matrix]()
+    problem = AlignmentProblem.from_sequences(
+        args.seq1.upper(), args.seq2.upper(), exchange,
+        GapPenalties(args.gap_open, args.gap_extend),
+    )
+    matrix = full_matrix(problem)
+    if matrix.max() <= 0:
+        print("no positive-scoring local alignment")
+        return 0
+    end = np.unravel_index(np.argmax(matrix), matrix.shape)
+    path = traceback(problem, matrix, int(end[0]), int(end[1]))
+    top, mid, bot = render_alignment(problem, path)
+    print(f"score {path.score:g} "
+          f"(residues {path.start.y}-{path.end.y} vs {path.start.x}-{path.end.x})")
+    for line in (top, mid, bot):
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from .align.search import search_database
+    from .sequences.sequence import Sequence
+
+    alphabet = alphabet_for(args.alphabet)
+    if args.matrix in (None, "simple"):
+        exchange = (
+            _MATRICES["blosum62"]()
+            if alphabet.name == "protein" and args.matrix is None
+            else match_mismatch(alphabet, 2.0, -1.0)
+        )
+    else:
+        if alphabet.name != "protein":
+            raise SystemExit(f"matrix {args.matrix} requires --alphabet protein")
+        exchange = _MATRICES[args.matrix]()
+    source = sys.stdin if args.fasta == "-" else args.fasta
+    database = read_fasta(source, alphabet)
+    if not database:
+        raise SystemExit("no FASTA records found")
+    query = Sequence(args.query.upper(), alphabet, id="query")
+    hits = search_database(
+        query,
+        database,
+        exchange,
+        GapPenalties(args.gap_open, args.gap_extend),
+        lanes=args.lanes,
+        top=args.top,
+    )
+    print(f"{'rank':>4}  {'id':<24} {'len':>6} {'score':>7}")
+    for rank, hit in enumerate(hits, 1):
+        print(f"{rank:>4}  {hit.id[:24]:<24} {hit.length:>6} {hit.score:>7g}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .scoring.gaps import GapPenalties as GP
+    from .sequences.workloads import pseudo_titin
+    from .simulate import (
+        AlignmentOracle,
+        ClusterConfig,
+        ClusterSimulator,
+        TraceRecorder,
+        pentium3,
+        pentium4,
+    )
+
+    machine = pentium3() if args.machine == "pentium3" else pentium4()
+    seq = pseudo_titin(args.length, seed=1912)
+    oracle = AlignmentOracle(seq, blosum62(), GP(8, 1))
+    base = ClusterSimulator(
+        oracle,
+        ClusterConfig(
+            processors=1, machine=machine, tier="conventional", dedicated_master=False
+        ),
+    ).run(args.top_alignments)
+    recorder = TraceRecorder()
+    sim = ClusterSimulator(
+        oracle,
+        ClusterConfig(processors=args.processors, machine=machine, tier=args.tier),
+        trace=recorder,
+    )
+    result = sim.run(args.top_alignments)
+    print(
+        f"pseudo-titin {args.length} aa, k={args.top_alignments}, "
+        f"P={args.processors} ({machine.name}, {args.tier} tier)"
+    )
+    print(f"  simulated makespan:     {result.makespan:.4f} s")
+    print(f"  sequential baseline:    {base.makespan:.4f} s (conventional tier)")
+    print(f"  speed improvement:      {base.makespan / result.makespan:.1f}x")
+    print(f"  alignments executed:    {result.alignments_executed}")
+    report = recorder.report(result.makespan, n_workers=args.processors - 1)
+    print(f"  mean worker utilisation {report.mean_utilisation:.1%}, "
+          f"traceback share {report.traceback_fraction:.1%}")
+    if args.gantt:
+        print(report.gantt())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .core.report import analyze
+
+    alphabet = alphabet_for(args.alphabet)
+    source = sys.stdin if args.fasta == "-" else args.fasta
+    records = read_fasta(source, alphabet)
+    if not records:
+        raise SystemExit("no FASTA records found")
+    for record in records:
+        report = analyze(
+            record,
+            top_alignments=args.top_alignments,
+            gaps=GapPenalties(args.gap_open, args.gap_extend),
+            max_gap=args.max_gap,
+            significance_shuffles=args.shuffles,
+        )
+        print(report.render(dotplot=not args.no_dotplot))
+    return 0
+
+
+def _cmd_engines(_: argparse.Namespace) -> int:
+    from .align.base import available_engines
+
+    for name in available_engines():
+        print(name)
+    return 0
+
+
+def main(argv: Seq[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "find": _cmd_find,
+        "scan": _cmd_scan,
+        "align": _cmd_align,
+        "search": _cmd_search,
+        "generate": _cmd_generate,
+        "bench": _cmd_bench,
+        "simulate": _cmd_simulate,
+        "report": _cmd_report,
+        "engines": _cmd_engines,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

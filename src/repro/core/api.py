@@ -1,0 +1,138 @@
+"""High-level public API.
+
+Most users need exactly one call::
+
+    from repro import find_repeats
+    result = find_repeats(sequence, top_alignments=20)
+
+:class:`RepeatFinder` is the configurable object behind it, useful when
+scanning many sequences with the same scoring model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..scoring.blosum import blosum62
+from ..scoring.exchange import ExchangeMatrix, match_mismatch
+from ..scoring.gaps import GapPenalties
+from ..sequences.sequence import Sequence
+from .delineate import delineate_repeats
+from .oldalgo import old_find_top_alignments
+from .result import RepeatResult
+from .topalign import find_top_alignments
+
+__all__ = ["RepeatFinder", "find_repeats"]
+
+
+def _default_exchange(sequence: Sequence) -> ExchangeMatrix:
+    """BLOSUM62 for proteins, the paper's +2/-1 toy matrix for nucleotides."""
+    if sequence.alphabet.name == "protein":
+        return blosum62()
+    return match_mismatch(sequence.alphabet, 2.0, -1.0)
+
+
+@dataclass
+class RepeatFinder:
+    """Reusable, configured repeat detector.
+
+    Parameters
+    ----------
+    exchange:
+        Exchange matrix; defaults per sequence alphabet (BLOSUM62 for
+        protein, +2/-1 for nucleotide alphabets).
+    gaps:
+        Affine gap penalties (default open 2, extend 1 — the paper's
+        worked example; use e.g. ``GapPenalties(10, 1)`` with BLOSUM62
+        for realistic protein work).
+    top_alignments:
+        How many nonoverlapping top alignments to compute — "typically
+        10–30, some more for large sequences" (§3).
+    engine:
+        Alignment engine name (``"vector"``, ``"scalar"``, ``"lanes"``,
+        ``"striped"``, ...).
+    algorithm:
+        ``"new"`` (the paper's O(n³) algorithm) or ``"old"`` (the 1993
+        O(n⁴) baseline) — both return identical alignments.
+    min_score:
+        Alignments scoring at or below this are not reported.
+    min_copy_length, max_gap, min_score_fraction:
+        Delineation knobs (see
+        :func:`repro.core.delineate.delineate_repeats`).
+    """
+
+    exchange: ExchangeMatrix | None = None
+    gaps: GapPenalties = field(default_factory=GapPenalties)
+    top_alignments: int = 20
+    engine: str = "vector"
+    algorithm: str = "new"
+    min_score: float = 0.0
+    min_copy_length: int = 2
+    max_gap: int = 0
+    min_score_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("new", "old"):
+            raise ValueError("algorithm must be 'new' or 'old'")
+        if self.top_alignments < 1:
+            raise ValueError("top_alignments must be >= 1")
+
+    def find(self, sequence: Sequence | str) -> RepeatResult:
+        """Run both Repro phases on ``sequence`` and return everything."""
+        if isinstance(sequence, str):
+            sequence = Sequence(sequence, "protein")
+        exchange = self.exchange or _default_exchange(sequence)
+        if self.algorithm == "new":
+            alignments, stats = find_top_alignments(
+                sequence,
+                self.top_alignments,
+                exchange,
+                self.gaps,
+                engine=self.engine,
+                min_score=self.min_score,
+            )
+        else:
+            alignments, stats = old_find_top_alignments(
+                sequence,
+                self.top_alignments,
+                exchange,
+                self.gaps,
+                engine=self.engine,
+                min_score=self.min_score,
+            )
+        repeats = delineate_repeats(
+            alignments,
+            len(sequence),
+            min_copy_length=self.min_copy_length,
+            max_gap=self.max_gap,
+            min_score_fraction=self.min_score_fraction,
+        )
+        return RepeatResult(top_alignments=alignments, repeats=repeats, stats=stats)
+
+
+def find_repeats(
+    sequence: Sequence | str,
+    top_alignments: int = 20,
+    *,
+    exchange: ExchangeMatrix | None = None,
+    gaps: GapPenalties | None = None,
+    engine: str = "vector",
+    algorithm: str = "new",
+    min_score: float = 0.0,
+    min_copy_length: int = 2,
+    max_gap: int = 0,
+    min_score_fraction: float = 0.25,
+) -> RepeatResult:
+    """One-shot repeat detection (see :class:`RepeatFinder`)."""
+    finder = RepeatFinder(
+        exchange=exchange,
+        gaps=gaps if gaps is not None else GapPenalties(),
+        top_alignments=top_alignments,
+        engine=engine,
+        algorithm=algorithm,
+        min_score=min_score,
+        min_copy_length=min_copy_length,
+        max_gap=max_gap,
+        min_score_fraction=min_score_fraction,
+    )
+    return finder.find(sequence)

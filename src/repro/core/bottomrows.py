@@ -1,0 +1,85 @@
+"""The bottom-row store (Appendix A).
+
+After a split's *first* alignment (empty override triangle) its bottom
+row is cached.  On every realignment the fresh bottom row is compared
+against the cached one: cells whose value changed were rerouted around
+an accepted alignment ("shadow alignments") and are invalid endpoints;
+the realignment's score is the maximum over the *unchanged* cells.
+
+Storing all bottom rows costs ``m (m-1) / 2`` values — "the largest
+data structure that we use" — which is why the distributed
+implementation keeps it on the master and lets slaves cache replicas
+(§4.3); :class:`BottomRowStore` is that master-side structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BottomRowStore"]
+
+
+class BottomRowStore:
+    """Triangular cache of first-alignment bottom rows, keyed by split r.
+
+    Rows are stored as float64 arrays of length ``m - r + 1`` (index 0
+    is the zero boundary column, matching engine output).
+    """
+
+    def __init__(self, m: int) -> None:
+        if m < 2:
+            raise ValueError("sequence length must be at least 2")
+        self.m = m
+        self._rows: dict[int, np.ndarray] = {}
+
+    def __contains__(self, r: int) -> bool:
+        return r in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def put(self, r: int, row: np.ndarray) -> None:
+        """Cache the first-alignment bottom row of split ``r`` (write-once)."""
+        if not 1 <= r < self.m:
+            raise ValueError(f"split r={r} outside 1..{self.m - 1}")
+        if r in self._rows:
+            raise ValueError(f"bottom row for split r={r} already stored")
+        expected = self.m - r + 1
+        if row.shape != (expected,):
+            raise ValueError(
+                f"bottom row for split r={r} must have length {expected}, "
+                f"got {row.shape}"
+            )
+        frozen = np.array(row, dtype=np.float64, copy=True)
+        frozen.setflags(write=False)
+        self._rows[r] = frozen
+
+    def get(self, r: int) -> np.ndarray:
+        """The cached row for split ``r`` (raises KeyError if absent)."""
+        return self._rows[r]
+
+    def valid_mask(self, r: int, fresh_row: np.ndarray) -> np.ndarray:
+        """Boolean mask of valid endpoints: fresh value == original value.
+
+        The boundary cell (index 0) is always equal (both zero), which
+        is harmless: its value 0 never wins the score maximum.
+        """
+        original = self._rows[r]
+        if fresh_row.shape != original.shape:
+            raise ValueError(
+                f"row length mismatch for split r={r}: "
+                f"{fresh_row.shape} vs {original.shape}"
+            )
+        return fresh_row == original
+
+    def score_of(self, r: int, fresh_row: np.ndarray) -> float:
+        """Best valid (non-shadow) score of a realignment's bottom row."""
+        mask = self.valid_mask(r, fresh_row)
+        if not mask.any():
+            return 0.0
+        return float(fresh_row[mask].max())
+
+    @property
+    def nbytes(self) -> int:
+        """Total memory of the cached rows (the paper's 1.5 GB concern)."""
+        return sum(row.nbytes for row in self._rows.values())

@@ -1,0 +1,169 @@
+"""Multiple alignment of repeat copies.
+
+Repro's phase 2 implicitly builds a multiple alignment: every column
+class is one MSA column, every copy one row.  This module makes that
+explicit — it lays the copies of a family out against the ordered
+column classes, fills the in-between residues, and renders the
+classic block view with a conservation line.  This is the output a
+biologist actually reads ("delineate the repeats").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sequences.sequence import Sequence
+from .delineate import column_classes
+from .result import Repeat, TopAlignment
+
+__all__ = ["RepeatAlignment", "align_family", "render_msa"]
+
+_GAP = "-"
+
+
+@dataclass(frozen=True)
+class RepeatAlignment:
+    """An explicit multiple alignment of one repeat family's copies.
+
+    ``rows`` holds one gapped string per copy (equal lengths);
+    ``spans`` the 1-based inclusive source interval of each row;
+    ``conservation`` one symbol per column: ``*`` fully conserved,
+    ``+`` majority-conserved (> half), space otherwise.
+    """
+
+    rows: tuple[str, ...]
+    spans: tuple[tuple[int, int], ...]
+    conservation: str
+
+    @property
+    def n_columns(self) -> int:
+        """Alignment width."""
+        return len(self.conservation)
+
+    @property
+    def mean_identity(self) -> float:
+        """Mean per-column agreement with the column majority (gaps count
+        against identity)."""
+        if not self.rows or not self.conservation:
+            return 0.0
+        agree = 0
+        total = 0
+        for col in range(self.n_columns):
+            letters = [row[col] for row in self.rows]
+            residues = [c for c in letters if c != _GAP]
+            if not residues:
+                continue
+            best = max(set(residues), key=residues.count)
+            agree += sum(1 for c in letters if c == best)
+            total += len(letters)
+        return agree / total if total else 0.0
+
+
+def align_family(
+    sequence: Sequence,
+    repeat: Repeat,
+    alignments: list[TopAlignment],
+    *,
+    min_spacing: int | None = None,
+) -> RepeatAlignment:
+    """Lay one family's copies out against the column classes.
+
+    Columns are the ordered column classes that fall inside the family's
+    copies; each copy contributes its residue where it owns a position
+    of that class, residues between two consecutive class positions are
+    packed into intermediate columns, and gaps pad the rest.
+    """
+    classes = column_classes(alignments, min_spacing=min_spacing)
+    copy_sets = [set(range(s, e + 1)) for s, e in repeat.copies]
+
+    # Class ids used by this family, in rank order.
+    used = [
+        cid
+        for cid, cls in enumerate(classes)
+        if any(cls & cs for cs in copy_sets)
+    ]
+    if not used:
+        raise ValueError("repeat family shares no columns with the alignments")
+
+    # For each copy, position of each used class (or None).
+    anchor: list[list[int | None]] = []
+    for cs in copy_sets:
+        row = []
+        for cid in used:
+            hits = sorted(classes[cid] & cs)
+            row.append(hits[0] if hits else None)
+        anchor.append(row)
+
+    # Between consecutive anchors, copies may carry unaligned residues;
+    # give every inter-anchor segment the width of the widest copy.
+    text = sequence.text
+    n_anchor = len(used)
+    seg_width = [0] * (n_anchor + 1)  # before first, between, after last
+    for idx, (start, end) in enumerate(repeat.copies):
+        anchors = anchor[idx]
+        prev = start - 1
+        for a_i in range(n_anchor):
+            pos = anchors[a_i]
+            if pos is None:
+                continue
+            seg_width[a_i] = max(seg_width[a_i], pos - prev - 1)
+            prev = pos
+        seg_width[n_anchor] = max(seg_width[n_anchor], end - prev)
+
+    rows = []
+    for idx, (start, end) in enumerate(repeat.copies):
+        anchors = anchor[idx]
+        out: list[str] = []
+        prev = start - 1
+        for a_i in range(n_anchor):
+            pos = anchors[a_i]
+            if pos is None:
+                out.append(_GAP * seg_width[a_i] + _GAP)
+                continue
+            segment = text[prev : pos - 1]
+            out.append(segment.rjust(seg_width[a_i], _GAP) + text[pos - 1])
+            prev = pos
+        tail = text[prev:end]
+        out.append(tail.ljust(seg_width[n_anchor], _GAP))
+        rows.append("".join(out))
+
+    width = max(len(r) for r in rows)
+    rows = [r.ljust(width, _GAP) for r in rows]
+
+    conservation = []
+    for col in range(width):
+        letters = [row[col] for row in rows]
+        residues = [c for c in letters if c != _GAP]
+        if residues and len(set(residues)) == 1 and len(residues) == len(letters):
+            conservation.append("*")
+        elif residues and residues.count(
+            max(set(residues), key=residues.count)
+        ) * 2 > len(letters):
+            conservation.append("+")
+        else:
+            conservation.append(" ")
+
+    return RepeatAlignment(
+        rows=tuple(rows),
+        spans=tuple(repeat.copies),
+        conservation="".join(conservation),
+    )
+
+
+def render_msa(alignment: RepeatAlignment, *, block: int = 60) -> str:
+    """Classic block rendering with coordinates and a conservation line."""
+    lines: list[str] = []
+    label_width = max(
+        len(f"{s}-{e}") for s, e in alignment.spans
+    )
+    for start in range(0, alignment.n_columns, block):
+        for (s, e), row in zip(alignment.spans, alignment.rows):
+            label = f"{s}-{e}".rjust(label_width)
+            lines.append(f"{label}  {row[start : start + block]}")
+        lines.append(
+            " " * label_width + "  " + alignment.conservation[start : start + block]
+        )
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,167 @@
+"""Full-analysis reports: everything Repro knows about one sequence.
+
+Assembles the whole pipeline's output — top alignments with identities,
+repeat families with multiple alignments, unit-length analysis, the dot
+plot, optional shuffle-null significance — into one human-readable text
+report.  This is the library's user-facing product, mirroring what the
+REPRO web server returned to biologists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..align.base import AlignmentProblem
+from ..align.matrix import full_matrix
+from ..align.traceback import alignment_identity, traceback
+from ..scoring.exchange import ExchangeMatrix
+from ..scoring.gaps import GapPenalties
+from ..sequences.sequence import Sequence
+from .api import RepeatFinder, _default_exchange
+from .consensus import consensus_of_copies, select_unit_length
+from .dotplot import render_dotplot
+from .msa import align_family, render_msa
+from .result import RepeatResult
+from .significance import estimate_null
+
+__all__ = ["AnalysisReport", "analyze"]
+
+
+@dataclass
+class AnalysisReport:
+    """Structured result of :func:`analyze`, renderable as text."""
+
+    sequence: Sequence
+    exchange: ExchangeMatrix
+    gaps: GapPenalties
+    result: RepeatResult
+    identities: list[float]
+    pvalue: float | None
+
+    def render(self, *, dotplot: bool = True, msa: bool = True) -> str:
+        """The full text report."""
+        seq = self.sequence
+        result = self.result
+        lines = [
+            f"REPRO analysis of {seq.id or '<unnamed>'}",
+            f"  length {len(seq)} ({seq.alphabet.name}); scoring "
+            f"{self.exchange.name}, gap {self.gaps.open_:g}+{self.gaps.extend:g}/res",
+            f"  alignments computed: {result.stats.alignments} "
+            f"({result.stats.realignments} realignments, "
+            f"{result.stats.tracebacks} tracebacks)",
+            "",
+            f"top alignments ({len(result.top_alignments)}):",
+        ]
+        for aln, identity in zip(result.top_alignments, self.identities):
+            p0, p1 = aln.prefix_interval
+            s0, s1 = aln.suffix_interval
+            lines.append(
+                f"  #{aln.index:<3d} score {aln.score:>7g}  "
+                f"{p0:>5}-{p1:<5} ~ {s0:>5}-{s1:<5} "
+                f"({len(aln)} pairs, {identity:.0%} identity)"
+            )
+        if self.pvalue is not None:
+            verdict = "significant" if self.pvalue < 0.01 else "not significant"
+            lines += [
+                "",
+                f"significance vs shuffle null: p = {self.pvalue:.3g} ({verdict})",
+            ]
+        lines += ["", f"repeat families ({len(result.repeats)}):"]
+        for repeat in result.repeats:
+            spans = ", ".join(f"{s}..{e}" for s, e in repeat.copies[:8])
+            if repeat.n_copies > 8:
+                spans += f", ... ({repeat.n_copies} total)"
+            lines.append(
+                f"  family {repeat.family}: {repeat.n_copies} copies, "
+                f"~{repeat.unit_length:.0f} residues, "
+                f"{repeat.columns} conserved columns: {spans}"
+            )
+            region_start = min(s for s, _ in repeat.copies)
+            region_end = max(e for _, e in repeat.copies)
+            if region_end - region_start + 1 >= 4:
+                choice = select_unit_length(seq[region_start - 1 : region_end])
+                lines.append(
+                    f"    unit analysis: best period {choice.unit_length} "
+                    f"({choice.copies} blocks, {choice.identity:.0%} identity)"
+                )
+            consensus = consensus_of_copies(seq, list(repeat.copies))
+            lines.append(f"    consensus: {consensus.text}")
+            if msa:
+                try:
+                    family_msa = align_family(
+                        seq, repeat, result.top_alignments
+                    )
+                except ValueError:
+                    pass
+                else:
+                    lines.append(
+                        f"    alignment ({family_msa.mean_identity:.0%} identity):"
+                    )
+                    for line in render_msa(family_msa).splitlines():
+                        lines.append(f"      {line}")
+            lines.append("")
+        if dotplot:
+            lines.append(
+                render_dotplot(seq, result.top_alignments, word=2, max_size=56)
+            )
+        return "\n".join(lines).rstrip() + "\n"
+
+
+def analyze(
+    sequence: Sequence | str,
+    *,
+    top_alignments: int = 15,
+    exchange: ExchangeMatrix | None = None,
+    gaps: GapPenalties | None = None,
+    max_gap: int = 1,
+    significance_shuffles: int = 0,
+    seed: int = 0,
+    **finder_kwargs,
+) -> AnalysisReport:
+    """Run the complete pipeline and return a renderable report.
+
+    ``significance_shuffles > 0`` adds the shuffle-null p-value (costs
+    that many extra first passes).
+    """
+    if isinstance(sequence, str):
+        sequence = Sequence(sequence, "protein")
+    gaps = gaps if gaps is not None else GapPenalties()
+    resolved = exchange or _default_exchange(sequence)
+    finder = RepeatFinder(
+        exchange=resolved,
+        gaps=gaps,
+        top_alignments=top_alignments,
+        max_gap=max_gap,
+        **finder_kwargs,
+    )
+    result = finder.find(sequence)
+
+    identities = []
+    for aln in result.top_alignments:
+        problem = AlignmentProblem(
+            sequence.codes[: aln.r], sequence.codes[aln.r :], resolved, gaps
+        )
+        matrix = full_matrix(problem)
+        end_i, end_j = aln.pairs[-1]
+        path = traceback(problem, matrix, end_i, end_j - aln.r)
+        identities.append(alignment_identity(problem, path))
+
+    pvalue = None
+    if significance_shuffles > 0 and result.top_alignments:
+        null = estimate_null(
+            sequence,
+            resolved,
+            gaps,
+            shuffles=significance_shuffles,
+            seed=seed,
+        )
+        pvalue = null.gumbel_pvalue(result.top_alignments[0].score)
+
+    return AnalysisReport(
+        sequence=sequence,
+        exchange=resolved,
+        gaps=gaps,
+        result=result,
+        identities=identities,
+        pvalue=pvalue,
+    )

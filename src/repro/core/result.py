@@ -1,0 +1,128 @@
+"""Result types: top alignments, repeats, statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["TopAlignment", "Repeat", "RunStats", "RepeatResult"]
+
+
+@dataclass(frozen=True)
+class TopAlignment:
+    """One accepted nonoverlapping top alignment.
+
+    Attributes
+    ----------
+    index:
+        Acceptance order (0 = first/best top alignment).
+    r:
+        The split point whose matrix produced it.
+    score:
+        Alignment score (identical with and without the override
+        triangle — shadow alignments are never accepted).
+    pairs:
+        The matched residue pairs ``(i, j)`` in *global* 1-based
+        sequence coordinates, ``i <= r < j``, ordered along the path.
+    """
+
+    index: int
+    r: int
+    score: float
+    pairs: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        for i, j in self.pairs:
+            if not i <= self.r < j:
+                raise ValueError(
+                    f"pair ({i}, {j}) does not straddle split r={self.r}"
+                )
+
+    @property
+    def prefix_interval(self) -> tuple[int, int]:
+        """1-based inclusive span of the alignment on the prefix side."""
+        return self.pairs[0][0], self.pairs[-1][0]
+
+    @property
+    def suffix_interval(self) -> tuple[int, int]:
+        """1-based inclusive span of the alignment on the suffix side."""
+        return self.pairs[0][1], self.pairs[-1][1]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def overlaps(self, other: "TopAlignment") -> bool:
+        """Whether two alignments share any matched pair (must never happen)."""
+        return bool(set(self.pairs) & set(other.pairs))
+
+
+@dataclass(frozen=True)
+class Repeat:
+    """One delineated repeat family (Repro phase 2 output).
+
+    ``copies`` holds the 1-based inclusive ``(start, end)`` interval of
+    each detected copy; ``columns`` is the number of equivalence
+    classes (alignment columns) supporting the family — a proxy for the
+    conserved core length of the repeat unit.
+    """
+
+    family: int
+    copies: tuple[tuple[int, int], ...]
+    columns: int
+
+    @property
+    def n_copies(self) -> int:
+        """Number of detected copies."""
+        return len(self.copies)
+
+    @property
+    def unit_length(self) -> float:
+        """Mean copy length."""
+        if not self.copies:
+            return 0.0
+        return sum(e - s + 1 for s, e in self.copies) / len(self.copies)
+
+
+@dataclass
+class RunStats:
+    """Instrumentation of one top-alignment run.
+
+    These counters back the §3/§5.1 claims: the realignment fraction
+    (90–97 % avoided), speculation overhead (<0.70 % extra alignments
+    for lane groups), and the cost model of the cluster simulator.
+    """
+
+    #: Bottom-row alignments computed by the engine (first passes and
+    #: realignments; excludes traceback recomputations).
+    alignments: int = 0
+    #: Alignments beyond the first per task (i.e. with a non-empty
+    #: override triangle history).
+    realignments: int = 0
+    #: Matrix cells evaluated across all alignments.
+    cells: int = 0
+    #: Full-matrix traceback recomputations (one per accepted alignment).
+    tracebacks: int = 0
+    #: Realignments performed between consecutive acceptances, indexed
+    #: by the top-alignment number being searched for.
+    realignments_per_top: list[int] = field(default_factory=list)
+    #: Wall-clock seconds spent in engine calls (approximate).
+    engine_seconds: float = 0.0
+
+    def realignment_fraction(self, m: int, k: int) -> float:
+        """Realignments performed / realignments a full-rescan strategy
+        (the old algorithm) would perform, ``(k - 1) * (m - 1)``.
+
+        The §3 claim is that this is 0.03–0.10.
+        """
+        naive = (k - 1) * (m - 1)
+        if naive <= 0:
+            return 0.0
+        return self.realignments / naive
+
+
+@dataclass
+class RepeatResult:
+    """Everything :func:`repro.core.api.find_repeats` returns."""
+
+    top_alignments: list[TopAlignment]
+    repeats: list[Repeat]
+    stats: RunStats

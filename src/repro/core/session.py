@@ -1,0 +1,124 @@
+"""Incremental top-alignment sessions.
+
+"Some tens of top alignments are required; more top alignments increase
+Repro's sensitivity" (§2.2) — so a common workflow is: compute a few,
+inspect, ask for more.  Restarting :func:`find_top_alignments` from
+scratch would repay the full first pass every time.
+:class:`TopAlignmentSession` keeps the live queue, override triangle and
+bottom-row store between requests, so asking for ``k`` more alignments
+costs only the incremental realignments the paper's queue heuristic
+would have performed anyway.
+"""
+
+from __future__ import annotations
+
+from ..scoring.exchange import ExchangeMatrix
+from ..scoring.gaps import GapPenalties
+from ..sequences.sequence import Sequence
+from .result import RunStats, TopAlignment
+from .tasks import TaskQueue
+from .topalign import TopAlignmentState
+
+__all__ = ["TopAlignmentSession"]
+
+
+class TopAlignmentSession:
+    """A resumable Figure 5 loop.
+
+    Usage::
+
+        session = TopAlignmentSession(seq, exchange, gaps)
+        first_ten = session.extend(10)
+        more = session.extend(5)          # continues, no recomputation
+        all_so_far = session.alignments   # 15 alignments
+    """
+
+    def __init__(
+        self,
+        sequence: Sequence,
+        exchange: ExchangeMatrix,
+        gaps: GapPenalties = GapPenalties(),
+        *,
+        engine: str = "vector",
+        triangle: str = "dense",
+        min_score: float = 0.0,
+    ) -> None:
+        self._state = TopAlignmentState(
+            sequence, exchange, gaps, engine=engine, triangle=triangle
+        )
+        self._queue = TaskQueue()
+        for task in self._state.make_tasks():
+            self._queue.insert(task)
+        self.min_score = min_score
+        self._exhausted = False
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def alignments(self) -> list[TopAlignment]:
+        """Every top alignment accepted so far, in acceptance order."""
+        return list(self._state.found)
+
+    @property
+    def stats(self) -> RunStats:
+        """Cumulative run statistics."""
+        return self._state.stats
+
+    @property
+    def state(self) -> TopAlignmentState:
+        """The underlying search state (triangle, bottom rows, ...)."""
+        return self._state
+
+    @property
+    def exhausted(self) -> bool:
+        """True when no further alignment can beat ``min_score``."""
+        return self._exhausted
+
+    def __len__(self) -> int:
+        return len(self._state.found)
+
+    # -- the resumable loop --------------------------------------------------
+
+    def extend(self, k: int) -> list[TopAlignment]:
+        """Accept up to ``k`` *additional* top alignments; returns the new ones.
+
+        Returns fewer (possibly zero) when the sequence is exhausted.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if self._exhausted:
+            return []
+        state = self._state
+        target = state.n_found + k
+        while state.n_found < target and self._queue:
+            task = self._queue.pop_highest()
+            if task.score <= self.min_score:
+                self._queue.insert(task)
+                self._exhausted = True
+                break
+            if task.is_current(state.n_found):
+                state.accept_task(task)
+            else:
+                state.align_task(task)
+            self._queue.insert(task)
+        if not self._queue:
+            self._exhausted = True
+        return list(state.found[target - k :])
+
+    def extend_until(self, min_score: float, *, max_alignments: int = 10_000) -> list[TopAlignment]:
+        """Accept alignments while they score above ``min_score``.
+
+        A convenience for "give me everything meaningful"; bounded by
+        ``max_alignments`` as a safety stop.
+        """
+        start = len(self)
+        saved = self.min_score
+        self.min_score = max(self.min_score, min_score)
+        try:
+            while not self._exhausted and len(self) - start < max_alignments:
+                got = self.extend(1)
+                if not got:
+                    break
+        finally:
+            self.min_score = saved
+        return list(self._state.found[start:])

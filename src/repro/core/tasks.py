@@ -1,0 +1,113 @@
+"""Tasks and the best-first task queue (Figure 5).
+
+One task per split point ``r``.  A task's ``score`` is either an upper
+bound (the score of its most recent alignment, possibly computed under
+an *older* override triangle) or the true current score (when
+``aligned_with == <current number of top alignments>``).  Because a
+newer triangle only overrides *more* entries, realignment can never
+raise a score — stale scores are valid upper bounds, which is exactly
+what makes best-first selection safe and prunes 90–97 % of
+realignments (§3).
+
+The queue is a binary max-heap keyed by ``(score, -r)`` so that ties
+resolve to the smallest split point, keeping the whole algorithm
+deterministic (and the old/new equivalence testable).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+
+__all__ = ["Task", "TaskQueue", "NEVER_ALIGNED"]
+
+#: ``AlignedWithTopNum`` of a task that has never been aligned (line 5
+#: of Figure 5 uses -1).
+NEVER_ALIGNED = -1
+
+
+@dataclass
+class Task:
+    """One split-pair work item.
+
+    Attributes
+    ----------
+    r:
+        The split point: prefix ``S[1:r]`` vs suffix ``S[r+1:m]``.
+    score:
+        Upper bound or exact score (see module docstring); starts at
+        ``+inf`` so every task is aligned once before any acceptance.
+    aligned_with:
+        Override-triangle version of the most recent alignment
+        (``NEVER_ALIGNED`` initially).
+    """
+
+    r: int
+    score: float = math.inf
+    aligned_with: int = NEVER_ALIGNED
+
+    def is_current(self, n_found: int) -> bool:
+        """Whether the score was computed under the current triangle."""
+        return self.aligned_with == n_found
+
+
+@dataclass(order=True)
+class _Entry:
+    sort_key: tuple[float, int] = field(compare=True)
+    task: Task = field(compare=False)
+
+
+class TaskQueue:
+    """Max-heap of tasks ordered by score (ties: smallest ``r`` first).
+
+    Mirrors Figure 5's ``InsertTask`` / ``GetTaskWithHighestScore``: a
+    task is either in the queue or checked out, never both, so no lazy
+    deletion is needed.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[_Entry] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def insert(self, task: Task) -> None:
+        """(Re)insert a task at the position its score dictates."""
+        heapq.heappush(self._heap, _Entry((-task.score, task.r), task))
+
+    def pop_highest(self) -> Task:
+        """Remove and return the task with the highest score."""
+        if not self._heap:
+            raise IndexError("pop from empty task queue")
+        return heapq.heappop(self._heap).task
+
+    def peek_score(self) -> float:
+        """Score of the current head without removing it."""
+        if not self._heap:
+            raise IndexError("peek on empty task queue")
+        return -self._heap[0].sort_key[0]
+
+    def pop_highest_excluding(self, taken: set[int]) -> Task | None:
+        """Highest-score task whose ``r`` is not in ``taken``.
+
+        Used by the speculative parallel schedulers (§4.2): a thread
+        skips tasks already checked out by others.  Skipped entries are
+        pushed back, preserving order.  Returns ``None`` if every
+        remaining task is taken.
+        """
+        skipped: list[_Entry] = []
+        result: Task | None = None
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.task.r in taken:
+                skipped.append(entry)
+            else:
+                result = entry.task
+                break
+        for entry in skipped:
+            heapq.heappush(self._heap, entry)
+        return result

@@ -1,0 +1,284 @@
+"""The new O(n³) top-alignment algorithm (§3, Figure 5).
+
+:class:`TopAlignmentState` holds everything one search over a sequence
+needs — the split tasks, override triangle, bottom-row store and
+engine — and exposes the two operations of Figure 5's loop:
+
+* :meth:`TopAlignmentState.align_task` — ``AlignWithoutTraceback``:
+  score a split under the current triangle, with shadow-alignment
+  rejection against the cached first-pass bottom row;
+* :meth:`TopAlignmentState.accept_task` — lines 13–14: recompute the
+  winning matrix, trace the alignment back, and mark its pairs in the
+  override triangle.
+
+:func:`find_top_alignments` runs the sequential best-first loop on top
+of this state.  The shared-memory scheduler, the distributed
+master/slave driver and the cluster simulator reuse the same state
+object with their own scheduling policies, which is how the paper's
+"exactly the same top alignments" guarantee carries over to every
+execution mode.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.base import AlignmentProblem, get_engine
+from ..align.matrix import full_matrix
+from ..align.traceback import traceback
+from ..scoring.exchange import ExchangeMatrix
+from ..scoring.gaps import GapPenalties
+from ..sequences.sequence import Sequence
+from .bottomrows import BottomRowStore
+from .override import DenseOverrideTriangle, OverrideTriangle, SparseOverrideTriangle
+from .result import RunStats, TopAlignment
+from .tasks import Task, TaskQueue
+
+__all__ = ["TopAlignmentState", "find_top_alignments"]
+
+
+@dataclass
+class _Acceptance:
+    """Internal: outcome of accepting a task."""
+
+    alignment: TopAlignment
+
+
+class TopAlignmentState:
+    """Mutable search state shared by all execution modes.
+
+    Parameters
+    ----------
+    sequence:
+        The sequence to search for internal repeats.
+    exchange, gaps:
+        Scoring model.  Integral scores are strongly recommended — the
+        shadow-validity test compares scores for exact equality, which
+        is exact in float64 only for integral values (the paper's
+        implementation used short integers throughout).
+    engine:
+        Alignment engine name or instance (default ``"vector"``).
+    triangle:
+        ``"dense"`` (default) or ``"sparse"`` override-triangle storage.
+    memory:
+        ``"full"`` (default) caches every first-pass bottom row — the
+        paper's O(n²) store; ``"linear"`` uses the Appendix A on-demand
+        recomputation scheme with at most ``linear_capacity`` resident
+        rows.
+    """
+
+    def __init__(
+        self,
+        sequence: Sequence,
+        exchange: ExchangeMatrix,
+        gaps: GapPenalties = GapPenalties(),
+        *,
+        engine: str = "vector",
+        triangle: str = "dense",
+        memory: str = "full",
+        linear_capacity: int = 32,
+    ) -> None:
+        if len(sequence) < 2:
+            raise ValueError("sequence must have at least 2 residues")
+        if sequence.alphabet.name != exchange.alphabet.name:
+            raise ValueError(
+                f"sequence alphabet {sequence.alphabet.name!r} does not match "
+                f"exchange matrix alphabet {exchange.alphabet.name!r}"
+            )
+        self.sequence = sequence
+        self.codes = sequence.codes
+        self.m = len(sequence)
+        self.exchange = exchange
+        self.gaps = gaps
+        self.engine = get_engine(engine)
+        if triangle == "dense":
+            self.triangle: OverrideTriangle = DenseOverrideTriangle(self.m)
+        elif triangle == "sparse":
+            self.triangle = SparseOverrideTriangle(self.m)
+        else:
+            raise ValueError("triangle must be 'dense' or 'sparse'")
+        if memory == "full":
+            self.bottom_rows = BottomRowStore(self.m)
+        elif memory == "linear":
+            from .linearspace import RecomputingBottomRowStore
+
+            self.bottom_rows = RecomputingBottomRowStore(
+                self.codes,
+                exchange,
+                gaps,
+                self.engine,
+                capacity=linear_capacity,
+            )
+        else:
+            raise ValueError("memory must be 'full' or 'linear'")
+        self.found: list[TopAlignment] = []
+        self.stats = RunStats()
+        self.stats.realignments_per_top.append(0)
+
+    # -- problem construction --------------------------------------------
+
+    @property
+    def n_found(self) -> int:
+        """Number of accepted top alignments (== triangle version)."""
+        return len(self.found)
+
+    def problem_for(self, r: int, *, with_override: bool = True) -> AlignmentProblem:
+        """The alignment problem of split ``r`` under the current triangle."""
+        override = self.triangle.view_for_split(r) if with_override else None
+        return AlignmentProblem(
+            self.codes[:r],
+            self.codes[r:],
+            self.exchange,
+            self.gaps,
+            override,
+        )
+
+    # -- Figure 5 operations ----------------------------------------------
+
+    def make_tasks(self) -> list[Task]:
+        """Fresh never-aligned tasks for every split point (lines 2–7)."""
+        return [Task(r) for r in range(1, self.m)]
+
+    def align_task(self, task: Task) -> float:
+        """``AlignWithoutTraceback``: score split ``task.r`` now.
+
+        Caches the bottom row on the task's first alignment; on
+        realignments applies the Appendix A shadow-validity rule.  The
+        task's ``score`` and ``aligned_with`` are updated in place and
+        the new score returned.
+        """
+        row = self._engine_row(self.problem_for(task.r))
+        if task.r not in self.bottom_rows:
+            self.bottom_rows.put(task.r, row)
+            score = float(row.max())
+        else:
+            self.stats.realignments += 1
+            self.stats.realignments_per_top[-1] += 1
+            score = self.bottom_rows.score_of(task.r, row)
+        task.score = score
+        task.aligned_with = self.n_found
+        return score
+
+    def accept_task(self, task: Task) -> TopAlignment:
+        """Accept ``task`` as the next top alignment (lines 13–14).
+
+        Recomputes the split's full matrix under the *same* triangle the
+        task was last scored with, picks the best valid bottom-row cell
+        (ties: leftmost), traces the path back, converts it to global
+        pairs and marks the override triangle.
+        """
+        if task.aligned_with != self.n_found:
+            raise ValueError(
+                f"task r={task.r} was aligned with triangle version "
+                f"{task.aligned_with}, not the current {self.n_found}"
+            )
+        if task.score <= 0:
+            raise ValueError("cannot accept a non-positive top alignment")
+        problem = self.problem_for(task.r)
+        matrix = full_matrix(problem)
+        self.stats.tracebacks += 1
+        bottom = np.asarray(matrix[-1], dtype=np.float64)
+        valid = self.bottom_rows.valid_mask(task.r, bottom)
+        candidates = np.where(valid, bottom, -np.inf)
+        end_x = int(np.argmax(candidates))
+        best = float(candidates[end_x])
+        if best != task.score:
+            raise AssertionError(
+                f"accepted score {best} does not match task score {task.score} "
+                f"for split r={task.r}"
+            )
+        path = traceback(problem, matrix, problem.rows, end_x)
+        pairs = tuple((step.y, task.r + step.x) for step in path.pairs)
+        alignment = TopAlignment(
+            index=self.n_found, r=task.r, score=task.score, pairs=pairs
+        )
+        self.triangle.mark(pairs)
+        self.found.append(alignment)
+        self.stats.realignments_per_top.append(0)
+        return alignment
+
+    # -- engine plumbing ----------------------------------------------------
+
+    def _engine_row(self, problem: AlignmentProblem) -> np.ndarray:
+        start = time.perf_counter()
+        row = self.engine.last_row(problem)
+        self.stats.engine_seconds += time.perf_counter() - start
+        self.stats.alignments += 1
+        self.stats.cells += problem.cells
+        return row
+
+    def align_tasks_batch(self, tasks: list[Task]) -> list[float]:
+        """Score several tasks in one engine batch (lane groups, §4.1).
+
+        Semantically identical to calling :meth:`align_task` on each;
+        engines with a true batched implementation (the lane engine)
+        compute them in lockstep.
+        """
+        problems = [self.problem_for(t.r) for t in tasks]
+        start = time.perf_counter()
+        rows = self.engine.last_rows_batch(problems)
+        self.stats.engine_seconds += time.perf_counter() - start
+        self.stats.alignments += len(tasks)
+        self.stats.cells += sum(p.cells for p in problems)
+        scores: list[float] = []
+        for task, row in zip(tasks, rows):
+            if task.r not in self.bottom_rows:
+                self.bottom_rows.put(task.r, row)
+                score = float(row.max())
+            else:
+                self.stats.realignments += 1
+                self.stats.realignments_per_top[-1] += 1
+                score = self.bottom_rows.score_of(task.r, row)
+            task.score = score
+            task.aligned_with = self.n_found
+            scores.append(score)
+        return scores
+
+
+def find_top_alignments(
+    sequence: Sequence,
+    k: int,
+    exchange: ExchangeMatrix,
+    gaps: GapPenalties = GapPenalties(),
+    *,
+    engine: str = "vector",
+    triangle: str = "dense",
+    min_score: float = 0.0,
+    state: TopAlignmentState | None = None,
+) -> tuple[list[TopAlignment], RunStats]:
+    """Compute up to ``k`` nonoverlapping top alignments (Figure 5).
+
+    Returns the accepted alignments in decreasing-score order together
+    with run statistics.  Fewer than ``k`` alignments are returned when
+    the sequence is exhausted (the best remaining score would be
+    ``<= min_score``).
+
+    Passing a pre-built ``state`` lets callers (tests, the simulator)
+    inspect internals afterwards; otherwise one is created.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if state is None:
+        state = TopAlignmentState(
+            sequence, exchange, gaps, engine=engine, triangle=triangle
+        )
+    queue = TaskQueue()
+    for task in state.make_tasks():
+        queue.insert(task)
+
+    while state.n_found < k and queue:
+        task = queue.pop_highest()
+        if task.score <= min_score:
+            # Stale scores are upper bounds, so nothing in the queue can
+            # still beat min_score: the sequence is exhausted.
+            break
+        if task.is_current(state.n_found):
+            state.accept_task(task)
+        else:
+            state.align_task(task)
+        queue.insert(task)
+
+    return list(state.found), state.stats

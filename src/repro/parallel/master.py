@@ -1,0 +1,163 @@
+"""The distributed master (§4.3).
+
+One rank — the master — is sacrificed to manage the task queue, the
+bottom-row store and the override triangle, and to hand tasks to idle
+slaves.  Slaves request nothing; the master pushes ``ALIGN`` work
+whenever a slave has spare capacity and reabsorbs ``ROW`` replies.
+
+Protocol (all payloads picklable):
+
+===========  ==========  ==================================================
+tag          direction   payload
+===========  ==========  ==================================================
+``T_ALIGN``  m -> s      ``(r, version)`` — align split r; the slave's
+                         triangle replica must already be at ``version``
+``T_ROW``    s -> m      ``(r, version, bottom_row)``
+``T_MARK``   m -> s      ``tuple[pair, ...]`` — a newly accepted top
+                         alignment; sent to *every* slave, FIFO order
+                         guarantees it precedes any task that assumes it
+``T_STOP``   m -> s      ``None`` — shut down
+===========  ==========  ==================================================
+
+Because the master tags each assignment with the triangle version in
+force when it was sent, and per-slave FIFO ordering means the slave's
+replica is at exactly that version while computing, every returned
+score is attributed to the right version — the distributed run is
+*deterministic* and produces the sequential algorithm's alignments.
+"""
+
+from __future__ import annotations
+
+from ..core.result import RunStats, TopAlignment
+from ..core.tasks import Task, TaskQueue
+from ..core.topalign import TopAlignmentState
+from .msgpass import ANY, Communicator
+
+__all__ = ["T_ALIGN", "T_ROW", "T_MARK", "T_STOP", "MasterRunner"]
+
+T_ALIGN = 1
+T_ROW = 2
+T_MARK = 3
+T_STOP = 4
+
+
+class MasterRunner:
+    """Drives the distributed search from rank 0."""
+
+    def __init__(
+        self,
+        comm: Communicator,
+        state: TopAlignmentState,
+        k: int,
+        *,
+        slave_capacity: int = 1,
+        min_score: float = 0.0,
+    ) -> None:
+        if comm.size < 2:
+            raise ValueError("need at least one slave rank")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.comm = comm
+        self.state = state
+        self.k = k
+        self.min_score = min_score
+        self.slave_capacity = slave_capacity
+        self._queue = TaskQueue()
+        self._inflight: dict[int, Task] = {}  # r -> checked-out task
+        self._load = {rank: 0 for rank in range(1, comm.size)}
+        #: Per-slave message/byte counters (the paper's "each slave
+        #: sends up to 64 KB/s" observation).
+        self.bytes_received = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _dominates_inflight(self, score: float, r: int) -> bool:
+        return all(
+            t.score < score or (t.score == score and t.r > r)
+            for t in self._inflight.values()
+        )
+
+    def _idle_slave(self) -> int | None:
+        best = min(self._load, key=lambda rank: (self._load[rank], rank))
+        return best if self._load[best] < self.slave_capacity else None
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> tuple[list[TopAlignment], RunStats]:
+        """Execute the search and stop all slaves before returning."""
+        state = self.state
+        for task in state.make_tasks():
+            self._queue.insert(task)
+
+        try:
+            while True:
+                made_progress = self._schedule()
+                if state.n_found >= self.k or self._exhausted():
+                    break
+                if not made_progress and not self._inflight:
+                    break  # nothing runnable and nothing pending
+                if self._inflight:
+                    self._absorb_result()
+        finally:
+            for rank in range(1, self.comm.size):
+                self.comm.send(None, rank, T_STOP)
+        return list(state.found), state.stats
+
+    def _schedule(self) -> bool:
+        """Assign tasks / accept alignments until blocked.  True if any."""
+        state = self.state
+        progressed = False
+        while state.n_found < self.k and self._queue:
+            head_score = self._queue.peek_score()
+            if head_score <= self.min_score:
+                break
+            task = self._queue.pop_highest()
+            if task.is_current(state.n_found):
+                if not self._dominates_inflight(task.score, task.r):
+                    self._queue.insert(task)
+                    break  # must wait for in-flight upper bounds
+                # Acceptance — traceback runs on the master, sequentially.
+                state.accept_task(task)
+                self._queue.insert(task)
+                for rank in range(1, self.comm.size):
+                    self.comm.send(state.found[-1].pairs, rank, T_MARK)
+                progressed = True
+                continue
+            slave = self._idle_slave()
+            if slave is None:
+                self._queue.insert(task)
+                break
+            self.comm.send((task.r, state.n_found), slave, T_ALIGN)
+            task.aligned_with = state.n_found  # version the slave will use
+            self._inflight[task.r] = task
+            self._load[slave] += 1
+            progressed = True
+        return progressed
+
+    def _absorb_result(self) -> None:
+        """Receive one ROW reply and fold it into the search state."""
+        state = self.state
+        msg = self.comm.recv(source=ANY, tag=T_ROW)
+        r, version, row = msg.payload
+        task = self._inflight.pop(r)
+        self._load[msg.source] -= 1
+        self.bytes_received += row.nbytes
+        state.stats.alignments += 1
+        state.stats.cells += r * (state.m - r)
+        if r not in state.bottom_rows:
+            state.bottom_rows.put(r, row)
+            score = float(row.max())
+        else:
+            state.stats.realignments += 1
+            state.stats.realignments_per_top[-1] += 1
+            score = state.bottom_rows.score_of(r, row)
+        task.score = score
+        task.aligned_with = version
+        self._queue.insert(task)
+
+    def _exhausted(self) -> bool:
+        if self._inflight:
+            return False
+        if not self._queue:
+            return True
+        return self._queue.peek_score() <= self.min_score

@@ -1,0 +1,158 @@
+"""Message-passing substrate (MPI substitute).
+
+The paper distributes work with MPI over Myrinet.  This module
+provides the small MPI-like core the master/slave protocol needs —
+ranked processes, tagged point-to-point ``send``/``recv`` with source
+filtering — implemented over :mod:`multiprocessing` queues, so the
+distributed driver runs for real on a single machine.
+
+Design notes mirroring §4.3:
+
+* every rank owns one inbox; message order between a fixed
+  (sender, receiver) pair is FIFO — the property the master relies on
+  so that override-triangle updates reach a slave *before* any task
+  that assumes them;
+* ``recv`` buffers non-matching messages, the usual MPI envelope
+  matching semantics;
+* there is no interrupt-on-message facility (the paper's complaint
+  about MPI), which is exactly why the master rank does nothing but
+  service the queue.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_mod
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = ["ANY", "Message", "Communicator", "World"]
+
+#: Wildcard for ``recv`` source/tag filters (MPI_ANY_SOURCE / MPI_ANY_TAG).
+ANY = -1
+
+
+@dataclass(frozen=True)
+class Message:
+    """A received message envelope."""
+
+    source: int
+    tag: int
+    payload: Any
+
+
+class Communicator:
+    """One rank's endpoint: a private inbox plus everyone's send handles."""
+
+    def __init__(self, rank: int, inboxes: list[mp.Queue]) -> None:
+        self.rank = rank
+        self.size = len(inboxes)
+        self._inboxes = inboxes
+        self._pending: list[Message] = []
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        """Deliver ``payload`` to rank ``dest`` (non-blocking, buffered)."""
+        if not 0 <= dest < self.size:
+            raise ValueError(f"destination rank {dest} outside 0..{self.size - 1}")
+        self._inboxes[dest].put((self.rank, tag, payload))
+
+    def recv(
+        self, source: int = ANY, tag: int = ANY, timeout: float | None = 120.0
+    ) -> Message:
+        """Blocking receive with envelope matching.
+
+        Non-matching messages are buffered and delivered by later calls
+        in arrival order.  ``timeout`` guards against protocol bugs —
+        a silent distributed hang is worse than a loud failure.
+        """
+        for idx, msg in enumerate(self._pending):
+            if self._matches(msg, source, tag):
+                return self._pending.pop(idx)
+        while True:
+            try:
+                src, msg_tag, payload = self._inboxes[self.rank].get(timeout=timeout)
+            except queue_mod.Empty:
+                raise TimeoutError(
+                    f"rank {self.rank}: no message matching source={source} "
+                    f"tag={tag} within {timeout}s"
+                ) from None
+            msg = Message(src, msg_tag, payload)
+            if self._matches(msg, source, tag):
+                return msg
+            self._pending.append(msg)
+
+    def bcast_from(self, payload: Any, tag: int = 0) -> None:
+        """Send ``payload`` to every other rank (a flat broadcast)."""
+        for dest in range(self.size):
+            if dest != self.rank:
+                self.send(payload, dest, tag)
+
+    @staticmethod
+    def _matches(msg: Message, source: int, tag: int) -> bool:
+        return (source == ANY or msg.source == source) and (
+            tag == ANY or msg.tag == tag
+        )
+
+
+class World:
+    """A set of ranked processes: rank 0 in the caller, the rest spawned.
+
+    Usage::
+
+        world = World(n_ranks)
+        world.start(entry, payload)      # runs entry(comm, payload) on ranks 1..n-1
+        comm = world.comm                # rank 0's communicator
+        ...                              # drive the protocol
+        world.shutdown()                 # join children (entry must have returned)
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        ctx = mp.get_context("fork")
+        self._ctx = ctx
+        self._inboxes = [ctx.Queue() for _ in range(size)]
+        self._procs: list[mp.Process] = []
+        self.comm = Communicator(0, self._inboxes)
+
+    def start(
+        self, entry: Callable[[Communicator, Any], None], payload: Any
+    ) -> None:
+        """Spawn ranks ``1..size-1`` running ``entry(comm, payload)``."""
+        if self._procs:
+            raise RuntimeError("world already started")
+        for rank in range(1, self.size):
+            proc = self._ctx.Process(
+                target=_child_main,
+                args=(rank, self._inboxes, entry, payload),
+                name=f"repro-rank-{rank}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Join all children; terminate stragglers after ``timeout``."""
+        for proc in self._procs:
+            proc.join(timeout=timeout)
+            if proc.is_alive():  # pragma: no cover - protocol bug escape hatch
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self._procs.clear()
+
+    def __enter__(self) -> "World":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def _child_main(
+    rank: int,
+    inboxes: list[mp.Queue],
+    entry: Callable[[Communicator, Any], None],
+    payload: Any,
+) -> None:
+    comm = Communicator(rank, inboxes)
+    entry(comm, payload)

@@ -1,0 +1,83 @@
+"""BLOSUM substitution matrices (Henikoff & Henikoff, 1992).
+
+The tables are stored as lower triangles in the conventional 24-symbol
+residue order ``ARNDCQEGHILKMFPSTWYVBZX*`` and inflated lazily into
+:class:`~repro.scoring.exchange.ExchangeMatrix` instances.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..sequences.alphabet import PROTEIN
+from .exchange import ExchangeMatrix, from_triangle_text
+
+__all__ = ["blosum62", "blosum50"]
+
+_ORDER = "ARNDCQEGHILKMFPSTWYVBZX*"
+
+_BLOSUM62_TRIANGLE = """
+ 4
+-1  5
+-2  0  6
+-2 -2  1  6
+ 0 -3 -3 -3  9
+-1  1  0  0 -3  5
+-1  0  0  2 -4  2  5
+ 0 -2  0 -1 -3 -2 -2  6
+-2  0  1 -1 -3  0  0 -2  8
+-1 -3 -3 -3 -1 -3 -3 -4 -3  4
+-1 -2 -3 -4 -1 -2 -3 -4 -3  2  4
+-1  2  0 -1 -3  1  1 -2 -1 -3 -2  5
+-1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5
+-2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6
+-1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7
+ 1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5
+-3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11
+-2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7
+ 0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4
+-2 -1  3  4 -3  0  1 -1  0 -3 -4  0 -3 -3 -2  0 -1 -4 -3 -3  4
+-1  0  0  1 -3  3  4 -2  0 -3 -3  1 -1 -3 -1  0 -1 -3 -2 -2  1  4
+ 0 -1 -1 -1 -2 -1 -1 -1 -1 -1 -1 -1 -1 -1 -2  0  0 -2 -1 -1 -1 -1 -1
+-4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4  1
+"""
+
+_BLOSUM50_TRIANGLE = """
+ 5
+-2  7
+-1 -1  7
+-2 -2  2  8
+-1 -4 -2 -4 13
+-1  1  0  0 -3  7
+-1  0  0  2 -3  2  6
+ 0 -3  0 -1 -3 -2 -3  8
+-2  0  1 -1 -3  1  0 -2 10
+-1 -4 -3 -4 -2 -3 -4 -4 -4  5
+-2 -3 -4 -4 -2 -2 -3 -4 -3  2  5
+-1  3  0 -1 -3  2  1 -2  0 -3 -3  6
+-1 -2 -2 -4 -2  0 -2 -3 -1  2  3 -2  7
+-3 -3 -4 -5 -2 -4 -3 -4 -1  0  1 -4  0  8
+-1 -3 -2 -1 -4 -1 -1 -2 -2 -3 -4 -1 -3 -4 10
+ 1 -1  1  0 -1  0 -1  0 -1 -3 -3  0 -2 -3 -1  5
+ 0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  2  5
+-3 -3 -4 -5 -5 -1 -3 -3 -3 -3 -2 -3 -1  1 -4 -4 -3 15
+-2 -1 -2 -3 -3 -1 -2 -3  2 -1 -1 -2  0  4 -3 -2 -2  2  8
+ 0 -3 -3 -4 -1 -3 -3 -4 -4  4  1 -3  1 -1 -3 -2  0 -3 -1  5
+-2 -1  4  5 -3  0  1 -1  0 -4 -4  0 -3 -4 -2  0  0 -5 -3 -4  5
+-1  0  0  1 -3  4  5 -2  0 -3 -3  1 -1 -4 -1  0 -1 -2 -2 -3  2  5
+-1 -1 -1 -1 -2 -1 -1 -2 -1 -1 -1 -1 -1 -2 -2 -1  0 -3 -1 -1 -1 -1 -1
+-5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5  1
+"""
+
+
+@lru_cache(maxsize=None)
+def blosum62() -> ExchangeMatrix:
+    """The BLOSUM62 matrix over the 24-symbol protein alphabet."""
+    return from_triangle_text("blosum62", PROTEIN, _ORDER, _BLOSUM62_TRIANGLE)
+
+
+@lru_cache(maxsize=None)
+def blosum50() -> ExchangeMatrix:
+    """The BLOSUM50 matrix over the 24-symbol protein alphabet."""
+    return from_triangle_text("blosum50", PROTEIN, _ORDER, _BLOSUM50_TRIANGLE)

@@ -1,0 +1,62 @@
+"""Gap penalty model.
+
+The paper uses the classic affine model: a gap of length *g* costs
+``open + g * extend`` (its worked example: "two points for each new gap
+(gap opening) and one point times the length of the gap (gap
+extension)").  In the Figure 3 recurrence this appears as the running
+maxima ``MaxX``/``MaxY`` being seeded with ``M - open`` and decayed by
+``extend`` per column/row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["GapPenalties"]
+
+
+@dataclass(frozen=True)
+class GapPenalties:
+    """Affine gap penalties: a gap of length ``g`` costs ``open_ + g * extend``.
+
+    Both components must be non-negative; they are *penalties* and are
+    subtracted from alignment scores.
+    """
+
+    open_: float = 2.0
+    extend: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.open_ < 0 or self.extend < 0:
+            raise ValueError("gap penalties must be non-negative")
+
+    def cost(self, length: int) -> float:
+        """Total penalty of a single gap of ``length`` residues."""
+        if length < 0:
+            raise ValueError("gap length must be non-negative")
+        if length == 0:
+            return 0.0
+        return self.open_ + length * self.extend
+
+    def cost_vector(self, max_length: int) -> np.ndarray:
+        """``P[g]`` for g in 0..``max_length`` (``P[0] = 0``), as float64."""
+        if max_length < 0:
+            raise ValueError("max_length must be non-negative")
+        costs = self.open_ + self.extend * np.arange(max_length + 1, dtype=np.float64)
+        costs[0] = 0.0
+        return costs
+
+    def as_integers(self) -> tuple[int, int]:
+        """The penalties as exact integers (raises if they are fractional).
+
+        Integer engines (the int16 lane engine mirroring the paper's SSE
+        shorts) require integral penalties, exactly like the original.
+        """
+        oi, ei = int(round(self.open_)), int(round(self.extend))
+        if oi != self.open_ or ei != self.extend:
+            raise ValueError(
+                f"gap penalties {self.open_}/{self.extend} are not integral"
+            )
+        return oi, ei

@@ -1,0 +1,83 @@
+"""PAM substitution matrices (Dayhoff et al., 1978).
+
+Stored like the BLOSUM tables: lower triangles in the conventional
+24-symbol order, inflated lazily.  PAM250 is the matrix family the
+original 1993 Repro paper used for distant-repeat recognition.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..sequences.alphabet import PROTEIN
+from .exchange import ExchangeMatrix, from_triangle_text
+
+__all__ = ["pam250", "pam120"]
+
+_ORDER = "ARNDCQEGHILKMFPSTWYVBZX*"
+
+_PAM250_TRIANGLE = """
+ 2
+-2  6
+ 0  0  2
+ 0 -1  2  4
+-2 -4 -4 -5 12
+ 0  1  1  2 -5  4
+ 0 -1  1  3 -5  2  4
+ 1 -3  0  1 -3 -1  0  5
+-1  2  2  1 -3  3  1 -2  6
+-1 -2 -2 -2 -2 -2 -2 -3 -2  5
+-2 -3 -3 -4 -6 -2 -3 -4 -2  2  6
+-1  3  1  0 -5  1  0 -2  0 -2 -3  5
+-1  0 -2 -3 -5 -1 -2 -3 -2  2  4  0  6
+-3 -4 -3 -6 -4 -5 -5 -5 -2  1  2 -5  0  9
+ 1  0  0 -1 -3  0 -1  0  0 -2 -3 -1 -2 -5  6
+ 1  0  1  0  0 -1  0  1 -1 -1 -3  0 -2 -3  1  2
+ 1 -1  0  0 -2 -1  0  0 -1  0 -2  0 -1 -3  0  1  3
+-6  2 -4 -7 -8 -5 -7 -7 -3 -5 -2 -3 -4  0 -6 -2 -5 17
+-3 -4 -2 -4  0 -4 -4 -5  0 -1 -1 -4 -2  7 -5 -3 -3  0 10
+ 0 -2 -2 -2 -2 -2 -2 -1 -2  4  2 -2  2 -1 -1 -1  0 -6 -2  4
+ 0 -1  2  3 -4  1  3  0  1 -2 -3  1 -2 -4 -1  0  0 -5 -3 -2  3
+ 0  0  1  3 -5  3  3  0  2 -2 -3  0 -2 -5  0  0 -1 -6 -4 -2  2  3
+ 0 -1  0 -1 -3 -1 -1 -1 -1 -1 -1 -1 -1 -2 -1  0  0 -4 -2 -1 -1 -1 -1
+-8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8  1
+"""
+
+_PAM120_TRIANGLE = """
+ 3
+-3  6
+-1 -1  4
+ 0 -3  2  5
+-3 -4 -5 -7  9
+-1  1  0  1 -7  6
+ 0 -3  1  3 -7  2  5
+ 1 -4  0  0 -4 -3 -1  5
+-3  1  2  0 -4  3 -1 -4  7
+-1 -2 -2 -3 -3 -3 -3 -4 -4  6
+-3 -4 -4 -5 -7 -2 -4 -5 -3  1  5
+-2  2  1 -1 -7  0 -1 -3 -2 -3 -4  5
+-2 -1 -3 -4 -6 -1 -3 -4 -4  1  3  0  8
+-4 -5 -4 -7 -6 -6 -7 -5 -3  0  0 -7 -1  8
+ 1 -1 -2 -3 -4  0 -2 -2 -1 -3 -3 -2 -3 -5  6
+ 1 -1  1  0  0 -2 -1  1 -2 -2 -4 -1 -2 -3  1  3
+ 1 -2  0 -1 -3 -2 -2 -1 -3  0 -3 -1 -1 -4 -1  2  4
+-7  1 -4 -8 -8 -6 -8 -8 -3 -6 -3 -5 -6 -1 -7 -2 -6 12
+-4 -5 -2 -5 -1 -5 -5 -6 -1 -2 -2 -5 -4  4 -6 -3 -3 -2  8
+ 0 -3 -3 -3 -3 -3 -3 -2 -3  3  1 -4  1 -3 -2 -2  0 -8 -3  5
+ 0 -2  3  4 -6  0  3  0  1 -3 -4  0 -4 -5 -2  0  0 -6 -3 -3  4
+-1 -1  0  3 -7  4  3 -2  1 -3 -3 -1 -2 -6 -1 -1 -2 -7 -5 -3  2  4
+-1 -2 -1 -2 -4 -1 -1 -2 -2 -1 -2 -2 -2 -3 -2 -1 -1 -5 -3 -1 -1 -1 -2
+-8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8 -8  1
+"""
+
+
+@lru_cache(maxsize=None)
+def pam250() -> ExchangeMatrix:
+    """The PAM250 matrix over the 24-symbol protein alphabet."""
+    return from_triangle_text("pam250", PROTEIN, _ORDER, _PAM250_TRIANGLE)
+
+
+@lru_cache(maxsize=None)
+def pam120() -> ExchangeMatrix:
+    """The PAM120 matrix over the 24-symbol protein alphabet."""
+    return from_triangle_text("pam120", PROTEIN, _ORDER, _PAM120_TRIANGLE)

@@ -1,0 +1,63 @@
+"""Sequence substrate: alphabets, sequences, FASTA I/O and workloads."""
+
+from .alphabet import DNA, PROTEIN, RNA, Alphabet, alphabet_for
+from .fasta import (
+    format_fasta,
+    iter_fasta,
+    parse_fasta_text,
+    read_fasta,
+    write_fasta,
+)
+from .sequence import Sequence
+from .translate import (
+    GENETIC_CODE,
+    reverse_complement,
+    transcribe,
+    translate,
+)
+from .stats import (
+    composition,
+    low_complexity_mask,
+    mask_low_complexity,
+    shannon_entropy,
+    windowed_entropy,
+)
+from .workloads import (
+    ImplantedRepeats,
+    RepeatSpec,
+    implant_repeats,
+    mutate,
+    pseudo_titin,
+    random_sequence,
+    tandem_repeat_sequence,
+)
+
+__all__ = [
+    "Alphabet",
+    "DNA",
+    "RNA",
+    "PROTEIN",
+    "alphabet_for",
+    "Sequence",
+    "read_fasta",
+    "iter_fasta",
+    "write_fasta",
+    "format_fasta",
+    "parse_fasta_text",
+    "RepeatSpec",
+    "ImplantedRepeats",
+    "implant_repeats",
+    "mutate",
+    "random_sequence",
+    "tandem_repeat_sequence",
+    "pseudo_titin",
+    "composition",
+    "shannon_entropy",
+    "windowed_entropy",
+    "low_complexity_mask",
+    "mask_low_complexity",
+    "GENETIC_CODE",
+    "reverse_complement",
+    "transcribe",
+    "translate",
+]

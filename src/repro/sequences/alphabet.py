@@ -1,0 +1,158 @@
+"""Biological alphabets and their integer encodings.
+
+Alignment engines operate on sequences encoded as small non-negative
+integers (``numpy.int8`` codes) so that exchange-matrix lookups become
+plain array indexing — the same trick the paper's C implementation uses
+to feed amino-acid codes into its SSE kernels.
+
+Three standard alphabets are provided (:data:`DNA`, :data:`RNA`,
+:data:`PROTEIN`) plus a factory for custom ones.  Every alphabet knows
+how to encode text to codes and decode codes back to text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "Alphabet",
+    "DNA",
+    "RNA",
+    "PROTEIN",
+    "alphabet_for",
+]
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered set of residue symbols with a dense integer encoding.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (``"dna"``, ``"protein"``, ...).
+    symbols:
+        The canonical residue letters, in code order: the symbol at
+        index *i* is encoded as the integer *i*.
+    wildcard:
+        Optional symbol that unknown letters are mapped to when
+        encoding with ``strict=False`` (e.g. ``"N"`` for DNA,
+        ``"X"`` for protein).
+    """
+
+    name: str
+    symbols: str
+    wildcard: str | None = None
+    _lookup: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.symbols)) != len(self.symbols):
+            raise ValueError(f"duplicate symbols in alphabet {self.name!r}")
+        if self.wildcard is not None and self.wildcard not in self.symbols:
+            raise ValueError(
+                f"wildcard {self.wildcard!r} not part of alphabet {self.name!r}"
+            )
+        # Build a 256-entry ASCII lookup table; -1 marks invalid letters.
+        table = np.full(256, -1, dtype=np.int16)
+        for code, sym in enumerate(self.symbols):
+            table[ord(sym)] = code
+            table[ord(sym.lower())] = code
+        object.__setattr__(self, "_lookup", table)
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    @property
+    def size(self) -> int:
+        """Number of symbols (and the dimension of matching exchange matrices)."""
+        return len(self.symbols)
+
+    @property
+    def wildcard_code(self) -> int | None:
+        """Integer code of the wildcard symbol, or ``None``."""
+        if self.wildcard is None:
+            return None
+        return self.symbols.index(self.wildcard)
+
+    def code_of(self, symbol: str) -> int:
+        """Return the integer code of a single residue ``symbol``.
+
+        Raises :class:`KeyError` for letters outside the alphabet.
+        """
+        code = int(self._lookup[ord(symbol)]) if len(symbol) == 1 else -1
+        if code < 0:
+            raise KeyError(f"{symbol!r} is not in alphabet {self.name!r}")
+        return code
+
+    def encode(self, text: str | bytes, *, strict: bool = True) -> np.ndarray:
+        """Encode ``text`` into an ``int8`` code array.
+
+        With ``strict=True`` (default) any letter outside the alphabet
+        raises :class:`ValueError`.  With ``strict=False`` unknown
+        letters become the wildcard code (requires a wildcard).
+        """
+        if isinstance(text, str):
+            raw = text.encode("ascii")
+        else:
+            raw = bytes(text)
+        codes = self._lookup[np.frombuffer(raw, dtype=np.uint8)]
+        bad = codes < 0
+        if bad.any():
+            if strict or self.wildcard is None:
+                pos = int(np.flatnonzero(bad)[0])
+                raise ValueError(
+                    f"invalid symbol {chr(raw[pos])!r} at position {pos} "
+                    f"for alphabet {self.name!r}"
+                )
+            codes = codes.copy()
+            codes[bad] = self.wildcard_code
+        return codes.astype(np.int8)
+
+    def decode(self, codes: Iterable[int] | np.ndarray) -> str:
+        """Decode an iterable of integer codes back into a string."""
+        arr = np.asarray(codes, dtype=np.int64)
+        if arr.size == 0:
+            return ""
+        if arr.min() < 0 or arr.max() >= self.size:
+            raise ValueError(
+                f"code out of range for alphabet {self.name!r} "
+                f"(valid range 0..{self.size - 1})"
+            )
+        syms = np.frombuffer(self.symbols.encode("ascii"), dtype=np.uint8)
+        return syms[arr].tobytes().decode("ascii")
+
+    def is_valid(self, text: str) -> bool:
+        """Whether every letter of ``text`` belongs to the alphabet."""
+        try:
+            self.encode(text, strict=True)
+        except ValueError:
+            return False
+        return True
+
+
+#: Nucleotide alphabet for DNA.  ``N`` is the unknown-base wildcard.
+DNA = Alphabet("dna", "ACGTN", wildcard="N")
+
+#: Nucleotide alphabet for RNA.
+RNA = Alphabet("rna", "ACGUN", wildcard="N")
+
+#: The 20 standard amino acids in the conventional one-letter order used
+#: by BLOSUM/PAM tables, plus ``B`` (Asx), ``Z`` (Glx), ``X`` (unknown)
+#: and ``*`` (stop) so that published 24x24 exchange matrices apply
+#: without remapping.
+PROTEIN = Alphabet("protein", "ARNDCQEGHILKMFPSTWYVBZX*", wildcard="X")
+
+_REGISTRY = {a.name: a for a in (DNA, RNA, PROTEIN)}
+
+
+def alphabet_for(name: str) -> Alphabet:
+    """Look up a built-in alphabet by name (``"dna"``, ``"rna"``, ``"protein"``)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown alphabet {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

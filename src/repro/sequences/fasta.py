@@ -1,0 +1,132 @@
+"""FASTA reading and writing.
+
+A small, dependency-free FASTA codec sufficient for the example
+applications and the benchmark harness: multi-record files, arbitrary
+line wrapping, ``;`` comment lines, optional gzip transparency (by file
+suffix) and round-trip fidelity of record ids/descriptions.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+from typing import IO, Iterable, Iterator
+
+from .alphabet import PROTEIN, Alphabet, alphabet_for
+from .sequence import Sequence
+
+__all__ = [
+    "read_fasta",
+    "iter_fasta",
+    "write_fasta",
+    "parse_fasta_text",
+    "format_fasta",
+]
+
+
+def _open_text(path: str | os.PathLike, mode: str) -> IO[str]:
+    path = os.fspath(path)
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t")  # type: ignore[return-value]
+    return open(path, mode, encoding="ascii")
+
+
+def iter_fasta(
+    source: str | os.PathLike | IO[str],
+    alphabet: Alphabet | str = PROTEIN,
+    *,
+    strict: bool = False,
+) -> Iterator[Sequence]:
+    """Stream :class:`Sequence` records from a FASTA file or file object.
+
+    Unknown residue letters are mapped to the alphabet's wildcard by
+    default (``strict=False``), matching common practice for real-world
+    FASTA files.
+    """
+    if isinstance(alphabet, str):
+        alphabet = alphabet_for(alphabet)
+    if isinstance(source, (str, os.PathLike)):
+        with _open_text(source, "r") as handle:
+            yield from _parse(handle, alphabet, strict)
+    else:
+        yield from _parse(source, alphabet, strict)
+
+
+def _parse(handle: IO[str], alphabet: Alphabet, strict: bool) -> Iterator[Sequence]:
+    header: str | None = None
+    chunks: list[str] = []
+    for line in handle:
+        line = line.rstrip()
+        if not line or line.startswith(";"):
+            continue
+        if line.startswith(">"):
+            if header is not None or chunks:
+                yield _make_record(header, chunks, alphabet, strict)
+            header = line[1:].strip()
+            chunks = []
+        else:
+            chunks.append(line.replace(" ", ""))
+    if header is not None or chunks:
+        yield _make_record(header, chunks, alphabet, strict)
+
+
+def _make_record(
+    header: str | None, chunks: list[str], alphabet: Alphabet, strict: bool
+) -> Sequence:
+    text = "".join(chunks)
+    if header is None:
+        rec_id, desc = "", ""
+    else:
+        rec_id, _, desc = header.partition(" ")
+    return Sequence(text, alphabet, id=rec_id, description=desc, strict=strict)
+
+
+def read_fasta(
+    source: str | os.PathLike | IO[str],
+    alphabet: Alphabet | str = PROTEIN,
+    *,
+    strict: bool = False,
+) -> list[Sequence]:
+    """Read all records of a FASTA file into a list (see :func:`iter_fasta`)."""
+    return list(iter_fasta(source, alphabet, strict=strict))
+
+
+def parse_fasta_text(
+    text: str, alphabet: Alphabet | str = PROTEIN, *, strict: bool = False
+) -> list[Sequence]:
+    """Parse FASTA records from an in-memory string."""
+    return read_fasta(io.StringIO(text), alphabet, strict=strict)
+
+
+def format_fasta(records: Iterable[Sequence] | Sequence, *, width: int = 60) -> str:
+    """Render records as FASTA text with lines wrapped at ``width`` columns."""
+    if isinstance(records, Sequence):
+        records = [records]
+    if width < 1:
+        raise ValueError("width must be positive")
+    out: list[str] = []
+    for rec in records:
+        header = rec.id
+        if rec.description:
+            header = f"{header} {rec.description}" if header else rec.description
+        out.append(f">{header}")
+        text = rec.text
+        for start in range(0, max(len(text), 1), width):
+            out.append(text[start : start + width])
+    return "\n".join(out) + "\n"
+
+
+def write_fasta(
+    records: Iterable[Sequence] | Sequence,
+    target: str | os.PathLike | IO[str],
+    *,
+    width: int = 60,
+) -> None:
+    """Write records to ``target`` (path or file object) as FASTA."""
+    payload = format_fasta(records, width=width)
+    if isinstance(target, (str, os.PathLike)):
+        with _open_text(target, "w") as handle:
+            handle.write(payload)
+    else:
+        target.write(payload)

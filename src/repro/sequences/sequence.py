@@ -1,0 +1,149 @@
+"""The :class:`Sequence` value type.
+
+A :class:`Sequence` pairs an immutable ``int8`` code array with the
+:class:`~repro.sequences.alphabet.Alphabet` it was encoded under.  All
+higher layers (alignment engines, the top-alignment driver, the repeat
+delineator) operate on these code arrays; text only appears at the I/O
+boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .alphabet import PROTEIN, Alphabet, alphabet_for
+
+__all__ = ["Sequence"]
+
+
+class Sequence:
+    """An immutable biological sequence with identifier and description.
+
+    Instances behave like read-only sequences of residue letters: they
+    support ``len``, indexing, slicing (returning a new
+    :class:`Sequence`), equality, hashing and iteration.
+
+    Parameters
+    ----------
+    data:
+        Residue letters (``str``) or pre-encoded codes (``numpy`` int
+        array).
+    alphabet:
+        The alphabet to encode/interpret under; an
+        :class:`~repro.sequences.alphabet.Alphabet` or a built-in name.
+    id:
+        Record identifier (FASTA header token).
+    description:
+        Free-text description (rest of the FASTA header).
+    strict:
+        Passed to :meth:`Alphabet.encode` when ``data`` is text.
+    """
+
+    __slots__ = ("_codes", "_alphabet", "id", "description")
+
+    def __init__(
+        self,
+        data: str | bytes | np.ndarray,
+        alphabet: Alphabet | str = PROTEIN,
+        *,
+        id: str = "",
+        description: str = "",
+        strict: bool = True,
+    ) -> None:
+        if isinstance(alphabet, str):
+            alphabet = alphabet_for(alphabet)
+        if isinstance(data, (str, bytes)):
+            codes = alphabet.encode(data, strict=strict)
+        else:
+            codes = np.asarray(data)
+            if codes.ndim != 1:
+                raise ValueError("sequence codes must be one-dimensional")
+            if codes.size and (codes.min() < 0 or codes.max() >= alphabet.size):
+                raise ValueError(
+                    f"codes out of range 0..{alphabet.size - 1} "
+                    f"for alphabet {alphabet.name!r}"
+                )
+            codes = codes.astype(np.int8)
+        codes.setflags(write=False)
+        self._codes = codes
+        self._alphabet = alphabet
+        self.id = id
+        self.description = description
+
+    # -- core accessors -------------------------------------------------
+
+    @property
+    def codes(self) -> np.ndarray:
+        """The read-only ``int8`` code array."""
+        return self._codes
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The alphabet this sequence is encoded under."""
+        return self._alphabet
+
+    @property
+    def text(self) -> str:
+        """The sequence as a residue-letter string."""
+        return self._alphabet.decode(self._codes)
+
+    # -- container protocol ---------------------------------------------
+
+    def __len__(self) -> int:
+        return self._codes.size
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.text)
+
+    def __getitem__(self, index: int | slice) -> "Sequence | str":
+        if isinstance(index, slice):
+            return Sequence(
+                self._codes[index],
+                self._alphabet,
+                id=self.id,
+                description=self.description,
+            )
+        return self._alphabet.decode([int(self._codes[index])])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Sequence):
+            return (
+                self._alphabet.name == other._alphabet.name
+                and np.array_equal(self._codes, other._codes)
+            )
+        if isinstance(other, str):
+            return self.text == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._alphabet.name, self._codes.tobytes()))
+
+    def __repr__(self) -> str:
+        preview = self.text if len(self) <= 24 else self.text[:21] + "..."
+        name = f" id={self.id!r}" if self.id else ""
+        return f"Sequence({preview!r}, {self._alphabet.name}{name}, len={len(self)})"
+
+    # -- convenience ----------------------------------------------------
+
+    def prefix(self, r: int) -> "Sequence":
+        """The split prefix ``S[1:r]`` (1-based, inclusive) of the paper's §3."""
+        if not 1 <= r < len(self):
+            raise ValueError(f"split point r={r} outside 1..{len(self) - 1}")
+        return self[:r]
+
+    def suffix(self, r: int) -> "Sequence":
+        """The split suffix ``S[r+1:m]`` (1-based, inclusive) of the paper's §3."""
+        if not 1 <= r < len(self):
+            raise ValueError(f"split point r={r} outside 1..{len(self) - 1}")
+        return self[r:]
+
+    def reversed(self) -> "Sequence":
+        """A new sequence with the residues in reverse order."""
+        return Sequence(
+            self._codes[::-1].copy(),
+            self._alphabet,
+            id=self.id,
+            description=self.description,
+        )

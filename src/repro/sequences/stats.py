@@ -1,0 +1,124 @@
+"""Sequence statistics: composition, entropy, low-complexity masking.
+
+Repeat detectors are routinely confounded by low-complexity tracts
+(poly-Q, proline-rich linkers), which dominate alignment scores without
+being bona fide domain repeats.  These utilities provide the standard
+pre-filters: residue composition, windowed Shannon entropy, and a
+SEG-like low-complexity mask that callers can use to screen inputs or
+post-filter detected copies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .alphabet import Alphabet
+from .sequence import Sequence
+
+__all__ = [
+    "composition",
+    "shannon_entropy",
+    "windowed_entropy",
+    "low_complexity_mask",
+    "mask_low_complexity",
+]
+
+
+def composition(sequence: Sequence) -> dict[str, float]:
+    """Residue frequencies as a letter -> fraction mapping (zeros omitted)."""
+    if len(sequence) == 0:
+        return {}
+    counts = np.bincount(sequence.codes, minlength=sequence.alphabet.size)
+    total = counts.sum()
+    return {
+        sequence.alphabet.symbols[i]: counts[i] / total
+        for i in range(sequence.alphabet.size)
+        if counts[i]
+    }
+
+
+def shannon_entropy(codes: np.ndarray, *, base: float = 2.0) -> float:
+    """Shannon entropy of a code array, in units of ``log base``."""
+    if codes.size == 0:
+        return 0.0
+    counts = np.bincount(codes)
+    probs = counts[counts > 0] / codes.size
+    return float(-(probs * (np.log(probs) / np.log(base))).sum())
+
+
+def windowed_entropy(
+    sequence: Sequence, window: int = 12, *, base: float = 2.0
+) -> np.ndarray:
+    """Entropy of every length-``window`` slice, one value per start.
+
+    Returns an array of length ``len(sequence) - window + 1`` (empty for
+    sequences shorter than the window).
+    """
+    if window < 1:
+        raise ValueError("window must be positive")
+    codes = sequence.codes
+    n = codes.size - window + 1
+    if n <= 0:
+        return np.zeros(0, dtype=np.float64)
+    out = np.empty(n, dtype=np.float64)
+    # Sliding counts: O(n * alphabet) via incremental update.
+    counts = np.bincount(codes[:window], minlength=sequence.alphabet.size).astype(
+        np.float64
+    )
+    log = np.log(base)
+
+    def entropy_of(counts_arr: np.ndarray) -> float:
+        probs = counts_arr[counts_arr > 0] / window
+        return float(-(probs * (np.log(probs) / log)).sum())
+
+    out[0] = entropy_of(counts)
+    for i in range(1, n):
+        counts[codes[i - 1]] -= 1
+        counts[codes[i + window - 1]] += 1
+        out[i] = entropy_of(counts)
+    return out
+
+
+def low_complexity_mask(
+    sequence: Sequence, window: int = 12, threshold: float = 1.5
+) -> np.ndarray:
+    """Boolean mask (per residue) of low-complexity regions.
+
+    A residue is masked when *any* window covering it has entropy below
+    ``threshold`` bits — the usual SEG-style smoothing.  Sequences
+    shorter than the window are judged as a single block.
+    """
+    codes = sequence.codes
+    mask = np.zeros(codes.size, dtype=bool)
+    if codes.size == 0:
+        return mask
+    if codes.size < window:
+        if shannon_entropy(codes) < threshold:
+            mask[:] = True
+        return mask
+    entropies = windowed_entropy(sequence, window)
+    low_starts = np.flatnonzero(entropies < threshold)
+    for start in low_starts:
+        mask[start : start + window] = True
+    return mask
+
+
+def mask_low_complexity(
+    sequence: Sequence, window: int = 12, threshold: float = 1.5
+) -> Sequence:
+    """Replace low-complexity residues with the alphabet's wildcard.
+
+    With a neutral wildcard score (the default of
+    :func:`repro.scoring.match_mismatch`) masked tracts can neither win
+    nor lose alignments — the standard way to keep poly-X tracts out of
+    repeat calls.
+    """
+    wildcard = sequence.alphabet.wildcard_code
+    if wildcard is None:
+        raise ValueError(
+            f"alphabet {sequence.alphabet.name!r} has no wildcard to mask with"
+        )
+    mask = low_complexity_mask(sequence, window, threshold)
+    codes = sequence.codes.copy()
+    codes[mask] = wildcard
+    return Sequence(codes, sequence.alphabet, id=sequence.id, description=sequence.description)

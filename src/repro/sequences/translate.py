@@ -1,0 +1,111 @@
+"""Nucleotide utilities: reverse complement and translation.
+
+Repeats live at both levels — "gene duplication can take place at the
+level of copying complete genomes ... down to only two or three
+nucleotides" — and a codon-level tandem (CAG)n becomes a residue-level
+homopolymer (poly-Q) after translation.  These utilities connect the
+DNA and protein views so examples and users can analyse both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .alphabet import DNA, PROTEIN, RNA
+from .sequence import Sequence
+
+__all__ = ["reverse_complement", "transcribe", "translate", "GENETIC_CODE"]
+
+#: The standard genetic code, DNA codons -> one-letter amino acids
+#: ('*' = stop).
+GENETIC_CODE: dict[str, str] = {
+    "TTT": "F", "TTC": "F", "TTA": "L", "TTG": "L",
+    "CTT": "L", "CTC": "L", "CTA": "L", "CTG": "L",
+    "ATT": "I", "ATC": "I", "ATA": "I", "ATG": "M",
+    "GTT": "V", "GTC": "V", "GTA": "V", "GTG": "V",
+    "TCT": "S", "TCC": "S", "TCA": "S", "TCG": "S",
+    "CCT": "P", "CCC": "P", "CCA": "P", "CCG": "P",
+    "ACT": "T", "ACC": "T", "ACA": "T", "ACG": "T",
+    "GCT": "A", "GCC": "A", "GCA": "A", "GCG": "A",
+    "TAT": "Y", "TAC": "Y", "TAA": "*", "TAG": "*",
+    "CAT": "H", "CAC": "H", "CAA": "Q", "CAG": "Q",
+    "AAT": "N", "AAC": "N", "AAA": "K", "AAG": "K",
+    "GAT": "D", "GAC": "D", "GAA": "E", "GAG": "E",
+    "TGT": "C", "TGC": "C", "TGA": "*", "TGG": "W",
+    "CGT": "R", "CGC": "R", "CGA": "R", "CGG": "R",
+    "AGT": "S", "AGC": "S", "AGA": "R", "AGG": "R",
+    "GGT": "G", "GGC": "G", "GGA": "G", "GGG": "G",
+}
+
+_COMPLEMENT = {"A": "T", "C": "G", "G": "C", "T": "A", "N": "N"}
+_RNA_COMPLEMENT = {"A": "U", "C": "G", "G": "C", "U": "A", "N": "N"}
+
+
+def reverse_complement(sequence: Sequence) -> Sequence:
+    """The reverse complement of a DNA or RNA sequence."""
+    if sequence.alphabet.name == "dna":
+        table = _COMPLEMENT
+    elif sequence.alphabet.name == "rna":
+        table = _RNA_COMPLEMENT
+    else:
+        raise ValueError(
+            f"reverse complement undefined for alphabet {sequence.alphabet.name!r}"
+        )
+    text = "".join(table[c] for c in reversed(sequence.text))
+    return Sequence(
+        text, sequence.alphabet, id=sequence.id, description=sequence.description
+    )
+
+
+def transcribe(sequence: Sequence) -> Sequence:
+    """DNA coding strand -> mRNA (T -> U)."""
+    if sequence.alphabet.name != "dna":
+        raise ValueError("transcription requires a DNA sequence")
+    return Sequence(
+        sequence.text.replace("T", "U"),
+        RNA,
+        id=sequence.id,
+        description=sequence.description,
+    )
+
+
+def translate(
+    sequence: Sequence,
+    *,
+    frame: int = 0,
+    to_stop: bool = False,
+) -> Sequence:
+    """Translate a DNA (or RNA) sequence into protein.
+
+    Parameters
+    ----------
+    frame:
+        Reading-frame offset 0, 1 or 2.
+    to_stop:
+        Stop at the first stop codon (excluded) instead of translating
+        through it as ``*``.
+
+    Codons containing ``N`` translate to ``X``; a trailing partial
+    codon is ignored.
+    """
+    if frame not in (0, 1, 2):
+        raise ValueError("frame must be 0, 1 or 2")
+    if sequence.alphabet.name == "rna":
+        text = sequence.text.replace("U", "T")
+    elif sequence.alphabet.name == "dna":
+        text = sequence.text
+    else:
+        raise ValueError("translation requires a nucleotide sequence")
+    residues: list[str] = []
+    for at in range(frame, len(text) - 2, 3):
+        codon = text[at : at + 3]
+        aa = GENETIC_CODE.get(codon, "X")
+        if aa == "*" and to_stop:
+            break
+        residues.append(aa)
+    return Sequence(
+        "".join(residues),
+        PROTEIN,
+        id=sequence.id,
+        description=f"translated frame {frame}",
+    )

@@ -1,0 +1,45 @@
+"""Performance-model substrate: machines, network, cluster simulation."""
+
+from .calibrate import CalibrationReport, calibrate_local, measure_rate
+from .cluster import (
+    AlignmentOracle,
+    ClusterConfig,
+    ClusterSimulator,
+    SimulationResult,
+    VersionedTriangle,
+    simulate_cluster,
+)
+from .events import Event, EventLoop
+from .machine import PENTIUM3, PENTIUM4, MachineModel, pentium3, pentium4
+from .firstpass import FirstPassOracle, simulate_first_pass
+from .network import NetworkModel
+from .sweep import SweepRecord, records_to_csv, sweep_cluster
+from .trace import Span, TraceRecorder, TraceReport
+
+__all__ = [
+    "Event",
+    "EventLoop",
+    "MachineModel",
+    "PENTIUM3",
+    "PENTIUM4",
+    "pentium3",
+    "pentium4",
+    "NetworkModel",
+    "VersionedTriangle",
+    "AlignmentOracle",
+    "ClusterConfig",
+    "ClusterSimulator",
+    "SimulationResult",
+    "simulate_cluster",
+    "calibrate_local",
+    "measure_rate",
+    "CalibrationReport",
+    "FirstPassOracle",
+    "simulate_first_pass",
+    "TraceRecorder",
+    "TraceReport",
+    "Span",
+    "SweepRecord",
+    "sweep_cluster",
+    "records_to_csv",
+]

@@ -1,0 +1,96 @@
+"""Calibrate a :class:`~repro.simulate.machine.MachineModel` from this host.
+
+The paper's Table 2 machine models are hard-coded from its published
+timings; this module builds the equivalent model for *this* machine by
+timing the actual engines, so the simulator can also be run in
+"local units".  The tier mapping mirrors the paper's:
+
+==============  =====================================================
+``conventional``  pure-Python scalar engine (the non-SIMD baseline)
+``vector``        numpy row-vectorised engine (one matrix at a time)
+``sse``           4-lane int16 batch engine
+``sse2``          8-lane int16 batch engine
+==============  =====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..align.base import AlignmentProblem, get_engine
+from ..align.lanes import LanesEngine
+from ..scoring.blosum import blosum62
+from ..scoring.gaps import GapPenalties
+from ..sequences.workloads import pseudo_titin
+from .machine import MachineModel
+
+__all__ = ["CalibrationReport", "measure_rate", "calibrate_local"]
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Measured throughputs plus the derived machine model."""
+
+    model: MachineModel
+    seconds: dict[str, float]
+    cells: dict[str, int]
+
+    def improvement(self, tier: str, baseline: str = "conventional") -> float:
+        """Measured speed improvement of ``tier`` over ``baseline``."""
+        return self.model.improvement(tier, baseline)
+
+
+def measure_rate(engine, problems: list[AlignmentProblem], *, repeats: int = 1) -> tuple[float, int]:
+    """Time ``engine`` over ``problems``; returns (seconds, cells).
+
+    Uses the batch interface so lane engines get their lockstep groups.
+    """
+    cells = sum(p.cells for p in problems) * repeats
+    start = time.perf_counter()
+    for _ in range(repeats):
+        engine.last_rows_batch(problems)
+    return time.perf_counter() - start, cells
+
+
+def calibrate_local(
+    *,
+    size: int = 400,
+    scalar_size: int = 120,
+    repeats: int = 1,
+    seed: int = 99,
+) -> CalibrationReport:
+    """Measure this host's engines and build a ``MachineModel``.
+
+    ``size`` controls the square-ish matrices used for the numpy
+    engines; the scalar engine gets a smaller ``scalar_size`` because it
+    is orders of magnitude slower (which is the point).
+    """
+    gaps = GapPenalties(8, 1)
+    exchange = blosum62()
+
+    def problems_for(n: int, count: int) -> list[AlignmentProblem]:
+        seq = pseudo_titin(2 * n + count, seed=seed)
+        return [
+            AlignmentProblem(seq.codes[: n + i], seq.codes[n + i :], exchange, gaps)
+            for i in range(count)
+        ]
+
+    seconds: dict[str, float] = {}
+    cells: dict[str, int] = {}
+    rates: dict[str, float] = {}
+
+    configs = [
+        ("conventional", get_engine("scalar"), problems_for(scalar_size, 1)),
+        ("vector", get_engine("vector"), problems_for(size, 1)),
+        ("sse", LanesEngine(lanes=4, dtype="int16"), problems_for(size, 4)),
+        ("sse2", LanesEngine(lanes=8, dtype="int16"), problems_for(size, 8)),
+    ]
+    for tier, engine, problems in configs:
+        secs, n_cells = measure_rate(engine, problems, repeats=repeats)
+        seconds[tier] = secs
+        cells[tier] = n_cells
+        rates[tier] = n_cells / secs if secs > 0 else float("inf")
+
+    model = MachineModel(name="local", rates=rates, cpus_per_node=1)
+    return CalibrationReport(model=model, seconds=seconds, cells=cells)

@@ -1,0 +1,451 @@
+"""Discrete-event simulation of the paper's cluster runs (§4.3, §5.2).
+
+A single development machine cannot exhibit 128-way scaling, so the
+Figure 8 study is reproduced by *simulating* DAS-2 — but not with a
+synthetic workload: the simulator executes the **real algorithm**.  An
+:class:`AlignmentOracle` lazily computes, with the real engines, the
+score every (split, override-triangle-version) combination the
+simulated schedule requests, so task durations, realignment counts and
+speculation behaviour are all genuine.  Only *time* is modelled: per-CPU
+throughput from :mod:`repro.simulate.machine` (calibrated from Table 2)
+and message costs from :mod:`repro.simulate.network`.
+
+Because first passes always run under the empty triangle and
+acceptances are deterministic, one oracle can be shared across
+simulations at different processor counts and top-alignment targets —
+they all discover the same acceptance sequence, which is also how the
+paper's speedups are comparable across configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..align.base import AlignmentProblem, get_engine
+from ..align.matrix import full_matrix
+from ..align.traceback import traceback
+from ..core.bottomrows import BottomRowStore
+from ..core.result import TopAlignment
+from ..core.tasks import Task, TaskQueue
+from ..scoring.exchange import ExchangeMatrix
+from ..scoring.gaps import GapPenalties
+from ..sequences.sequence import Sequence
+from .machine import PENTIUM3, MachineModel
+from .network import NetworkModel
+
+__all__ = [
+    "VersionedTriangle",
+    "AlignmentOracle",
+    "ClusterConfig",
+    "SimulationResult",
+    "ClusterSimulator",
+    "simulate_cluster",
+]
+
+
+class VersionedTriangle:
+    """Override triangle whose row masks can be queried *at any version*.
+
+    Cell ``(i, j)`` stores ``a + 1`` where ``a`` is the index of the
+    acceptance that marked it (0 = unmarked); the mask at version ``v``
+    is ``0 < stamp <= v``.  This is what lets the oracle recompute what
+    a slave saw at assignment time.
+    """
+
+    def __init__(self, m: int) -> None:
+        self.m = m
+        self._stamp = np.zeros((m + 1, m + 1), dtype=np.int32)
+
+    def mark(self, pairs: tuple[tuple[int, int], ...], acceptance_index: int) -> None:
+        """Stamp the pairs of acceptance ``acceptance_index`` (0-based)."""
+        for i, j in pairs:
+            if not 1 <= i < j <= self.m:
+                raise ValueError(f"pair ({i}, {j}) outside the triangle")
+            if self._stamp[i, j] != 0:
+                raise ValueError(f"pair ({i}, {j}) marked twice")
+            self._stamp[i, j] = acceptance_index + 1
+
+    def view(self, r: int, version: int) -> "_VersionView":
+        """Engine-facing override view of split ``r`` at ``version``."""
+        return _VersionView(self._stamp, r, version)
+
+
+class _VersionView:
+    __slots__ = ("_stamp", "_r", "_version")
+
+    def __init__(self, stamp: np.ndarray, r: int, version: int) -> None:
+        self._stamp = stamp
+        self._r = r
+        self._version = version
+
+    def row_mask(self, y: int) -> np.ndarray | None:
+        if self._version == 0:
+            return None
+        row = self._stamp[y, self._r + 1 :]
+        mask = (row > 0) & (row <= self._version)
+        return mask if mask.any() else None
+
+
+class AlignmentOracle:
+    """Memoised "what would the algorithm compute" backend.
+
+    ``score(r, version)`` and ``accept(r, version)`` produce exactly
+    what :class:`repro.core.topalign.TopAlignmentState` would, for any
+    triangle version — computed lazily with a real engine and cached,
+    so many simulated schedules can share one oracle.
+    """
+
+    def __init__(
+        self,
+        sequence: Sequence,
+        exchange: ExchangeMatrix,
+        gaps: GapPenalties = GapPenalties(),
+        *,
+        engine: str = "vector",
+    ) -> None:
+        self.codes = sequence.codes
+        self.m = len(sequence)
+        self.exchange = exchange
+        self.gaps = gaps
+        self.engine = get_engine(engine)
+        self.triangle = VersionedTriangle(self.m)
+        self.bottom_rows = BottomRowStore(self.m)
+        self.acceptances: list[TopAlignment] = []
+        self._scores: dict[tuple[int, int], float] = {}
+        #: Matrix cells actually evaluated (distinct computations only).
+        self.cells_computed = 0
+
+    def problem(self, r: int, version: int) -> AlignmentProblem:
+        """The alignment problem of split ``r`` at triangle ``version``."""
+        return AlignmentProblem(
+            self.codes[:r],
+            self.codes[r:],
+            self.exchange,
+            self.gaps,
+            self.triangle.view(r, version),
+        )
+
+    def score(self, r: int, version: int) -> float:
+        """Bottom-row score of split ``r`` under triangle ``version``."""
+        if version > len(self.acceptances):
+            raise ValueError(
+                f"version {version} not yet reached "
+                f"({len(self.acceptances)} acceptances known)"
+            )
+        key = (r, version)
+        if key in self._scores:
+            return self._scores[key]
+        row = self.engine.last_row(self.problem(r, version))
+        self.cells_computed += r * (self.m - r)
+        if r not in self.bottom_rows:
+            if version != 0:
+                raise AssertionError(
+                    "first pass of a split must run under the empty triangle"
+                )
+            self.bottom_rows.put(r, row)
+            score = float(row.max())
+        elif version == 0:
+            score = float(self.bottom_rows.get(r).max())
+        else:
+            score = self.bottom_rows.score_of(r, row)
+        self._scores[key] = score
+        return score
+
+    def accept(self, r: int, version: int) -> TopAlignment:
+        """The acceptance of split ``r`` as top alignment ``version``.
+
+        Replays from cache when this acceptance was already discovered
+        by an earlier simulation; otherwise performs the real traceback
+        and extends the acceptance sequence.
+        """
+        if version < len(self.acceptances):
+            cached = self.acceptances[version]
+            if cached.r != r:
+                raise AssertionError(
+                    f"divergent schedules: acceptance {version} was split "
+                    f"{cached.r}, now {r}"
+                )
+            return cached
+        if version != len(self.acceptances):
+            raise ValueError("acceptances must be discovered in order")
+        problem = self.problem(r, version)
+        matrix = full_matrix(problem)
+        self.cells_computed += r * (self.m - r)
+        bottom = np.asarray(matrix[-1], dtype=np.float64)
+        valid = self.bottom_rows.valid_mask(r, bottom)
+        candidates = np.where(valid, bottom, -np.inf)
+        end_x = int(np.argmax(candidates))
+        path = traceback(problem, matrix, problem.rows, end_x)
+        pairs = tuple((step.y, r + step.x) for step in path.pairs)
+        alignment = TopAlignment(
+            index=version, r=r, score=float(candidates[end_x]), pairs=pairs
+        )
+        self.triangle.mark(pairs, version)
+        self.acceptances.append(alignment)
+        return alignment
+
+    @property
+    def distinct_alignments(self) -> int:
+        """Number of distinct (split, version) scores computed so far."""
+        return len(self._scores)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One simulated deployment.
+
+    ``processors`` counts CPUs.  With ``dedicated_master=True`` (the
+    paper's MPI setup) one CPU only runs the queue/traceback and
+    ``processors - 1`` CPUs align; messages cost network time.  With
+    ``dedicated_master=False`` (allowed only for ``processors == 1``)
+    the single CPU does everything and communication is free — the
+    sequential baseline.
+    """
+
+    processors: int
+    machine: MachineModel = PENTIUM3
+    tier: str = "sse"
+    traceback_tier: str = "conventional"
+    dedicated_master: bool = True
+    network: NetworkModel = field(default_factory=NetworkModel)
+    min_score: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise ValueError("need at least one processor")
+        if self.dedicated_master and self.processors < 2:
+            raise ValueError("a dedicated master needs at least 2 processors")
+        if not self.dedicated_master and self.processors != 1:
+            raise ValueError("shared master only supported for 1 processor")
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one simulated run."""
+
+    config: ClusterConfig
+    k: int
+    #: Simulated seconds until the k-th top alignment was accepted.
+    makespan: float
+    #: Simulated time of each acceptance.
+    acceptance_times: list[float]
+    #: Alignment tasks executed (including speculative ones).
+    alignments_executed: int
+    #: Alignments the sequential algorithm would have executed.
+    alignments_sequential: int
+    top_alignments: list[TopAlignment] = field(default_factory=list)
+
+    @property
+    def speculation_overhead(self) -> float:
+        """Fraction of extra alignments vs the sequential run (§5.2's 8.4 %)."""
+        if self.alignments_sequential == 0:
+            return 0.0
+        return (
+            self.alignments_executed - self.alignments_sequential
+        ) / self.alignments_sequential
+
+
+class ClusterSimulator:
+    """Event-driven replay of the master/slave protocol in simulated time.
+
+    Pass a :class:`~repro.simulate.trace.TraceRecorder` as ``trace`` to
+    collect per-CPU busy spans for utilisation/Gantt analysis.
+    """
+
+    def __init__(
+        self, oracle: AlignmentOracle, config: ClusterConfig, *, trace=None
+    ) -> None:
+        self.oracle = oracle
+        self.config = config
+        self.trace = trace
+
+    # -- cost helpers ---------------------------------------------------------
+
+    def _cells(self, r: int) -> int:
+        return r * (self.oracle.m - r)
+
+    def _node_of(self, worker: int) -> int:
+        return worker // self.config.machine.cpus_per_node
+
+    def _align_seconds(self, r: int, *, busy_cpus: int = 1) -> float:
+        return self.config.machine.align_seconds(
+            self._cells(r), self.config.tier, busy_cpus=busy_cpus
+        )
+
+    def _traceback_seconds(self, alignment: TopAlignment) -> float:
+        return self.config.machine.traceback_seconds(
+            self._cells(alignment.r), len(alignment.pairs), self.config.traceback_tier
+        )
+
+    def _roundtrip_seconds(self, r: int, worker: int) -> float:
+        if not self.config.dedicated_master:
+            return 0.0
+        net = self.config.network
+        # Task request down (tiny), bottom row back up (2-byte scores,
+        # as in the paper's short-integer implementation).
+        down = net.transfer_seconds(32, endpoint=0)
+        up = net.transfer_seconds(2 * (self.oracle.m - r), endpoint=worker + 1)
+        return down + up
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self, k: int) -> SimulationResult:
+        """Simulate until ``k`` top alignments are accepted (or exhausted)."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        oracle = self.oracle
+        cfg = self.config
+        n_workers = cfg.processors - 1 if cfg.dedicated_master else 1
+
+        import heapq
+
+        queue = TaskQueue()
+        for r in range(1, oracle.m):
+            queue.insert(Task(r))
+        worker_free = [0.0] * n_workers
+        idle = list(range(n_workers - 1, -1, -1))  # pop() yields lowest id
+        inflight: dict[int, tuple[Task, int, int]] = {}  # r -> (task, version, worker)
+        events: list[tuple[float, int, int]] = []  # (completion_time, seq, r)
+        seq_counter = 0
+        clock = 0.0
+        master_free = 0.0
+        version = 0
+        acceptance_times: list[float] = []
+        executed = 0
+
+        def dominates(task: Task) -> bool:
+            return all(
+                t.score < task.score or (t.score == task.score and t.r > task.r)
+                for t, _, _ in inflight.values()
+            )
+
+        def pop_stale() -> Task | None:
+            """Highest-score stale task above the threshold, if any."""
+            skipped: list[Task] = []
+            picked: Task | None = None
+            while queue:
+                cand = queue.pop_highest()
+                if cand.score <= cfg.min_score:
+                    skipped.append(cand)
+                    break
+                if cand.aligned_with == version:
+                    skipped.append(cand)
+                    continue
+                picked = cand
+                break
+            for t in skipped:
+                queue.insert(t)
+            return picked
+
+        def progress() -> None:
+            """Accept and assign everything possible at the current clock."""
+            nonlocal version, master_free, executed, seq_counter
+            while len(acceptance_times) < k:
+                # Acceptance: head current, above threshold, dominant.
+                if queue:
+                    head = queue.pop_highest()
+                    if (
+                        head.aligned_with == version
+                        and head.score > cfg.min_score
+                        and dominates(head)
+                    ):
+                        start = max(clock, master_free)
+                        alignment = oracle.accept(head.r, version)
+                        master_free = start + self._traceback_seconds(alignment)
+                        if self.trace is not None:
+                            self.trace.record(
+                                -1, start, master_free, "traceback", head.r
+                            )
+                        acceptance_times.append(master_free)
+                        version += 1
+                        queue.insert(head)
+                        continue
+                    queue.insert(head)
+                # Assignment of stale work to idle workers.
+                if not idle:
+                    return
+                task = pop_stale()
+                if task is None:
+                    return
+                worker = idle.pop()
+                start = max(clock, master_free, worker_free[worker])
+                # SMP contention (§5.2): CPUs sharing a node run at the
+                # machine's SMP efficiency while siblings are busy.
+                # Approximated with the node occupancy at assignment.
+                node = self._node_of(worker)
+                busy = 1 + sum(
+                    1
+                    for _, _, w in inflight.values()
+                    if self._node_of(w) == node
+                )
+                duration = self._align_seconds(
+                    task.r, busy_cpus=busy
+                ) + self._roundtrip_seconds(task.r, worker)
+                done = start + duration
+                worker_free[worker] = done
+                if self.trace is not None:
+                    self.trace.record(worker, start, done, "align", task.r)
+                inflight[task.r] = (task, version, worker)
+                heapq.heappush(events, (done, seq_counter, task.r))
+                seq_counter += 1
+                executed += 1
+
+        progress()
+        while events and len(acceptance_times) < k:
+            done, _, r = heapq.heappop(events)
+            clock = done
+            task, assigned_version, worker = inflight.pop(r)
+            if not cfg.dedicated_master:
+                # Single-CPU mode: the worker also did any tracebacks,
+                # which master_free already accounts for.
+                clock = max(clock, master_free)
+            task.score = oracle.score(r, assigned_version)
+            task.aligned_with = assigned_version
+            queue.insert(task)
+            idle.append(worker)
+            idle.sort(reverse=True)
+            progress()
+
+        makespan = acceptance_times[-1] if acceptance_times else clock
+        return SimulationResult(
+            config=cfg,
+            k=k,
+            makespan=makespan,
+            acceptance_times=acceptance_times,
+            alignments_executed=executed,
+            alignments_sequential=0,  # filled in by simulate_cluster
+            top_alignments=list(oracle.acceptances[: len(acceptance_times)]),
+        )
+
+
+def simulate_cluster(
+    sequence: Sequence,
+    k: int,
+    exchange: ExchangeMatrix,
+    gaps: GapPenalties = GapPenalties(),
+    *,
+    config: ClusterConfig,
+    oracle: AlignmentOracle | None = None,
+    engine: str = "vector",
+) -> SimulationResult:
+    """Simulate one cluster run; see :class:`ClusterSimulator`.
+
+    A pre-built (shareable) ``oracle`` makes parameter sweeps cheap.
+    The result's ``alignments_sequential`` is filled in by replaying a
+    one-processor schedule, so ``speculation_overhead`` is meaningful.
+    """
+    if oracle is None:
+        oracle = AlignmentOracle(sequence, exchange, gaps, engine=engine)
+    result = ClusterSimulator(oracle, config).run(k)
+    seq_config = ClusterConfig(
+        processors=1,
+        machine=config.machine,
+        tier=config.tier,
+        traceback_tier=config.traceback_tier,
+        dedicated_master=False,
+    )
+    seq_result = ClusterSimulator(oracle, seq_config).run(k)
+    result.alignments_sequential = seq_result.alignments_executed
+    return result

@@ -1,0 +1,67 @@
+"""A minimal discrete-event engine.
+
+The cluster simulator needs nothing fancy: a monotone clock, a heap of
+timestamped events, deterministic ordering for simultaneous events.
+Kept generic (and separately tested) so the network and machine models
+can be exercised in isolation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Event", "EventLoop"]
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled occurrence.
+
+    Ordering is ``(time, priority, seq)``: ties at the same timestamp
+    resolve by explicit priority, then insertion order — simulations
+    stay deterministic without relying on payload comparability.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    kind: str = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventLoop:
+    """Heap-backed event queue with a monotone clock."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+
+    def schedule(
+        self, time: float, kind: str, payload: Any = None, *, priority: int = 0
+    ) -> Event:
+        """Add an event at absolute ``time`` (must not precede the clock)."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past: {time} < now {self.now}"
+            )
+        event = Event(time, priority, next(self._counter), kind, payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove the earliest event and advance the clock to it."""
+        if not self._heap:
+            raise IndexError("event loop is empty")
+        event = heapq.heappop(self._heap)
+        self.now = event.time
+        return event
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,115 @@
+"""CPU cost models, calibrated from the paper's own measurements.
+
+Table 2 pins down every rate we need:
+
+* Pentium III, conventional: the largest titin split (17175 x 17175
+  cells) takes 5.2 s  -> 5.67e7 cells/s;
+* Pentium III, SSE: 4 such matrices in 3.0 s -> 3.93e8 cells/s
+  (the paper's 6.9x improvement);
+* Pentium 4, conventional: 2.7 s -> 1.09e8 cells/s;
+* Pentium 4, SSE: 4 in 1.8 s -> 6.56e8 (6.0x);
+* Pentium 4, SSE2: 8 in 2.2 s -> 1.07e9 cells/s ("more than a billion
+  matrix entries per second", 9.8x).
+
+§5.2 gives the SMP contention model: with the cache-aware kernels the
+second CPU of a node adds 100 %; without cache awareness, memory-bus
+contention limits it to +25 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineModel", "PENTIUM3", "PENTIUM4", "pentium3", "pentium4"]
+
+_TITIN_HALF = 17175.0 * 17175.0  # cells of the largest titin split matrix
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Per-CPU throughput model of one cluster node.
+
+    Parameters
+    ----------
+    name:
+        Model label.
+    rates:
+        cells/second per instruction tier, e.g. ``{"conventional":
+        5.67e7, "sse": 3.93e8}``.
+    cpus_per_node:
+        CPUs sharing one node's memory bus (DAS-2: 2).
+    smp_efficiency:
+        Per-CPU rate multiplier when *both* CPUs of a node are busy.
+        1.0 for the cache-aware kernels (§5.2: "+100 %"), 0.625 for the
+        non-cache-aware ones (2 x 0.625 = 1.25 -> "+25 %").
+    traceback_overhead:
+        Seconds per traced path cell on top of the matrix recompute
+        (pointer chasing is slower than streaming).
+    """
+
+    name: str
+    rates: dict[str, float]
+    cpus_per_node: int = 2
+    smp_efficiency: float = 1.0
+    traceback_overhead: float = 1e-6
+
+    def rate(self, tier: str, *, busy_cpus: int = 1) -> float:
+        """Effective cells/second of one CPU at ``tier``.
+
+        ``busy_cpus`` is how many CPUs of the node are concurrently
+        active; beyond one, the SMP efficiency factor applies.
+        """
+        try:
+            base = self.rates[tier]
+        except KeyError:
+            raise KeyError(
+                f"machine {self.name!r} has no tier {tier!r}; "
+                f"available: {sorted(self.rates)}"
+            ) from None
+        if busy_cpus <= 1:
+            return base
+        return base * self.smp_efficiency
+
+    def align_seconds(self, cells: int, tier: str, *, busy_cpus: int = 1) -> float:
+        """Time to score one matrix of ``cells`` entries."""
+        return cells / self.rate(tier, busy_cpus=busy_cpus)
+
+    def traceback_seconds(self, cells: int, path_length: int, tier: str) -> float:
+        """Time to recompute a full matrix and walk its path back."""
+        return self.align_seconds(cells, tier) + path_length * self.traceback_overhead
+
+    def improvement(self, tier: str, baseline: str = "conventional") -> float:
+        """Throughput ratio of ``tier`` over ``baseline`` (Table 2's numbers)."""
+        return self.rates[tier] / self.rates[baseline]
+
+
+def pentium3() -> MachineModel:
+    """The DAS-2 node model: 1.0 GHz dual Pentium III."""
+    return MachineModel(
+        name="pentium3",
+        rates={
+            "conventional": _TITIN_HALF / 5.2,
+            "sse": 4.0 * _TITIN_HALF / 3.0,
+        },
+        cpus_per_node=2,
+        smp_efficiency=1.0,
+    )
+
+
+def pentium4() -> MachineModel:
+    """The paper's SSE2 test machine: 2.53 GHz Pentium 4."""
+    return MachineModel(
+        name="pentium4",
+        rates={
+            "conventional": _TITIN_HALF / 2.7,
+            "sse": 4.0 * _TITIN_HALF / 1.8,
+            "sse2": 8.0 * _TITIN_HALF / 2.2,
+        },
+        cpus_per_node=1,
+        smp_efficiency=1.0,
+    )
+
+
+#: Singleton-style defaults for convenience.
+PENTIUM3 = pentium3()
+PENTIUM4 = pentium4()

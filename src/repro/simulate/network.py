@@ -1,0 +1,58 @@
+"""Network model: a Myrinet-like switched interconnect (§4.3/§5.2).
+
+DAS-2 connects its nodes through Myrinet — "a 2 Gb/s bidirectional,
+switched network".  The model is deliberately simple: per-message
+latency plus payload over per-link bandwidth, with per-slave byte
+counters so benchmarks can check the paper's observation that "each
+slave processor sends up to 64 KB/s, and neither the master processor
+nor the Myrinet network forms a bottleneck".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass
+class NetworkModel:
+    """Latency/bandwidth cost model with per-endpoint accounting.
+
+    Parameters
+    ----------
+    latency:
+        One-way message latency in seconds (Myrinet-era: ~10 us).
+    bandwidth:
+        Per-link bandwidth in bytes/second (2 Gb/s ~ 2.5e8 B/s).
+    """
+
+    latency: float = 10e-6
+    bandwidth: float = 2.5e8
+    bytes_by_endpoint: dict[int, int] = field(default_factory=dict)
+    messages: int = 0
+
+    def transfer_seconds(self, nbytes: int, *, endpoint: int | None = None) -> float:
+        """Cost of one message of ``nbytes`` payload; records accounting."""
+        if nbytes < 0:
+            raise ValueError("message size cannot be negative")
+        self.messages += 1
+        if endpoint is not None:
+            self.bytes_by_endpoint[endpoint] = (
+                self.bytes_by_endpoint.get(endpoint, 0) + nbytes
+            )
+        return self.latency + nbytes / self.bandwidth
+
+    def endpoint_rate(self, endpoint: int, elapsed: float) -> float:
+        """Average bytes/second an endpoint sent over ``elapsed`` seconds."""
+        if elapsed <= 0:
+            return 0.0
+        return self.bytes_by_endpoint.get(endpoint, 0) / elapsed
+
+    def peak_endpoint_rate(self, elapsed: float) -> float:
+        """Max average send rate over all endpoints (the 64 KB/s check)."""
+        if not self.bytes_by_endpoint:
+            return 0.0
+        return max(
+            self.endpoint_rate(ep, elapsed) for ep in self.bytes_by_endpoint
+        )

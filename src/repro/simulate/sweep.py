@@ -1,0 +1,119 @@
+"""Parameter sweeps over the cluster simulator.
+
+The Figure 8 study is a grid: processor counts x top-alignment targets
+(x machines, x tiers).  :func:`sweep_cluster` runs such a grid against
+one shared oracle (so each distinct alignment is computed once across
+the whole sweep), returns flat records, and exports CSV — the raw
+material for EXPERIMENTS.md and for anyone re-plotting the figure.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from dataclasses import asdict, dataclass
+from typing import Sequence as Seq
+
+from ..scoring.exchange import ExchangeMatrix
+from ..scoring.gaps import GapPenalties
+from ..sequences.sequence import Sequence
+from .cluster import AlignmentOracle, ClusterConfig, ClusterSimulator
+from .machine import PENTIUM3, MachineModel
+
+__all__ = ["SweepRecord", "sweep_cluster", "records_to_csv"]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One grid point of a cluster sweep."""
+
+    processors: int
+    k: int
+    tier: str
+    machine: str
+    makespan: float
+    speedup_vs_conventional: float
+    speedup_vs_tier: float
+    efficiency: float
+    alignments_executed: int
+    speculation_overhead: float
+
+
+def sweep_cluster(
+    sequence: Sequence,
+    exchange: ExchangeMatrix,
+    gaps: GapPenalties = GapPenalties(),
+    *,
+    processors: Seq[int] = (2, 4, 8, 16, 32, 64, 128),
+    ks: Seq[int] = (1, 2, 5, 10, 25),
+    machine: MachineModel = PENTIUM3,
+    tier: str = "sse",
+    engine: str = "vector",
+    oracle: AlignmentOracle | None = None,
+) -> list[SweepRecord]:
+    """Run the (processors x ks) grid and return one record per point."""
+    if oracle is None:
+        oracle = AlignmentOracle(sequence, exchange, gaps, engine=engine)
+    records: list[SweepRecord] = []
+    for k in sorted(set(ks)):
+        conv = ClusterSimulator(
+            oracle,
+            ClusterConfig(
+                processors=1,
+                machine=machine,
+                tier="conventional",
+                dedicated_master=False,
+            ),
+        ).run(k)
+        tier_base = ClusterSimulator(
+            oracle,
+            ClusterConfig(
+                processors=1, machine=machine, tier=tier, dedicated_master=False
+            ),
+        ).run(k)
+        for p in processors:
+            result = ClusterSimulator(
+                oracle,
+                ClusterConfig(processors=p, machine=machine, tier=tier),
+            ).run(k)
+            vs_tier = tier_base.makespan / result.makespan
+            records.append(
+                SweepRecord(
+                    processors=p,
+                    k=k,
+                    tier=tier,
+                    machine=machine.name,
+                    makespan=result.makespan,
+                    speedup_vs_conventional=conv.makespan / result.makespan,
+                    speedup_vs_tier=vs_tier,
+                    efficiency=vs_tier / max(p - 1, 1),
+                    alignments_executed=result.alignments_executed,
+                    speculation_overhead=(
+                        (result.alignments_executed - tier_base.alignments_executed)
+                        / tier_base.alignments_executed
+                        if tier_base.alignments_executed
+                        else 0.0
+                    ),
+                )
+            )
+    return records
+
+
+def records_to_csv(
+    records: list[SweepRecord], target: str | os.PathLike | None = None
+) -> str:
+    """Serialise records to CSV; optionally also write to ``target``."""
+    buffer = io.StringIO()
+    if records:
+        writer = csv.DictWriter(
+            buffer, fieldnames=list(asdict(records[0])), lineterminator="\n"
+        )
+        writer.writeheader()
+        for record in records:
+            writer.writerow(asdict(record))
+    text = buffer.getvalue()
+    if target is not None:
+        with open(os.fspath(target), "w", encoding="ascii") as handle:
+            handle.write(text)
+    return text

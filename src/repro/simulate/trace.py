@@ -1,0 +1,118 @@
+"""Simulation tracing: per-CPU timelines, utilisation, phase analysis.
+
+The paper explains its Figure 8 efficiencies qualitatively ("3.9 %
+performance loss is caused by sacrificing one master processor and by a
+small load imbalance at the end of the iteration, since the traceback
+... is done sequentially").  Tracing makes those components measurable:
+a :class:`TraceRecorder` attached to a
+:class:`~repro.simulate.cluster.ClusterSimulator` collects every task
+execution and acceptance as timestamped spans, from which utilisation,
+idle fractions, the traceback share, and a text Gantt chart are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "TraceRecorder", "TraceReport"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One busy interval of one processor."""
+
+    cpu: int  # worker id, or -1 for the master
+    start: float
+    end: float
+    kind: str  # "align" or "traceback"
+    r: int  # split point
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class TraceRecorder:
+    """Collects spans; attach via ``ClusterSimulator(..., trace=recorder)``."""
+
+    spans: list[Span] = field(default_factory=list)
+
+    def record(self, cpu: int, start: float, end: float, kind: str, r: int) -> None:
+        if end < start:
+            raise ValueError("span ends before it starts")
+        self.spans.append(Span(cpu, start, end, kind, r))
+
+    def report(self, makespan: float, n_workers: int) -> "TraceReport":
+        """Aggregate the spans over ``makespan`` simulated seconds."""
+        if makespan <= 0:
+            raise ValueError("makespan must be positive")
+        busy = {cpu: 0.0 for cpu in range(n_workers)}
+        traceback_time = 0.0
+        align_time = 0.0
+        for span in self.spans:
+            if span.kind == "traceback":
+                traceback_time += span.duration
+            else:
+                align_time += span.duration
+                if span.cpu in busy:
+                    busy[span.cpu] += span.duration
+        utilisation = {
+            cpu: min(seconds / makespan, 1.0) for cpu, seconds in busy.items()
+        }
+        return TraceReport(
+            makespan=makespan,
+            n_workers=n_workers,
+            align_time=align_time,
+            traceback_time=traceback_time,
+            utilisation=utilisation,
+            spans=list(self.spans),
+        )
+
+
+@dataclass
+class TraceReport:
+    """Digested trace: the quantities behind the paper's efficiency story."""
+
+    makespan: float
+    n_workers: int
+    align_time: float
+    traceback_time: float
+    utilisation: dict[int, float]
+    spans: list[Span]
+
+    @property
+    def mean_utilisation(self) -> float:
+        """Average busy fraction across workers."""
+        if not self.utilisation:
+            return 0.0
+        return sum(self.utilisation.values()) / len(self.utilisation)
+
+    @property
+    def idle_fraction(self) -> float:
+        """1 - mean utilisation: the paper's "idle slave processors"."""
+        return 1.0 - self.mean_utilisation
+
+    @property
+    def traceback_fraction(self) -> float:
+        """Share of the makespan spent in sequential tracebacks."""
+        return min(self.traceback_time / self.makespan, 1.0)
+
+    def gantt(self, *, width: int = 72, max_cpus: int = 16) -> str:
+        """A text Gantt chart (one row per CPU, '#' = busy, '.' = idle)."""
+        lines = []
+        cpus = sorted({s.cpu for s in self.spans})[:max_cpus]
+        scale = width / self.makespan
+        for cpu in cpus:
+            row = ["."] * width
+            for span in self.spans:
+                if span.cpu != cpu:
+                    continue
+                lo = int(span.start * scale)
+                hi = max(int(span.end * scale), lo + 1)
+                mark = "T" if span.kind == "traceback" else "#"
+                for i in range(lo, min(hi, width)):
+                    row[i] = mark
+            label = "master" if cpu == -1 else f"cpu{cpu:3d}"
+            lines.append(f"{label:>7} |{''.join(row)}|")
+        return "\n".join(lines)

@@ -1,0 +1,211 @@
+"""Cross-engine equivalence: every engine must reproduce the scalar reference.
+
+This is the correctness core of the SIMD reproduction — the paper's
+lane-parallel kernels compute "exactly the same" matrices as the
+conventional code, and so must ours, bit for bit on integral scores.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import (
+    AlignmentProblem,
+    LanesEngine,
+    ScalarEngine,
+    StripedEngine,
+    VectorEngine,
+)
+from repro.scoring import GapPenalties, blosum62, match_mismatch
+from repro.sequences import DNA, PROTEIN
+from repro.sequences.workloads import pseudo_titin
+
+ENGINES = [
+    VectorEngine(),
+    LanesEngine(lanes=4, dtype="float64"),
+    LanesEngine(lanes=4, dtype="int32"),
+    LanesEngine(lanes=4, dtype="int16"),
+    StripedEngine(stripe=7),
+    StripedEngine(stripe=64),
+]
+
+
+def _random_problem(rng, ex, gaps, max_len=40):
+    s1 = rng.integers(0, 4, rng.integers(1, max_len)).astype(np.int8)
+    s2 = rng.integers(0, 4, rng.integers(1, max_len)).astype(np.int8)
+    return AlignmentProblem(s1, s2, ex, gaps)
+
+
+@pytest.mark.parametrize("engine", ENGINES, ids=lambda e: repr(e))
+class TestAgainstScalar:
+    def test_figure2(self, engine, figure2_problem):
+        expected = ScalarEngine().last_row(figure2_problem)
+        assert np.array_equal(engine.last_row(figure2_problem), expected)
+
+    def test_random_dna(self, engine, dna_scoring):
+        ex, gaps = dna_scoring
+        rng = np.random.default_rng(42)
+        for _ in range(10):
+            p = _random_problem(rng, ex, gaps)
+            expected = ScalarEngine().last_row(p)
+            assert np.array_equal(engine.last_row(p), expected)
+
+    def test_protein_blosum(self, engine, protein_scoring):
+        ex, gaps = protein_scoring
+        seq = pseudo_titin(70, seed=3)
+        p = AlignmentProblem(seq.codes[:30], seq.codes[30:], ex, gaps)
+        expected = ScalarEngine().last_row(p)
+        assert np.array_equal(engine.last_row(p), expected)
+
+    def test_empty_sequences(self, engine, dna_scoring):
+        ex, gaps = dna_scoring
+        p = AlignmentProblem(
+            np.array([], dtype=np.int8), DNA.encode("ACG"), ex, gaps
+        )
+        assert np.array_equal(engine.last_row(p), np.zeros(4))
+
+
+class TestLaneBatches:
+    def test_batch_matches_individual(self, protein_scoring):
+        ex, gaps = protein_scoring
+        seq = pseudo_titin(60, seed=5)
+        problems = [
+            AlignmentProblem(seq.codes[:r], seq.codes[r:], ex, gaps)
+            for r in range(20, 28)
+        ]
+        engine = LanesEngine(lanes=8, dtype="float64")
+        batch = engine.last_rows_batch(problems)
+        scalar = ScalarEngine()
+        for p, row in zip(problems, batch):
+            assert np.array_equal(row, scalar.last_row(p))
+
+    def test_mixed_sizes_padding(self, dna_scoring):
+        """Lanes of wildly different shapes must not contaminate each other."""
+        ex, gaps = dna_scoring
+        rng = np.random.default_rng(9)
+        problems = [
+            AlignmentProblem(
+                rng.integers(0, 4, n1).astype(np.int8),
+                rng.integers(0, 4, n2).astype(np.int8),
+                ex,
+                gaps,
+            )
+            for n1, n2 in [(3, 40), (40, 3), (1, 1), (17, 17), (2, 30)]
+        ]
+        batch = LanesEngine(dtype="float64").last_rows_batch(problems)
+        scalar = ScalarEngine()
+        for p, row in zip(problems, batch):
+            assert np.array_equal(row, scalar.last_row(p))
+
+    def test_batch_with_empty_lane(self, dna_scoring):
+        ex, gaps = dna_scoring
+        problems = [
+            AlignmentProblem(DNA.encode("ACGT"), DNA.encode("ACGT"), ex, gaps),
+            AlignmentProblem(np.array([], dtype=np.int8), DNA.encode("AC"), ex, gaps),
+        ]
+        batch = LanesEngine().last_rows_batch(problems)
+        assert batch[0][4] > 0
+        assert np.array_equal(batch[1], np.zeros(3))
+
+    def test_empty_batch(self):
+        assert LanesEngine().last_rows_batch([]) == []
+
+    def test_mismatched_gaps_rejected(self, dna_scoring):
+        ex, _ = dna_scoring
+        p1 = AlignmentProblem(DNA.encode("AC"), DNA.encode("AC"), ex, GapPenalties(2, 1))
+        p2 = AlignmentProblem(DNA.encode("AC"), DNA.encode("AC"), ex, GapPenalties(3, 1))
+        with pytest.raises(ValueError, match="gap penalties"):
+            LanesEngine().last_rows_batch([p1, p2])
+
+    def test_mismatched_exchange_rejected(self):
+        gaps = GapPenalties(2, 1)
+        p1 = AlignmentProblem(
+            DNA.encode("AC"), DNA.encode("AC"), match_mismatch(DNA, 2, -1), gaps
+        )
+        p2 = AlignmentProblem(
+            DNA.encode("AC"), DNA.encode("AC"), match_mismatch(DNA, 3, -1), gaps
+        )
+        with pytest.raises(ValueError, match="exchange"):
+            LanesEngine().last_rows_batch([p1, p2])
+
+    def test_int16_mode_rejects_fractional_penalties(self, dna_scoring):
+        ex, _ = dna_scoring
+        p = AlignmentProblem(
+            DNA.encode("AC"), DNA.encode("AC"), ex, GapPenalties(2.5, 1)
+        )
+        with pytest.raises(ValueError):
+            LanesEngine(dtype="int16").last_row(p)
+
+    def test_int16_saturation(self):
+        """Scores clamp at 32767, mirroring SSE signed-short saturation."""
+        ex = match_mismatch(DNA, 30000.0, -1.0, wildcard_score=None)
+        gaps = GapPenalties(2, 1)
+        p = AlignmentProblem(DNA.encode("AAAA"), DNA.encode("AAAA"), ex, gaps)
+        row16 = LanesEngine(dtype="int16").last_row(p)
+        assert row16.max() == 32767
+        row64 = LanesEngine(dtype="float64").last_row(p)
+        assert row64.max() > 32767
+
+
+class TestEngineConstruction:
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            LanesEngine(lanes=0)
+
+    def test_invalid_dtype(self):
+        with pytest.raises(ValueError):
+            LanesEngine(dtype="int8")
+
+    def test_invalid_stripe(self):
+        with pytest.raises(ValueError):
+            StripedEngine(stripe=0)
+
+    def test_repr(self):
+        assert "int16" in repr(LanesEngine(dtype="int16"))
+        assert "2730" in repr(StripedEngine())
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.data(),
+    stripe=st.integers(1, 20),
+    open_=st.integers(0, 6),
+    ext=st.integers(0, 3),
+)
+def test_striped_equals_scalar_property(data, stripe, open_, ext):
+    """Property: any stripe width reproduces the single-pass result."""
+    ex = match_mismatch(DNA, 2.0, -1.0, wildcard_score=None)
+    gaps = GapPenalties(float(open_), float(ext))
+    s1 = np.array(data.draw(st.lists(st.integers(0, 4), min_size=1, max_size=25)), dtype=np.int8)
+    s2 = np.array(data.draw(st.lists(st.integers(0, 4), min_size=1, max_size=25)), dtype=np.int8)
+    p = AlignmentProblem(s1, s2, ex, gaps)
+    assert np.array_equal(
+        StripedEngine(stripe=stripe).last_row(p), ScalarEngine().last_row(p)
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.data(),
+    group=st.integers(1, 6),
+    dtype=st.sampled_from(["float64", "int32", "int16"]),
+)
+def test_lanes_batch_equals_scalar_property(data, group, dtype):
+    """Property: lockstep lane groups of any width match per-problem scalar."""
+    ex = match_mismatch(DNA, 2.0, -1.0, wildcard_score=None)
+    gaps = GapPenalties(2.0, 1.0)
+    rng_lists = st.lists(st.integers(0, 4), min_size=1, max_size=20)
+    problems = [
+        AlignmentProblem(
+            np.array(data.draw(rng_lists), dtype=np.int8),
+            np.array(data.draw(rng_lists), dtype=np.int8),
+            ex,
+            gaps,
+        )
+        for _ in range(group)
+    ]
+    batch = LanesEngine(dtype=dtype).last_rows_batch(problems)
+    scalar = ScalarEngine()
+    for p, row in zip(problems, batch):
+        assert np.array_equal(row, scalar.last_row(p))

@@ -1,0 +1,163 @@
+"""Tests for traceback and alignment rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import (
+    AlignmentProblem,
+    full_matrix,
+    render_alignment,
+    traceback,
+)
+from repro.scoring import GapPenalties, match_mismatch
+from repro.sequences import DNA
+
+
+def _trace_best(problem):
+    matrix = full_matrix(problem)
+    y, x = np.unravel_index(np.argmax(matrix), matrix.shape)
+    return matrix, traceback(problem, matrix, int(y), int(x))
+
+
+class TestPaperExample:
+    def test_alignment_of_section_21(self, figure2_problem):
+        """§2.1's worked optimum: TTACAGA over TTGC-GA, score 6."""
+        _, path = _trace_best(figure2_problem)
+        assert path.score == 6.0
+        top, mid, bot = render_alignment(figure2_problem, path)
+        assert top == "TTGC-GA"
+        assert bot == "TTACAGA"
+        assert mid == "|| | ||"
+
+    def test_path_pairs_are_strictly_increasing(self, figure2_problem):
+        _, path = _trace_best(figure2_problem)
+        for a, b in zip(path.pairs, path.pairs[1:]):
+            assert b.y > a.y and b.x > a.x
+
+    def test_start_end_accessors(self, figure2_problem):
+        _, path = _trace_best(figure2_problem)
+        assert path.start == path.pairs[0]
+        assert path.end == path.pairs[-1]
+        assert len(path) == len(path.pairs)
+
+    def test_local_alignment_skips_prefix(self, figure2_problem):
+        """'the initial mismatching prefixes C and A are omitted'."""
+        _, path = _trace_best(figure2_problem)
+        assert path.start.y == 2 and path.start.x == 2
+
+
+class TestTracebackMechanics:
+    def test_rejects_nonpositive_cell(self, figure2_problem):
+        matrix = full_matrix(figure2_problem)
+        with pytest.raises(ValueError, match="non-positive"):
+            traceback(figure2_problem, matrix, 1, 1)
+
+    def test_perfect_match_has_no_gaps(self, dna_scoring):
+        ex, gaps = dna_scoring
+        p = AlignmentProblem.from_sequences("ACGT", "ACGT", ex, gaps)
+        _, path = _trace_best(p)
+        assert [(s.y, s.x) for s in path.pairs] == [(1, 1), (2, 2), (3, 3), (4, 4)]
+        assert path.score == 8.0
+
+    def test_horizontal_gap_recovered(self, dna_scoring):
+        """AC-GT vs ACAGT: one horizontal gap of length 1."""
+        ex, gaps = dna_scoring
+        p = AlignmentProblem.from_sequences("ACGT", "ACAGT", ex, gaps)
+        _, path = _trace_best(p)
+        top, mid, bot = render_alignment(p, path)
+        assert top == "AC-GT"
+        assert bot == "ACAGT"
+        # score: 4 matches * 2 - (open 2 + 1 * ext 1) = 5
+        assert path.score == 5.0
+
+    def test_vertical_gap_recovered(self, dna_scoring):
+        ex, gaps = dna_scoring
+        p = AlignmentProblem.from_sequences("ACAGT", "ACGT", ex, gaps)
+        _, path = _trace_best(p)
+        top, _, bot = render_alignment(p, path)
+        assert top == "ACAGT"
+        assert bot == "AC-GT"
+
+    def test_score_consistency_with_pairs(self, dna_scoring):
+        """Recomputing the score from pairs + gaps matches the matrix value."""
+        ex, gaps = dna_scoring
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            s1 = rng.integers(0, 4, 15).astype(np.int8)
+            s2 = rng.integers(0, 4, 15).astype(np.int8)
+            p = AlignmentProblem(s1, s2, ex, gaps)
+            matrix = full_matrix(p)
+            if matrix.max() <= 0:
+                continue
+            _, path = _trace_best(p)
+            score = 0.0
+            prev = None
+            for step in path.pairs:
+                score += ex.scores[s1[step.y - 1], s2[step.x - 1]]
+                if prev is not None:
+                    gy, gx = step.y - prev.y - 1, step.x - prev.x - 1
+                    assert gy == 0 or gx == 0
+                    if gy + gx:
+                        score -= gaps.cost(gy + gx)
+                prev = step
+            assert score == path.score
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=st.data(),
+    open_=st.integers(0, 5),
+    ext=st.integers(0, 3),
+    match=st.integers(1, 6),
+    mismatch=st.integers(-4, 0),
+)
+def test_traceback_total_property(data, open_, ext, match, mismatch):
+    """Property: every traced path's arithmetic reproduces its cell score."""
+    ex = match_mismatch(DNA, float(match), float(mismatch), wildcard_score=None)
+    gaps = GapPenalties(float(open_), float(ext))
+    s1 = np.array(data.draw(st.lists(st.integers(0, 4), min_size=2, max_size=18)), dtype=np.int8)
+    s2 = np.array(data.draw(st.lists(st.integers(0, 4), min_size=2, max_size=18)), dtype=np.int8)
+    p = AlignmentProblem(s1, s2, ex, gaps)
+    matrix = full_matrix(p)
+    if matrix.max() <= 0:
+        return
+    y, x = np.unravel_index(np.argmax(matrix), matrix.shape)
+    path = traceback(p, matrix, int(y), int(x))
+    total = 0.0
+    prev = None
+    for step in path.pairs:
+        total += ex.scores[s1[step.y - 1], s2[step.x - 1]]
+        if prev is not None:
+            gap = (step.y - prev.y - 1) + (step.x - prev.x - 1)
+            if gap:
+                total -= gaps.cost(gap)
+        prev = step
+    assert total == path.score
+    assert path.score == matrix[y, x]
+
+
+class TestAlignmentIdentity:
+    def test_paper_example(self, figure2_problem):
+        """TTGC-GA / TTACAGA: 5 identities over 7 columns."""
+        from repro.align import alignment_identity
+
+        matrix = full_matrix(figure2_problem)
+        y, x = np.unravel_index(np.argmax(matrix), matrix.shape)
+        path = traceback(figure2_problem, matrix, int(y), int(x))
+        assert alignment_identity(figure2_problem, path) == pytest.approx(5 / 7)
+
+    def test_perfect_match(self, dna_scoring):
+        from repro.align import alignment_identity
+
+        ex, gaps = dna_scoring
+        p = AlignmentProblem.from_sequences("ACGT", "ACGT", ex, gaps)
+        _, path = _trace_best(p)
+        assert alignment_identity(p, path) == 1.0
+
+    def test_empty_path(self, figure2_problem):
+        from repro.align import alignment_identity
+        from repro.align.traceback import AlignmentPath
+
+        assert alignment_identity(figure2_problem, AlignmentPath((), 0.0)) == 0.0

@@ -1,0 +1,84 @@
+"""Tests for the high-level API (RepeatFinder / find_repeats)."""
+
+import pytest
+
+from repro import find_repeats
+from repro.core import RepeatFinder, RepeatResult
+from repro.scoring import GapPenalties, match_mismatch
+from repro.sequences import DNA, Sequence, tandem_repeat_sequence
+
+
+class TestFindRepeats:
+    def test_tandem_dna_end_to_end(self):
+        seq = tandem_repeat_sequence("ATGC", 3)
+        result = find_repeats(seq, top_alignments=3)
+        assert isinstance(result, RepeatResult)
+        assert len(result.top_alignments) == 3
+        assert len(result.repeats) == 1
+        assert result.repeats[0].copies == ((1, 4), (5, 8), (9, 12))
+
+    def test_string_input_assumed_protein(self):
+        result = find_repeats("MKTAYIAKQRMKTAYIAKQR", top_alignments=2)
+        assert result.top_alignments
+        assert result.top_alignments[0].pairs[0] == (1, 11)
+
+    def test_default_exchange_per_alphabet(self):
+        dna_seq = tandem_repeat_sequence("ATGC", 3)
+        result = find_repeats(dna_seq, top_alignments=1)
+        assert result.top_alignments[0].score == 8.0  # +2/-1 scoring
+
+    def test_explicit_scoring(self):
+        seq = tandem_repeat_sequence("ATGC", 3)
+        result = find_repeats(
+            seq,
+            top_alignments=1,
+            exchange=match_mismatch(DNA, 5.0, -2.0),
+            gaps=GapPenalties(4, 2),
+        )
+        assert result.top_alignments[0].score == 20.0
+
+    def test_old_algorithm_same_results(self):
+        seq = tandem_repeat_sequence("ATGC", 3)
+        new = find_repeats(seq, top_alignments=3, algorithm="new")
+        old = find_repeats(seq, top_alignments=3, algorithm="old")
+        assert [(a.r, a.pairs) for a in new.top_alignments] == [
+            (a.r, a.pairs) for a in old.top_alignments
+        ]
+
+    def test_min_score_filters(self):
+        seq = tandem_repeat_sequence("ATGC", 3)
+        result = find_repeats(seq, top_alignments=10, min_score=7.0)
+        assert all(a.score > 7.0 for a in result.top_alignments)
+
+    def test_stats_present(self):
+        result = find_repeats(tandem_repeat_sequence("ATGC", 3), top_alignments=2)
+        assert result.stats.alignments > 0
+        assert result.stats.tracebacks == 2
+
+
+class TestRepeatFinder:
+    def test_reusable_across_sequences(self):
+        finder = RepeatFinder(top_alignments=2)
+        r1 = finder.find(tandem_repeat_sequence("ATGC", 3))
+        r2 = finder.find(tandem_repeat_sequence("GGCC", 3))
+        assert len(r1.top_alignments) == 2
+        assert len(r2.top_alignments) == 2
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(ValueError):
+            RepeatFinder(algorithm="fastest")
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            RepeatFinder(top_alignments=0)
+
+    def test_engine_selection(self):
+        seq = tandem_repeat_sequence("ATGC", 3)
+        for engine in ("scalar", "vector", "lanes"):
+            result = RepeatFinder(top_alignments=1, engine=engine).find(seq)
+            assert result.top_alignments[0].score == 8.0
+
+    def test_delineation_knobs_forwarded(self):
+        seq = tandem_repeat_sequence("ATGC", 3)
+        result = RepeatFinder(top_alignments=3, min_copy_length=5).find(seq)
+        assert result.repeats == []  # copies are length 4 < 5

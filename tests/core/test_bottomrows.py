@@ -1,0 +1,91 @@
+"""Tests for the bottom-row store and shadow-validity rule."""
+
+import numpy as np
+import pytest
+
+from repro.core import BottomRowStore
+
+
+class TestStore:
+    def test_put_get_roundtrip(self):
+        store = BottomRowStore(6)
+        row = np.array([0.0, 1, 2, 3], dtype=np.float64)
+        store.put(3, row)
+        assert 3 in store
+        assert np.array_equal(store.get(3), row)
+
+    def test_rows_are_frozen_copies(self):
+        store = BottomRowStore(6)
+        row = np.array([0.0, 1, 2, 3])
+        store.put(3, row)
+        row[1] = 99  # caller mutation must not leak in
+        assert store.get(3)[1] == 1
+        with pytest.raises(ValueError):
+            store.get(3)[0] = 5
+
+    def test_write_once(self):
+        store = BottomRowStore(6)
+        store.put(3, np.zeros(4))
+        with pytest.raises(ValueError, match="already stored"):
+            store.put(3, np.zeros(4))
+
+    def test_length_validation(self):
+        store = BottomRowStore(6)
+        with pytest.raises(ValueError, match="length"):
+            store.put(3, np.zeros(5))
+
+    def test_split_bounds(self):
+        store = BottomRowStore(6)
+        with pytest.raises(ValueError):
+            store.put(0, np.zeros(7))
+        with pytest.raises(ValueError):
+            store.put(6, np.zeros(1))
+
+    def test_min_length(self):
+        with pytest.raises(ValueError):
+            BottomRowStore(1)
+
+    def test_len_and_nbytes(self):
+        store = BottomRowStore(6)
+        store.put(3, np.zeros(4))
+        store.put(4, np.zeros(3))
+        assert len(store) == 2
+        assert store.nbytes == 7 * 8
+
+
+class TestShadowValidity:
+    """Appendix A: 'unequal values signify shadow realignments'."""
+
+    def test_unchanged_cells_valid(self):
+        store = BottomRowStore(6)
+        store.put(3, np.array([0.0, 5, 7, 2]))
+        mask = store.valid_mask(3, np.array([0.0, 5, 4, 2]))
+        assert np.array_equal(mask, [True, True, False, True])
+
+    def test_score_is_max_of_valid(self):
+        store = BottomRowStore(6)
+        store.put(3, np.array([0.0, 5, 7, 2]))
+        # The 7 dropped to 4 (shadow); best valid is the untouched 5.
+        assert store.score_of(3, np.array([0.0, 5, 4, 2])) == 5.0
+
+    def test_all_shadowed_scores_zero(self):
+        store = BottomRowStore(6)
+        store.put(3, np.array([0.0, 5, 7, 2]))
+        assert store.score_of(3, np.array([1.0, 4, 6, 1])) == 0.0
+
+    def test_identical_row_scores_original_max(self):
+        store = BottomRowStore(6)
+        row = np.array([0.0, 5, 7, 2])
+        store.put(3, row)
+        assert store.score_of(3, row.copy()) == 7.0
+
+    def test_shape_mismatch_rejected(self):
+        store = BottomRowStore(6)
+        store.put(3, np.zeros(4))
+        with pytest.raises(ValueError, match="mismatch"):
+            store.valid_mask(3, np.zeros(3))
+
+    def test_missing_split_raises(self):
+        store = BottomRowStore(6)
+        with pytest.raises(KeyError):
+            store.get(2)

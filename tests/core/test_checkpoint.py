@@ -1,0 +1,85 @@
+"""Tests for checkpoint save/restore."""
+
+import numpy as np
+import pytest
+
+from repro.core import TopAlignmentState, find_top_alignments
+from repro.core.checkpoint import load_checkpoint, save_checkpoint
+from repro.scoring import GapPenalties, blosum62, pam250
+from repro.sequences import pseudo_titin
+
+
+@pytest.fixture()
+def halfway(tmp_path, protein_scoring):
+    ex, gaps = protein_scoring
+    seq = pseudo_titin(110, seed=13)
+    state = TopAlignmentState(seq, ex, gaps)
+    find_top_alignments(seq, 3, ex, gaps, state=state)
+    path = tmp_path / "run.npz"
+    save_checkpoint(state, path)
+    return seq, ex, gaps, state, path
+
+
+class TestRoundTrip:
+    def test_alignments_restored(self, halfway):
+        seq, ex, gaps, state, path = halfway
+        restored = load_checkpoint(path, seq, ex, gaps)
+        assert [(a.index, a.r, a.score, a.pairs) for a in restored.found] == [
+            (a.index, a.r, a.score, a.pairs) for a in state.found
+        ]
+
+    def test_triangle_restored(self, halfway):
+        seq, ex, gaps, state, path = halfway
+        restored = load_checkpoint(path, seq, ex, gaps)
+        assert set(restored.triangle) == set(state.triangle)
+        assert restored.triangle.version == state.triangle.version
+
+    def test_bottom_rows_restored(self, halfway):
+        seq, ex, gaps, state, path = halfway
+        restored = load_checkpoint(path, seq, ex, gaps)
+        for r in range(1, len(seq)):
+            assert (r in restored.bottom_rows) == (r in state.bottom_rows)
+            if r in state.bottom_rows:
+                assert np.array_equal(
+                    restored.bottom_rows.get(r), state.bottom_rows.get(r)
+                )
+
+    def test_continuation_matches_uninterrupted_run(self, halfway):
+        """The paper-level guarantee: resume + extend == one long run."""
+        seq, ex, gaps, _, path = halfway
+        full, _ = find_top_alignments(seq, 6, ex, gaps)
+        restored = load_checkpoint(path, seq, ex, gaps)
+        resumed, _ = find_top_alignments(seq, 6, ex, gaps, state=restored)
+        assert [(a.index, a.r, a.score, a.pairs) for a in resumed] == [
+            (a.index, a.r, a.score, a.pairs) for a in full
+        ]
+
+
+class TestValidation:
+    def test_wrong_sequence_rejected(self, halfway):
+        _, ex, gaps, _, path = halfway
+        other = pseudo_titin(110, seed=14)
+        with pytest.raises(ValueError, match="different sequence"):
+            load_checkpoint(path, other, ex, gaps)
+
+    def test_wrong_scoring_rejected(self, halfway):
+        seq, _, gaps, _, path = halfway
+        with pytest.raises(ValueError, match="scoring model"):
+            load_checkpoint(path, seq, pam250(), gaps)
+
+    def test_wrong_gaps_rejected(self, halfway):
+        seq, ex, _, _, path = halfway
+        with pytest.raises(ValueError, match="scoring model"):
+            load_checkpoint(path, seq, ex, GapPenalties(3, 2))
+
+    def test_checkpoint_before_any_acceptance(self, tmp_path, protein_scoring):
+        ex, gaps = protein_scoring
+        seq = pseudo_titin(60, seed=1)
+        state = TopAlignmentState(seq, ex, gaps)
+        path = tmp_path / "empty.npz"
+        save_checkpoint(state, path)
+        restored = load_checkpoint(path, seq, ex, gaps)
+        assert restored.found == []
+        tops, _ = find_top_alignments(seq, 2, ex, gaps, state=restored)
+        base, _ = find_top_alignments(seq, 2, ex, gaps)
+        assert [(a.r, a.pairs) for a in tops] == [(a.r, a.pairs) for a in base]

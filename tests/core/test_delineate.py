@@ -1,0 +1,150 @@
+"""Tests for repeat delineation (Repro phase 2)."""
+
+import pytest
+
+from repro.core import (
+    TopAlignment,
+    column_classes,
+    delineate_repeats,
+    find_top_alignments,
+)
+from repro.sequences import tandem_repeat_sequence
+
+
+def _aln(index, r, pairs, score=10.0):
+    return TopAlignment(index=index, r=r, score=score, pairs=tuple(pairs))
+
+
+class TestColumnClasses:
+    def test_single_alignment_pairs(self):
+        aln = _aln(0, 4, [(1, 5), (2, 6)])
+        classes = column_classes([aln])
+        assert classes == [{1, 5}, {2, 6}]
+
+    def test_transitive_closure(self):
+        """(1,5) and (5,9) merge into one class {1,5,9}."""
+        a = _aln(0, 4, [(1, 5)])
+        b = _aln(1, 8, [(5, 9)])
+        assert column_classes([a, b]) == [{1, 5, 9}]
+
+    def test_empty_input(self):
+        assert column_classes([]) == []
+
+    def test_sorted_by_min_position(self):
+        aln = _aln(0, 6, [(3, 7), (1, 8)])
+        classes = column_classes([aln])
+        assert [min(c) for c in classes] == [1, 3]
+
+
+class TestDelineation:
+    def test_perfect_tandem_three_copies(self, dna_scoring):
+        """ATGCATGCATGC -> copies (1,4), (5,8), (9,12)."""
+        ex, gaps = dna_scoring
+        seq = tandem_repeat_sequence("ATGC", 3)
+        tops, _ = find_top_alignments(seq, 3, ex, gaps)
+        repeats = delineate_repeats(tops, len(seq))
+        assert len(repeats) == 1
+        assert repeats[0].copies == ((1, 4), (5, 8), (9, 12))
+        assert repeats[0].columns == 4
+        assert repeats[0].n_copies == 3
+        assert repeats[0].unit_length == 4.0
+
+    def test_aac_question_from_discussion(self, dna_scoring):
+        """§6's AACAACAACAAC: top alignments at every split give 4 AAC copies."""
+        ex, gaps = dna_scoring
+        seq = tandem_repeat_sequence("AAC", 4)
+        tops, _ = find_top_alignments(seq, 6, ex, gaps)
+        repeats = delineate_repeats(tops, len(seq))
+        assert len(repeats) >= 1
+        total_copies = sum(r.n_copies for r in repeats)
+        assert total_copies >= 3
+
+    def test_min_copy_length_filter(self):
+        # Two 1-residue copies fall below the default threshold.
+        aln = _aln(0, 1, [(1, 2)])
+        assert delineate_repeats([aln], 2) == []
+        repeats = delineate_repeats([aln], 2, min_copy_length=1)
+        assert len(repeats) == 1
+        assert repeats[0].copies == ((1, 1), (2, 2))
+
+    def test_max_gap_bridges_diverged_residue(self):
+        """Copies 1-2,4-5 vs 6-7,9-10 with holes at 3 and 8."""
+        aln = _aln(0, 5, [(1, 6), (2, 7), (4, 9), (5, 10)])
+        strict = delineate_repeats([aln], 10)
+        bridged = delineate_repeats([aln], 10, max_gap=1)
+        # Strict: the hole at 3/8 splits each copy -> two 2-copy families.
+        assert [r.copies for r in strict] == [
+            ((1, 2), (6, 7)),
+            ((4, 5), (9, 10)),
+        ]
+        # Bridging one residue reunites them into the intended copies.
+        assert len(bridged) == 1 and bridged[0].copies == ((1, 5), (6, 10))
+
+    def test_column_revisit_splits_copies(self):
+        """A run containing the same column twice cannot be one copy."""
+        a = _aln(0, 2, [(1, 3), (2, 4)])
+        repeats = delineate_repeats([a], 4)
+        assert repeats[0].copies == ((1, 2), (3, 4))
+
+    def test_two_independent_families(self):
+        a = _aln(0, 3, [(1, 4), (2, 5)])
+        b = _aln(1, 12, [(10, 13), (11, 14)])
+        repeats = delineate_repeats([a, b], 14)
+        assert len(repeats) == 2
+        assert repeats[0].family == 0 and repeats[1].family == 1
+
+    def test_no_alignments(self):
+        assert delineate_repeats([], 10) == []
+
+    def test_families_need_two_copies(self):
+        """An isolated run (all its columns shared with nothing) is dropped."""
+        # One alignment whose prefix side is filtered by min_copy_length
+        # leaves a single suffix run -> no family.
+        aln = _aln(0, 1, [(1, 5)])
+        assert delineate_repeats([aln], 5, min_copy_length=1) != []  # both runs len 1
+
+
+class TestScoreFilter:
+    def test_weak_alignments_excluded_by_default(self):
+        """A spurious low-scoring alignment must not merge the classes
+        of a strong one (transitive-closure collapse)."""
+        strong = _aln(0, 4, [(1, 5), (2, 6)], score=100.0)
+        noise = _aln(1, 2, [(2, 5)], score=5.0)  # would merge both classes
+        classes = column_classes([strong])
+        assert len(classes) == 2
+        repeats = delineate_repeats([strong, noise], 8)
+        assert len(repeats) == 1
+        assert repeats[0].copies == ((1, 2), (5, 6))
+
+    def test_spacing_constraint_blocks_bad_merge(self):
+        """Even without the score filter, the spacing constraint keeps
+        the noise pair from collapsing the strong alignment's columns."""
+        strong = _aln(0, 4, [(1, 5), (2, 6)], score=100.0)
+        noise = _aln(1, 2, [(2, 5)], score=5.0)
+        assert len(column_classes([strong, noise])) == 2
+
+    def test_pure_closure_available(self):
+        """min_spacing=0 restores raw transitive closure (the brittle
+        behaviour, kept reachable for analysis)."""
+        strong = _aln(0, 4, [(1, 5), (2, 6)], score=100.0)
+        noise = _aln(1, 2, [(2, 5)], score=5.0)
+        merged = column_classes([strong, noise], min_spacing=0)
+        assert len(merged) == 1
+        repeats = delineate_repeats(
+            [strong, noise], 8, min_score_fraction=0.0, min_spacing=0
+        )
+        assert repeats != delineate_repeats([strong], 8)
+
+    def test_find_repeats_exposes_fraction(self):
+        from repro import find_repeats
+
+        seq = "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQMKTAYIAKQRQISFVKSHFSRQ"
+        result = find_repeats(seq, top_alignments=5, max_gap=1)
+        assert any(r.n_copies == 2 for r in result.repeats)
+
+
+class TestRepeatDataclass:
+    def test_unit_length_empty(self):
+        from repro.core import Repeat
+
+        assert Repeat(family=0, copies=(), columns=0).unit_length == 0.0

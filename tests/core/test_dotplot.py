@@ -1,0 +1,67 @@
+"""Tests for the dot-plot renderer."""
+
+import numpy as np
+import pytest
+
+from repro.core import dotplot_matrix, find_top_alignments, render_dotplot
+from repro.sequences import DNA, Sequence, tandem_repeat_sequence
+
+
+class TestDotplotMatrix:
+    def test_word1_matches(self):
+        seq = Sequence("ATA", DNA)
+        dots = dotplot_matrix(seq, word=1)
+        assert dots[0, 2]  # A..A
+        assert not dots[0, 1]
+        assert not dots[2, 0]  # strictly upper triangle
+
+    def test_word2_filters(self):
+        seq = Sequence("ATGAT", DNA)
+        d1 = dotplot_matrix(seq, word=1)
+        d2 = dotplot_matrix(seq, word=2)
+        assert d2[0, 3]  # AT at 0 and 3
+        assert d2.sum() < d1.sum()
+
+    def test_tandem_diagonals(self):
+        seq = tandem_repeat_sequence("ATGC", 3)
+        dots = dotplot_matrix(seq, word=4)
+        # Period-4 diagonal: (i, i+4) for i = 0..4 (word fits).
+        for i in range(5):
+            assert dots[i, i + 4]
+
+    def test_word_validation(self):
+        with pytest.raises(ValueError):
+            dotplot_matrix(Sequence("ACGT", DNA), word=0)
+
+    def test_word_longer_than_sequence(self):
+        assert dotplot_matrix(Sequence("AC", DNA), word=5).shape == (0, 0)
+
+    def test_no_self_diagonal(self):
+        seq = tandem_repeat_sequence("ATGC", 2)
+        dots = dotplot_matrix(seq, word=1)
+        assert not np.diag(dots).any()
+
+
+class TestRender:
+    def test_alignment_digits_overlaid(self, dna_scoring):
+        ex, gaps = dna_scoring
+        seq = tandem_repeat_sequence("ATGC", 3)
+        tops, _ = find_top_alignments(seq, 3, ex, gaps)
+        art = render_dotplot(seq, tops, word=2)
+        assert "0" in art and "1" in art and "2" in art
+        assert art.splitlines()[0].startswith("self dot plot")
+
+    def test_plain_dots_without_alignments(self):
+        art = render_dotplot(tandem_repeat_sequence("ATGC", 3), word=2)
+        assert "." in art
+        assert not any(ch.isdigit() for ch in art.split("\n", 1)[1])
+
+    def test_downsampling(self):
+        seq = tandem_repeat_sequence("ATGCGT", 40)  # 240 residues
+        art = render_dotplot(seq, max_size=40)
+        body = art.splitlines()[1:]
+        assert len(body) <= 41
+        assert "1 cell = 6 residue(s)" in art
+
+    def test_empty_sequence(self):
+        assert "(empty sequence)" in render_dotplot(Sequence("", DNA))

@@ -1,0 +1,115 @@
+"""Tests for the Appendix A linear-memory bottom-row store."""
+
+import numpy as np
+import pytest
+
+from repro.align import VectorEngine
+from repro.core import TopAlignmentState, find_top_alignments
+from repro.core.linearspace import RecomputingBottomRowStore
+from repro.scoring import GapPenalties, blosum62
+from repro.sequences import pseudo_titin
+
+
+@pytest.fixture()
+def store_setup(protein_scoring):
+    ex, gaps = protein_scoring
+    seq = pseudo_titin(60, seed=2)
+    store = RecomputingBottomRowStore(
+        seq.codes, ex, gaps, VectorEngine(), capacity=3
+    )
+    return seq, ex, gaps, store
+
+
+class TestStore:
+    def test_put_get_roundtrip(self, store_setup):
+        seq, ex, gaps, store = store_setup
+        from repro.align import AlignmentProblem
+
+        row = VectorEngine().last_row(
+            AlignmentProblem(seq.codes[:10], seq.codes[10:], ex, gaps)
+        )
+        store.put(10, row)
+        assert 10 in store
+        assert np.array_equal(store.get(10), row)
+        assert store.recomputations == 0
+
+    def test_eviction_and_recomputation(self, store_setup):
+        seq, ex, gaps, store = store_setup
+        from repro.align import AlignmentProblem
+
+        rows = {}
+        for r in (5, 10, 15, 20, 25):  # capacity 3: evicts the oldest
+            rows[r] = VectorEngine().last_row(
+                AlignmentProblem(seq.codes[:r], seq.codes[r:], ex, gaps)
+            )
+            store.put(r, rows[r])
+        assert store.resident_rows == 3
+        # r=5 was evicted; get() must transparently recompute it.
+        assert np.array_equal(store.get(5), rows[5])
+        assert store.recomputations == 1
+
+    def test_memory_stays_bounded(self, store_setup):
+        seq, ex, gaps, store = store_setup
+        from repro.align import AlignmentProblem
+
+        for r in range(1, len(seq)):
+            store.put(
+                r,
+                VectorEngine().last_row(
+                    AlignmentProblem(seq.codes[:r], seq.codes[r:], ex, gaps)
+                ),
+            )
+        assert store.resident_rows <= 3
+        dense_bytes = sum((len(seq) - r + 1) * 8 for r in range(1, len(seq)))
+        assert store.nbytes < dense_bytes / 5
+
+    def test_validation(self, store_setup):
+        _, _, _, store = store_setup
+        with pytest.raises(ValueError):
+            store.put(0, np.zeros(61))
+        with pytest.raises(ValueError):
+            store.put(10, np.zeros(7))
+        with pytest.raises(KeyError):
+            store.get(40)
+        with pytest.raises(ValueError):
+            RecomputingBottomRowStore(
+                np.zeros(10, dtype=np.int8), None, None, None, capacity=0
+            )
+
+    def test_write_once(self, store_setup):
+        _, _, _, store = store_setup
+        store.put(10, np.zeros(51))
+        with pytest.raises(ValueError, match="already stored"):
+            store.put(10, np.zeros(51))
+
+
+class TestLinearMemoryAlgorithm:
+    def test_identical_results_to_full_memory(self, protein_scoring):
+        """The linear-memory mode must change memory, not answers."""
+        ex, gaps = protein_scoring
+        seq = pseudo_titin(120, seed=6)
+        full, _ = find_top_alignments(seq, 5, ex, gaps)
+        state = TopAlignmentState(
+            seq, ex, gaps, memory="linear", linear_capacity=4
+        )
+        linear, _ = find_top_alignments(seq, 5, ex, gaps, state=state)
+        assert [(a.r, a.score, a.pairs) for a in linear] == [
+            (a.r, a.score, a.pairs) for a in full
+        ]
+        assert state.bottom_rows.resident_rows <= 4
+
+    def test_extra_work_is_counted(self, protein_scoring):
+        ex, gaps = protein_scoring
+        seq = pseudo_titin(120, seed=6)
+        state = TopAlignmentState(
+            seq, ex, gaps, memory="linear", linear_capacity=2
+        )
+        find_top_alignments(seq, 5, ex, gaps, state=state)
+        # With capacity 2 and 119 splits, realignments must recompute.
+        assert state.bottom_rows.recomputations > 0
+
+    def test_invalid_memory_mode(self, protein_scoring, tandem_dna):
+        ex, gaps = protein_scoring
+        seq = pseudo_titin(30, seed=1)
+        with pytest.raises(ValueError, match="memory"):
+            TopAlignmentState(seq, ex, gaps, memory="quantum")

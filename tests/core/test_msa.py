@@ -1,0 +1,74 @@
+"""Tests for the repeat-family multiple alignment."""
+
+import pytest
+
+from repro import find_repeats
+from repro.core.msa import align_family, render_msa
+from repro.core.result import Repeat, TopAlignment
+from repro.sequences import DNA, Sequence, tandem_repeat_sequence
+
+
+@pytest.fixture()
+def perfect_tandem():
+    seq = tandem_repeat_sequence("ATGC", 3)
+    result = find_repeats(seq, top_alignments=3)
+    return seq, result
+
+
+class TestAlignFamily:
+    def test_perfect_tandem_rows(self, perfect_tandem):
+        seq, result = perfect_tandem
+        msa = align_family(seq, result.repeats[0], result.top_alignments)
+        assert msa.rows == ("ATGC", "ATGC", "ATGC")
+        assert msa.conservation == "****"
+        assert msa.mean_identity == 1.0
+        assert msa.spans == ((1, 4), (5, 8), (9, 12))
+
+    def test_diverged_copy_marked(self):
+        seq = tandem_repeat_sequence("ATGCGTA", 4, substitution_rate=0.15, seed=2)
+        result = find_repeats(seq, top_alignments=6)
+        msa = align_family(seq, result.repeats[0], result.top_alignments)
+        assert len(msa.rows) == 4
+        assert "+" in msa.conservation  # the mutated column
+        assert 0.8 < msa.mean_identity < 1.0
+
+    def test_unequal_copy_lengths_gapped(self):
+        """An indel-bearing copy gets gap padding, rows stay rectangular."""
+        seq = Sequence("ATGCGTAATGGTAATGCGTA", DNA)  # middle copy lost a C
+        result = find_repeats(seq, top_alignments=6, max_gap=1)
+        assert result.repeats
+        msa = align_family(seq, result.repeats[0], result.top_alignments)
+        widths = {len(row) for row in msa.rows}
+        assert len(widths) == 1
+        assert any("-" in row for row in msa.rows)
+
+    def test_unrelated_family_rejected(self, perfect_tandem):
+        seq, result = perfect_tandem
+        bogus = Repeat(family=9, copies=((1, 2),), columns=0)
+        fake_aln = TopAlignment(index=0, r=6, score=4.0, pairs=((5, 9),))
+        with pytest.raises(ValueError, match="shares no columns"):
+            align_family(seq, bogus, [fake_aln])
+
+
+class TestRender:
+    def test_block_layout(self, perfect_tandem):
+        seq, result = perfect_tandem
+        msa = align_family(seq, result.repeats[0], result.top_alignments)
+        text = render_msa(msa)
+        lines = text.splitlines()
+        assert lines[0].endswith("ATGC")
+        assert "1-4" in lines[0]
+        assert lines[-1].strip() == "****"
+
+    def test_wrapping(self, perfect_tandem):
+        seq, result = perfect_tandem
+        msa = align_family(seq, result.repeats[0], result.top_alignments)
+        text = render_msa(msa, block=2)
+        # 4 columns in blocks of 2 -> two blocks of (3 rows + 1 cons).
+        assert len(text.splitlines()) == 2 * 4 + 1  # + separating blank
+
+    def test_identity_of_empty(self):
+        from repro.core.msa import RepeatAlignment
+
+        empty = RepeatAlignment(rows=(), spans=(), conservation="")
+        assert empty.mean_identity == 0.0

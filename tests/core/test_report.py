@@ -1,0 +1,66 @@
+"""Tests for the full-analysis report."""
+
+import pytest
+
+from repro.core import analyze
+from repro.core.report import AnalysisReport
+from repro.sequences import DNA, Sequence, tandem_repeat_sequence
+
+
+@pytest.fixture(scope="module")
+def tandem_report():
+    seq = tandem_repeat_sequence("ATGCGTA", 4, substitution_rate=0.1, seed=3)
+    return analyze(seq, top_alignments=6, significance_shuffles=8)
+
+
+class TestAnalyze:
+    def test_structured_fields(self, tandem_report):
+        assert isinstance(tandem_report, AnalysisReport)
+        assert len(tandem_report.identities) == len(
+            tandem_report.result.top_alignments
+        )
+        assert all(0.0 <= i <= 1.0 for i in tandem_report.identities)
+        assert tandem_report.pvalue is not None
+
+    def test_real_repeat_significant(self, tandem_report):
+        assert tandem_report.pvalue < 0.05
+
+    def test_no_significance_by_default(self):
+        report = analyze(tandem_repeat_sequence("ATGC", 3), top_alignments=2)
+        assert report.pvalue is None
+
+    def test_string_input(self):
+        report = analyze("MKTAYIAKQRMKTAYIAKQR", top_alignments=2)
+        assert report.sequence.alphabet.name == "protein"
+        assert report.result.top_alignments
+
+
+class TestRender:
+    def test_sections_present(self, tandem_report):
+        text = tandem_report.render()
+        assert text.startswith("REPRO analysis of tandem")
+        assert "top alignments (6):" in text
+        assert "repeat families (1):" in text
+        assert "consensus:" in text
+        assert "unit analysis: best period 7" in text
+        assert "self dot plot" in text
+        assert "significance vs shuffle null" in text
+
+    def test_dotplot_optional(self, tandem_report):
+        assert "self dot plot" not in tandem_report.render(dotplot=False)
+
+    def test_msa_optional(self, tandem_report):
+        with_msa = tandem_report.render(msa=True)
+        without = tandem_report.render(msa=False)
+        assert "alignment (" in with_msa
+        assert "alignment (" not in without
+
+    def test_identity_column_rendered(self, tandem_report):
+        assert "% identity)" in tandem_report.render()
+
+    def test_handles_no_repeats(self):
+        report = analyze(
+            Sequence("ACGT", DNA), top_alignments=2, max_gap=0
+        )
+        text = report.render()
+        assert "repeat families (0):" in text

@@ -1,0 +1,87 @@
+"""Tests for database scanning."""
+
+import io
+
+import pytest
+
+from repro.core import DatabaseScanner, RepeatFinder, scan_fasta
+from repro.sequences import (
+    DNA,
+    Sequence,
+    pseudo_titin,
+    random_sequence,
+    tandem_repeat_sequence,
+    write_fasta,
+)
+
+
+@pytest.fixture()
+def mixed_records():
+    return [
+        Sequence(tandem_repeat_sequence("ATGCGT", 5).codes, DNA, id="tandem"),
+        Sequence(random_sequence(40, DNA, seed=3).codes, DNA, id="random"),
+        Sequence("ACGT", DNA, id="tiny"),
+    ]
+
+
+class TestScanner:
+    def test_reports_per_sequence(self, mixed_records):
+        scanner = DatabaseScanner(
+            finder=RepeatFinder(top_alignments=4), min_length=10
+        )
+        reports = scanner.scan(mixed_records)
+        assert [r.id for r in reports] == ["tandem", "random"]  # tiny skipped
+
+    def test_tandem_ranks_first(self, mixed_records):
+        scanner = DatabaseScanner(finder=RepeatFinder(top_alignments=4))
+        ranked = scanner.rank(mixed_records)
+        assert ranked[0].id == "tandem"
+        assert ranked[0].best_score > ranked[1].best_score
+
+    def test_report_properties(self, mixed_records):
+        scanner = DatabaseScanner(finder=RepeatFinder(top_alignments=4))
+        tandem = scanner.rank(mixed_records)[0]
+        assert tandem.length == 30
+        assert tandem.is_repetitive
+        assert tandem.n_families >= 1
+        assert 0.5 < tandem.repeat_fraction <= 1.0
+
+    def test_empty_input(self):
+        assert DatabaseScanner().scan([]) == []
+
+    def test_no_repeat_report(self):
+        rep = DatabaseScanner(finder=RepeatFinder(top_alignments=1, min_score=1e9)).scan(
+            [random_sequence(30, DNA, seed=1, id="r")]
+        )[0]
+        assert rep.best_score == 0.0
+        assert rep.repeat_fraction == 0.0
+        assert not rep.is_repetitive
+
+    def test_masking_path(self):
+        protein = Sequence("ACDEFGHIKL" + "Q" * 30 + "MNPQRSTVWY", id="polyq")
+        scanner = DatabaseScanner(
+            finder=RepeatFinder(top_alignments=2), mask=True
+        )
+        unmasked = DatabaseScanner(finder=RepeatFinder(top_alignments=2))
+        masked_score = scanner.scan([protein])[0].best_score
+        raw_score = unmasked.scan([protein])[0].best_score
+        assert masked_score < raw_score  # the poly-Q no longer dominates
+
+
+class TestScanFasta:
+    def test_end_to_end(self, tmp_path, mixed_records):
+        path = tmp_path / "db.fasta"
+        write_fasta(mixed_records, path)
+        reports = scan_fasta(
+            path, alphabet="dna", finder=RepeatFinder(top_alignments=4)
+        )
+        assert reports[0].id == "tandem"
+
+    def test_protein_default(self, tmp_path):
+        path = tmp_path / "p.fasta"
+        write_fasta(
+            [Sequence(pseudo_titin(80, seed=2).codes, id="t80")], path
+        )
+        reports = scan_fasta(path, finder=RepeatFinder(top_alignments=3))
+        assert len(reports) == 1
+        assert reports[0].length == 80

@@ -1,0 +1,82 @@
+"""Tests for resumable top-alignment sessions."""
+
+import pytest
+
+from repro.core import find_top_alignments
+from repro.core.session import TopAlignmentSession
+from repro.sequences import tandem_repeat_sequence
+
+
+def _key(alignments):
+    return [(a.index, a.r, a.score, a.pairs) for a in alignments]
+
+
+class TestSession:
+    def test_incremental_equals_batch(self, small_repeat_protein, protein_scoring):
+        """extend(3) + extend(3) must equal find_top_alignments(k=6)."""
+        ex, gaps = protein_scoring
+        expected, _ = find_top_alignments(small_repeat_protein, 6, ex, gaps)
+        session = TopAlignmentSession(small_repeat_protein, ex, gaps)
+        first = session.extend(3)
+        second = session.extend(3)
+        assert _key(first + second) == _key(expected)
+        assert _key(session.alignments) == _key(expected)
+
+    def test_extend_returns_only_new(self, tandem_dna, dna_scoring):
+        ex, gaps = dna_scoring
+        session = TopAlignmentSession(tandem_dna, ex, gaps)
+        first = session.extend(2)
+        second = session.extend(1)
+        assert len(first) == 2 and len(second) == 1
+        assert second[0].index == 2
+
+    def test_incremental_work_is_cheaper(self, small_repeat_protein, protein_scoring):
+        """The second batch must not repay the first pass."""
+        ex, gaps = protein_scoring
+        session = TopAlignmentSession(small_repeat_protein, ex, gaps)
+        session.extend(3)
+        before = session.stats.alignments
+        session.extend(3)
+        added = session.stats.alignments - before
+        m = len(small_repeat_protein)
+        assert added < m - 1  # far less than a fresh first pass
+
+    def test_exhaustion(self, dna_scoring):
+        ex, gaps = dna_scoring
+        seq = tandem_repeat_sequence("ACG", 3)
+        session = TopAlignmentSession(seq, ex, gaps)
+        everything = session.extend(100)
+        assert session.exhausted
+        assert session.extend(5) == []
+        expected, _ = find_top_alignments(seq, 100, ex, gaps)
+        assert _key(everything) == _key(expected)
+
+    def test_len(self, tandem_dna, dna_scoring):
+        ex, gaps = dna_scoring
+        session = TopAlignmentSession(tandem_dna, ex, gaps)
+        assert len(session) == 0
+        session.extend(2)
+        assert len(session) == 2
+
+    def test_k_validation(self, tandem_dna, dna_scoring):
+        ex, gaps = dna_scoring
+        session = TopAlignmentSession(tandem_dna, ex, gaps)
+        with pytest.raises(ValueError):
+            session.extend(0)
+
+    def test_extend_until_score(self, tandem_dna, dna_scoring):
+        ex, gaps = dna_scoring
+        session = TopAlignmentSession(tandem_dna, ex, gaps)
+        got = session.extend_until(7.0)
+        assert [a.score for a in got] == [8.0, 8.0, 8.0]
+        # Original threshold restored: weaker alignments still reachable.
+        assert session.min_score == 0.0
+        more = session.extend(2)
+        assert all(a.score <= 8.0 for a in more)
+
+    def test_min_score_constructor(self, tandem_dna, dna_scoring):
+        ex, gaps = dna_scoring
+        session = TopAlignmentSession(tandem_dna, ex, gaps, min_score=7.0)
+        got = session.extend(10)
+        assert len(got) == 3
+        assert session.exhausted

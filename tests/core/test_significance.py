@@ -1,0 +1,78 @@
+"""Tests for score significance (shuffle null / Gumbel fit)."""
+
+import numpy as np
+import pytest
+
+from repro.core import estimate_null, score_pvalue, shuffled
+from repro.core.significance import NullDistribution
+from repro.scoring import GapPenalties, match_mismatch
+from repro.sequences import DNA, Sequence, random_sequence, tandem_repeat_sequence
+
+
+@pytest.fixture(scope="module")
+def dna_model():
+    return match_mismatch(DNA, 2.0, -1.0), GapPenalties(2.0, 1.0)
+
+
+class TestShuffle:
+    def test_preserves_composition(self):
+        seq = tandem_repeat_sequence("ATGC", 5)
+        rng = np.random.default_rng(0)
+        out = shuffled(seq, rng)
+        assert sorted(out.text) == sorted(seq.text)
+        assert out.text != seq.text  # astronomically unlikely otherwise
+
+    def test_id_suffix(self):
+        seq = Sequence("ACGTACGT", DNA, id="x")
+        assert shuffled(seq, np.random.default_rng(0)).id == "x-shuffled"
+
+
+class TestNullDistribution:
+    def test_empirical_pvalue_bounds(self):
+        null = NullDistribution(np.array([5.0, 6.0, 7.0]), loc=5.0, scale=1.0)
+        assert null.empirical_pvalue(100.0) == pytest.approx(1 / 4)
+        assert null.empirical_pvalue(0.0) == pytest.approx(1.0)
+
+    def test_gumbel_pvalue_monotone(self):
+        null = NullDistribution(np.zeros(3), loc=10.0, scale=2.0)
+        ps = [null.gumbel_pvalue(s) for s in (5.0, 10.0, 20.0, 40.0)]
+        assert ps == sorted(ps, reverse=True)
+        assert 0.0 <= ps[-1] < ps[0] <= 1.0
+
+    def test_degenerate_scale(self):
+        null = NullDistribution(np.zeros(3), loc=10.0, scale=0.0)
+        assert null.gumbel_pvalue(11.0) == 0.0
+        assert null.gumbel_pvalue(9.0) == 1.0
+
+
+class TestEstimation:
+    def test_requires_two_shuffles(self, dna_model):
+        ex, gaps = dna_model
+        with pytest.raises(ValueError):
+            estimate_null(tandem_repeat_sequence("ATGC", 4), ex, gaps, shuffles=1)
+
+    def test_real_repeat_is_significant(self, dna_model):
+        """A clean tandem repeat must stand far above its shuffle null."""
+        ex, gaps = dna_model
+        seq = tandem_repeat_sequence("ATGCGTCA", 6)
+        score, pvalue, null = score_pvalue(
+            seq, ex, gaps, shuffles=15, seed=1
+        )
+        assert score > null.scores.max()
+        assert pvalue < 0.05
+        assert null.empirical_pvalue(score) == pytest.approx(1 / 16)
+
+    def test_random_sequence_is_not_significant(self, dna_model):
+        ex, gaps = dna_model
+        seq = random_sequence(48, DNA, seed=12)
+        score, pvalue, null = score_pvalue(
+            seq, ex, gaps, shuffles=15, seed=2
+        )
+        assert pvalue > 0.05
+
+    def test_deterministic(self, dna_model):
+        ex, gaps = dna_model
+        seq = tandem_repeat_sequence("ATGC", 5)
+        a = estimate_null(seq, ex, gaps, shuffles=5, seed=3)
+        b = estimate_null(seq, ex, gaps, shuffles=5, seed=3)
+        assert np.array_equal(a.scores, b.scores)

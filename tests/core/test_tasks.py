@@ -1,0 +1,102 @@
+"""Tests for tasks and the best-first queue (Figure 5 machinery)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import NEVER_ALIGNED, Task, TaskQueue
+
+
+class TestTask:
+    def test_initial_state_matches_figure5(self):
+        """Lines 4–5: score infinity, alignment number -1."""
+        task = Task(r=3)
+        assert task.score == math.inf
+        assert task.aligned_with == NEVER_ALIGNED == -1
+
+    def test_is_current(self):
+        task = Task(r=1, score=5.0, aligned_with=2)
+        assert task.is_current(2)
+        assert not task.is_current(3)
+
+
+class TestQueueOrdering:
+    def test_highest_score_first(self):
+        q = TaskQueue()
+        for r, s in [(1, 5.0), (2, 9.0), (3, 7.0)]:
+            q.insert(Task(r=r, score=s))
+        assert [q.pop_highest().r for _ in range(3)] == [2, 3, 1]
+
+    def test_ties_resolve_to_smallest_r(self):
+        q = TaskQueue()
+        for r in (5, 2, 9):
+            q.insert(Task(r=r, score=4.0))
+        assert [q.pop_highest().r for _ in range(3)] == [2, 5, 9]
+
+    def test_infinity_sorts_first(self):
+        q = TaskQueue()
+        q.insert(Task(r=1, score=1e9))
+        q.insert(Task(r=2))  # inf
+        assert q.pop_highest().r == 2
+
+    def test_peek_does_not_remove(self):
+        q = TaskQueue()
+        q.insert(Task(r=1, score=3.0))
+        assert q.peek_score() == 3.0
+        assert len(q) == 1
+
+    def test_empty_queue_errors(self):
+        q = TaskQueue()
+        with pytest.raises(IndexError):
+            q.pop_highest()
+        with pytest.raises(IndexError):
+            q.peek_score()
+
+    def test_len_and_bool(self):
+        q = TaskQueue()
+        assert not q and len(q) == 0
+        q.insert(Task(r=1))
+        assert q and len(q) == 1
+
+    def test_reinsertion_respects_new_score(self):
+        """Line 20: 'requeued at a position that depends on its score'."""
+        q = TaskQueue()
+        q.insert(Task(r=1, score=10.0))
+        q.insert(Task(r=2, score=8.0))
+        task = q.pop_highest()
+        task.score = 5.0
+        q.insert(task)
+        assert q.pop_highest().r == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.tuples(st.integers(1, 100), st.floats(0, 1e6)), min_size=1, unique_by=lambda t: t[0]))
+    def test_property_pop_order_sorted(self, items):
+        q = TaskQueue()
+        for r, s in items:
+            q.insert(Task(r=r, score=s))
+        popped = [q.pop_highest() for _ in range(len(items))]
+        keys = [(-t.score, t.r) for t in popped]
+        assert keys == sorted(keys)
+
+
+class TestPopExcluding:
+    def test_skips_taken(self):
+        q = TaskQueue()
+        for r, s in [(1, 9.0), (2, 8.0), (3, 7.0)]:
+            q.insert(Task(r=r, score=s))
+        task = q.pop_highest_excluding({1})
+        assert task.r == 2
+        # Skipped entries are restored in order.
+        assert q.pop_highest().r == 1
+        assert q.pop_highest().r == 3
+
+    def test_all_taken_returns_none(self):
+        q = TaskQueue()
+        q.insert(Task(r=1, score=1.0))
+        assert q.pop_highest_excluding({1}) is None
+        assert len(q) == 1  # restored
+
+    def test_empty_returns_none(self):
+        assert TaskQueue().pop_highest_excluding(set()) is None

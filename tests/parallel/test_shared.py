@@ -1,0 +1,89 @@
+"""Tests for the shared-memory speculative scheduler."""
+
+import pytest
+
+from repro.core import TopAlignmentState, find_top_alignments
+from repro.parallel import ThreadedTopAlignmentRunner, find_top_alignments_threaded
+from repro.sequences import tandem_repeat_sequence
+
+
+def _key(alignments):
+    return [(a.index, a.r, a.score, a.pairs) for a in alignments]
+
+
+class TestThreadedEquivalence:
+    @pytest.mark.parametrize("n_threads", [1, 2, 4])
+    def test_matches_sequential(self, n_threads, small_repeat_protein, protein_scoring):
+        ex, gaps = protein_scoring
+        expected, _ = find_top_alignments(small_repeat_protein, 6, ex, gaps)
+        got, _ = find_top_alignments_threaded(
+            small_repeat_protein, 6, ex, gaps, n_threads=n_threads
+        )
+        assert _key(got) == _key(expected)
+
+    def test_figure4(self, tandem_dna, dna_scoring):
+        ex, gaps = dna_scoring
+        expected, _ = find_top_alignments(tandem_dna, 3, ex, gaps)
+        got, _ = find_top_alignments_threaded(tandem_dna, 3, ex, gaps, n_threads=3)
+        assert _key(got) == _key(expected)
+
+    def test_exhaustion(self, dna_scoring):
+        ex, gaps = dna_scoring
+        seq = tandem_repeat_sequence("ACG", 3)
+        expected, _ = find_top_alignments(seq, 50, ex, gaps)
+        got, _ = find_top_alignments_threaded(seq, 50, ex, gaps, n_threads=2)
+        assert _key(got) == _key(expected)
+
+    def test_min_score(self, tandem_dna, dna_scoring):
+        ex, gaps = dna_scoring
+        got, _ = find_top_alignments_threaded(
+            tandem_dna, 10, ex, gaps, n_threads=2, min_score=5.0
+        )
+        assert len(got) == 3 and all(a.score > 5.0 for a in got)
+
+    def test_repeated_runs_deterministic(self, small_repeat_protein, protein_scoring):
+        """Thread scheduling noise must never change the output."""
+        ex, gaps = protein_scoring
+        runs = [
+            _key(
+                find_top_alignments_threaded(
+                    small_repeat_protein, 5, ex, gaps, n_threads=4
+                )[0]
+            )
+            for _ in range(3)
+        ]
+        assert runs[0] == runs[1] == runs[2]
+
+
+class TestRunnerValidation:
+    def test_bad_k(self, tandem_dna, dna_scoring):
+        ex, gaps = dna_scoring
+        state = TopAlignmentState(tandem_dna, ex, gaps)
+        with pytest.raises(ValueError):
+            ThreadedTopAlignmentRunner(state, 0)
+
+    def test_bad_thread_count(self, tandem_dna, dna_scoring):
+        ex, gaps = dna_scoring
+        state = TopAlignmentState(tandem_dna, ex, gaps)
+        with pytest.raises(ValueError):
+            ThreadedTopAlignmentRunner(state, 1, n_threads=0)
+
+    def test_worker_errors_propagate(self, tandem_dna, dna_scoring):
+        ex, gaps = dna_scoring
+        state = TopAlignmentState(tandem_dna, ex, gaps)
+
+        def boom(problem):
+            raise RuntimeError("engine exploded")
+
+        state.engine.last_row = boom  # type: ignore[assignment]
+        runner = ThreadedTopAlignmentRunner(state, 2, n_threads=2)
+        with pytest.raises(RuntimeError, match="engine exploded"):
+            runner.run()
+
+    def test_stats_accumulated(self, small_repeat_protein, protein_scoring):
+        ex, gaps = protein_scoring
+        state = TopAlignmentState(small_repeat_protein, ex, gaps)
+        runner = ThreadedTopAlignmentRunner(state, 4, n_threads=2)
+        tops, stats = runner.run()
+        assert stats.alignments >= len(small_repeat_protein) - 1
+        assert stats.tracebacks == len(tops) == 4

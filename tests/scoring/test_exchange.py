@@ -1,0 +1,100 @@
+"""Unit tests for repro.scoring.exchange."""
+
+import numpy as np
+import pytest
+
+from repro.scoring import ExchangeMatrix, from_triangle_text, match_mismatch
+from repro.sequences import DNA, PROTEIN, Alphabet
+
+
+class TestMatchMismatch:
+    def test_paper_values(self):
+        """§2.1: 'two points for matching elements... one point for different'."""
+        ex = match_mismatch(DNA, 2.0, -1.0)
+        assert ex.score("A", "A") == 2.0
+        assert ex.score("A", "C") == -1.0
+
+    def test_wildcard_neutral_by_default(self):
+        ex = match_mismatch(DNA, 2.0, -1.0)
+        assert ex.score("N", "A") == 0.0
+        assert ex.score("N", "N") == 0.0
+
+    def test_wildcard_score_disabled(self):
+        ex = match_mismatch(DNA, 2.0, -1.0, wildcard_score=None)
+        assert ex.score("N", "N") == 2.0
+
+    def test_symmetry(self):
+        ex = match_mismatch(PROTEIN, 3.0, -2.0)
+        assert np.allclose(ex.scores, ex.scores.T)
+
+    def test_name_default(self):
+        assert match_mismatch(DNA, 2, -1).name == "simple+2/-1"
+
+
+class TestExchangeMatrix:
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            ExchangeMatrix("bad", DNA, np.zeros((4, 5)))
+
+    def test_rejects_size_mismatch(self):
+        with pytest.raises(ValueError, match="does not match alphabet"):
+            ExchangeMatrix("bad", DNA, np.zeros((3, 3)))
+
+    def test_rejects_asymmetric(self):
+        scores = np.zeros((5, 5))
+        scores[0, 1] = 1.0
+        with pytest.raises(ValueError, match="symmetric"):
+            ExchangeMatrix("bad", DNA, scores)
+
+    def test_scores_readonly(self):
+        ex = match_mismatch(DNA, 2, -1)
+        with pytest.raises(ValueError):
+            ex.scores[0, 0] = 5
+
+    def test_lookup_vectorised(self):
+        ex = match_mismatch(DNA, 2, -1)
+        a = DNA.encode("AAC")
+        b = DNA.encode("ACC")
+        assert np.array_equal(ex.lookup(a, b), [2, -1, 2])
+
+    def test_row(self):
+        ex = match_mismatch(DNA, 2, -1)
+        row = ex.row(DNA.code_of("A"))
+        assert row[DNA.code_of("A")] == 2
+        assert row[DNA.code_of("G")] == -1
+
+    def test_as_integers(self):
+        ints = match_mismatch(DNA, 2, -1).as_integers()
+        assert ints.dtype == np.int32
+        assert ints[0, 0] == 2
+
+    def test_as_integers_rejects_fractional(self):
+        with pytest.raises(ValueError, match="not integral"):
+            match_mismatch(DNA, 2.5, -1).as_integers()
+
+    def test_max_score(self):
+        assert match_mismatch(DNA, 7, -1).max_score == 7.0
+
+
+class TestFromTriangleText:
+    def test_small_triangle(self):
+        ab = Alphabet("ab", "AB")
+        ex = from_triangle_text("tiny", ab, "AB", "2\n-1 3")
+        assert ex.score("A", "A") == 2
+        assert ex.score("A", "B") == ex.score("B", "A") == -1
+        assert ex.score("B", "B") == 3
+
+    def test_row_count_mismatch(self):
+        ab = Alphabet("ab", "AB")
+        with pytest.raises(ValueError, match="rows"):
+            from_triangle_text("bad", ab, "AB", "2")
+
+    def test_row_length_mismatch(self):
+        ab = Alphabet("ab", "AB")
+        with pytest.raises(ValueError, match="entries"):
+            from_triangle_text("bad", ab, "AB", "2\n-1 3 4")
+
+    def test_missing_residues_score_zero(self):
+        abc = Alphabet("abc", "ABC")
+        ex = from_triangle_text("partial", abc, "AB", "2\n-1 3")
+        assert ex.score("C", "A") == 0.0

@@ -1,0 +1,55 @@
+"""Unit tests for repro.scoring.gaps."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.scoring import GapPenalties
+
+
+class TestGapPenalties:
+    def test_paper_example_cost(self):
+        """§2.1: gap of length 1 costs open 2 + 1*extend 1 = 3."""
+        assert GapPenalties(2, 1).cost(1) == 3.0
+
+    def test_cost_zero_length(self):
+        assert GapPenalties(2, 1).cost(0) == 0.0
+
+    def test_cost_linear_in_length(self):
+        gp = GapPenalties(5, 2)
+        assert gp.cost(4) == 5 + 8
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            GapPenalties(2, 1).cost(-1)
+
+    def test_negative_penalties_rejected(self):
+        with pytest.raises(ValueError):
+            GapPenalties(-1, 1)
+        with pytest.raises(ValueError):
+            GapPenalties(1, -1)
+
+    def test_cost_vector(self):
+        vec = GapPenalties(2, 1).cost_vector(3)
+        assert np.array_equal(vec, [0, 3, 4, 5])
+
+    def test_cost_vector_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GapPenalties(2, 1).cost_vector(-1)
+
+    def test_as_integers(self):
+        assert GapPenalties(8, 1).as_integers() == (8, 1)
+
+    def test_as_integers_rejects_fractional(self):
+        with pytest.raises(ValueError, match="not integral"):
+            GapPenalties(2.5, 1).as_integers()
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            GapPenalties(2, 1).open_ = 3
+
+    @given(st.integers(0, 50), st.integers(0, 20), st.integers(0, 100))
+    def test_cost_matches_vector(self, open_, ext, g):
+        gp = GapPenalties(open_, ext)
+        assert gp.cost(g) == gp.cost_vector(max(g, 1))[g] if g > 0 else gp.cost(0) == 0

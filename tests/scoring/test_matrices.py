@@ -1,0 +1,73 @@
+"""Unit tests for the published BLOSUM/PAM tables."""
+
+import numpy as np
+import pytest
+
+from repro.scoring import blosum50, blosum62, pam120, pam250
+from repro.sequences import PROTEIN
+
+ALL = [blosum62, blosum50, pam250, pam120]
+
+
+@pytest.mark.parametrize("factory", ALL)
+class TestCommonProperties:
+    def test_symmetric(self, factory):
+        ex = factory()
+        assert np.array_equal(ex.scores, ex.scores.T)
+
+    def test_covers_protein_alphabet(self, factory):
+        assert factory().size == PROTEIN.size
+
+    def test_integral(self, factory):
+        factory().as_integers()  # must not raise
+
+    def test_identity_beats_substitution(self, factory):
+        """Diagonal dominance for the 20 standard residues.
+
+        Weak inequality: in real PAM250, N-N ties with N-D at 2.
+        """
+        ex = factory()
+        for aa in "ARNDCQEGHILKMFPSTWYV":
+            i = PROTEIN.code_of(aa)
+            row = np.delete(ex.scores[i, :20], i if i < 20 else None)
+            assert ex.scores[i, i] >= row.max(), aa
+
+    def test_cached_singleton(self, factory):
+        assert factory() is factory()
+
+
+class TestBlosum62SpotValues:
+    """Well-known BLOSUM62 entries (NCBI table)."""
+
+    @pytest.mark.parametrize(
+        "a,b,value",
+        [
+            ("A", "A", 4), ("W", "W", 11), ("C", "C", 9), ("L", "I", 2),
+            ("K", "R", 2), ("W", "G", -2), ("P", "F", -4), ("E", "D", 2),
+            ("S", "T", 1), ("Y", "F", 3),
+        ],
+    )
+    def test_entry(self, a, b, value):
+        assert blosum62().score(a, b) == value
+
+    def test_stop_column(self):
+        assert blosum62().score("*", "*") == 1
+        assert blosum62().score("*", "A") == -4
+
+
+class TestPam250SpotValues:
+    @pytest.mark.parametrize(
+        "a,b,value",
+        [("A", "A", 2), ("W", "W", 17), ("C", "C", 12), ("W", "C", -8), ("F", "Y", 7)],
+    )
+    def test_entry(self, a, b, value):
+        assert pam250().score(a, b) == value
+
+
+class TestRelativeStringency:
+    def test_pam120_harsher_than_pam250_on_w_mismatches(self):
+        assert pam120().score("W", "A") < pam250().score("W", "A")
+
+    def test_blosum50_softer_diagonal_scaling(self):
+        # BLOSUM50 is in 1/3-bit units: diagonals are generally larger.
+        assert blosum50().score("A", "A") > blosum62().score("A", "A")

@@ -1,0 +1,105 @@
+"""Unit tests for repro.sequences.alphabet."""
+
+import numpy as np
+import pytest
+
+from repro.sequences import DNA, PROTEIN, RNA, Alphabet, alphabet_for
+
+
+class TestBuiltins:
+    def test_dna_symbols(self):
+        assert DNA.symbols == "ACGTN"
+        assert DNA.size == 5
+
+    def test_rna_replaces_t_with_u(self):
+        assert "U" in RNA.symbols and "T" not in RNA.symbols
+
+    def test_protein_has_24_symbols(self):
+        assert PROTEIN.size == 24
+        # The published-matrix residue order, including ambiguity codes.
+        assert PROTEIN.symbols.startswith("ARNDCQEGHILKMFPSTWYV")
+        assert PROTEIN.symbols.endswith("BZX*")
+
+    def test_wildcards(self):
+        assert DNA.wildcard == "N"
+        assert PROTEIN.wildcard == "X"
+        assert DNA.wildcard_code == DNA.symbols.index("N")
+
+    def test_lookup_by_name(self):
+        assert alphabet_for("dna") is DNA
+        assert alphabet_for("PROTEIN") is PROTEIN
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown alphabet"):
+            alphabet_for("klingon")
+
+
+class TestEncodeDecode:
+    def test_roundtrip(self):
+        text = "ACGTACGT"
+        assert DNA.decode(DNA.encode(text)) == text
+
+    def test_encode_dtype_is_int8(self):
+        assert DNA.encode("ACGT").dtype == np.int8
+
+    def test_encode_is_case_insensitive(self):
+        assert np.array_equal(DNA.encode("acgt"), DNA.encode("ACGT"))
+
+    def test_encode_strict_rejects_unknown(self):
+        with pytest.raises(ValueError, match="invalid symbol 'Z'"):
+            DNA.encode("ACZT")
+
+    def test_encode_error_reports_position(self):
+        with pytest.raises(ValueError, match="position 2"):
+            DNA.encode("ACZT")
+
+    def test_encode_lenient_maps_to_wildcard(self):
+        codes = DNA.encode("ACZT", strict=False)
+        assert codes[2] == DNA.wildcard_code
+
+    def test_encode_lenient_without_wildcard_raises(self):
+        bare = Alphabet("bare", "AB")
+        with pytest.raises(ValueError):
+            bare.encode("ABC", strict=False)
+
+    def test_encode_empty(self):
+        assert DNA.encode("").size == 0
+        assert DNA.decode([]) == ""
+
+    def test_encode_bytes_input(self):
+        assert np.array_equal(DNA.encode(b"ACGT"), DNA.encode("ACGT"))
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            DNA.decode([0, 99])
+        with pytest.raises(ValueError, match="out of range"):
+            DNA.decode([-1])
+
+    def test_code_of(self):
+        assert DNA.code_of("A") == 0
+        assert DNA.code_of("t") == 3
+
+    def test_code_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            DNA.code_of("Z")
+
+    def test_is_valid(self):
+        assert DNA.is_valid("ACGTN")
+        assert not DNA.is_valid("ACGU")
+
+
+class TestCustomAlphabets:
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Alphabet("bad", "AAB")
+
+    def test_wildcard_must_be_member(self):
+        with pytest.raises(ValueError, match="wildcard"):
+            Alphabet("bad", "AB", wildcard="N")
+
+    def test_codes_are_positional(self):
+        custom = Alphabet("xy", "XY")
+        assert custom.code_of("X") == 0 and custom.code_of("Y") == 1
+
+    def test_len_matches_size(self):
+        assert len(PROTEIN) == PROTEIN.size

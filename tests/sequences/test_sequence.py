@@ -1,0 +1,100 @@
+"""Unit tests for repro.sequences.sequence."""
+
+import numpy as np
+import pytest
+
+from repro.sequences import DNA, PROTEIN, Sequence
+
+
+class TestConstruction:
+    def test_from_text(self):
+        seq = Sequence("ACGT", DNA)
+        assert seq.text == "ACGT"
+        assert len(seq) == 4
+
+    def test_from_codes(self):
+        seq = Sequence(np.array([0, 1, 2, 3], dtype=np.int8), DNA)
+        assert seq.text == "ACGT"
+
+    def test_alphabet_by_name(self):
+        assert Sequence("ACGT", "dna").alphabet is DNA
+
+    def test_default_alphabet_is_protein(self):
+        assert Sequence("ACDEFGHIK").alphabet is PROTEIN
+
+    def test_metadata(self):
+        seq = Sequence("ACGT", DNA, id="seq1", description="a test")
+        assert seq.id == "seq1"
+        assert seq.description == "a test"
+
+    def test_codes_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Sequence(np.array([0, 99], dtype=np.int16), DNA)
+
+    def test_codes_must_be_1d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            Sequence(np.zeros((2, 2), dtype=np.int8), DNA)
+
+    def test_codes_are_readonly(self):
+        seq = Sequence("ACGT", DNA)
+        with pytest.raises(ValueError):
+            seq.codes[0] = 1
+
+    def test_strict_flag_passthrough(self):
+        seq = Sequence("ACZT", DNA, strict=False)
+        assert seq.text == "ACNT"
+
+
+class TestContainerProtocol:
+    def test_indexing_returns_letter(self):
+        assert Sequence("ACGT", DNA)[1] == "C"
+
+    def test_slicing_returns_sequence(self):
+        sub = Sequence("ACGTACGT", DNA, id="x")[2:6]
+        assert isinstance(sub, Sequence)
+        assert sub.text == "GTAC"
+        assert sub.id == "x"
+
+    def test_iteration(self):
+        assert list(Sequence("ACG", DNA)) == ["A", "C", "G"]
+
+    def test_equality_with_sequence(self):
+        assert Sequence("ACGT", DNA) == Sequence("ACGT", DNA)
+        assert Sequence("ACGT", DNA) != Sequence("ACGA", DNA)
+
+    def test_equality_with_str(self):
+        assert Sequence("ACGT", DNA) == "ACGT"
+
+    def test_equality_across_alphabets(self):
+        # Same letters, different alphabets: not equal.
+        assert Sequence("ACG", DNA) != Sequence("ACG", "rna")
+
+    def test_hashable(self):
+        assert len({Sequence("ACGT", DNA), Sequence("ACGT", DNA)}) == 1
+
+    def test_repr_short_and_long(self):
+        assert "ACGT" in repr(Sequence("ACGT", DNA))
+        long = Sequence("A" * 100, DNA)
+        assert "..." in repr(long) and "len=100" in repr(long)
+
+
+class TestSplitHelpers:
+    def test_prefix_suffix_partition(self):
+        seq = Sequence("ATGCATGCATGC", DNA)
+        for r in range(1, len(seq)):
+            assert seq.prefix(r).text + seq.suffix(r).text == seq.text
+            assert len(seq.prefix(r)) == r
+
+    def test_split_bounds(self):
+        seq = Sequence("ACGT", DNA)
+        with pytest.raises(ValueError):
+            seq.prefix(0)
+        with pytest.raises(ValueError):
+            seq.suffix(4)
+
+    def test_reversed(self):
+        assert Sequence("ACGT", DNA).reversed().text == "TGCA"
+
+    def test_reversed_roundtrip(self):
+        seq = Sequence("ACGTTGCA", DNA)
+        assert seq.reversed().reversed() == seq

@@ -1,0 +1,130 @@
+"""Tests for sequence statistics and low-complexity masking."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequences import (
+    DNA,
+    PROTEIN,
+    Sequence,
+    composition,
+    low_complexity_mask,
+    mask_low_complexity,
+    shannon_entropy,
+    windowed_entropy,
+)
+
+
+class TestComposition:
+    def test_simple_counts(self):
+        comp = composition(Sequence("AACG", DNA))
+        assert comp == {"A": 0.5, "C": 0.25, "G": 0.25}
+
+    def test_empty(self):
+        assert composition(Sequence("", DNA)) == {}
+
+    def test_fractions_sum_to_one(self):
+        comp = composition(Sequence("ACGTACGTTTT", DNA))
+        assert sum(comp.values()) == pytest.approx(1.0)
+
+
+class TestShannonEntropy:
+    def test_uniform_four_letters(self):
+        assert shannon_entropy(DNA.encode("ACGT")) == pytest.approx(2.0)
+
+    def test_homopolymer_zero(self):
+        assert shannon_entropy(DNA.encode("AAAA")) == 0.0
+
+    def test_empty_zero(self):
+        assert shannon_entropy(np.array([], dtype=np.int8)) == 0.0
+
+    def test_two_letter_mix(self):
+        assert shannon_entropy(DNA.encode("ACAC")) == pytest.approx(1.0)
+
+    def test_natural_log_base(self):
+        got = shannon_entropy(DNA.encode("ACGT"), base=math.e)
+        assert got == pytest.approx(math.log(4))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=200))
+    def test_property_bounds(self, codes):
+        h = shannon_entropy(np.array(codes, dtype=np.int8))
+        assert 0.0 <= h <= 2.0 + 1e-12
+
+
+class TestWindowedEntropy:
+    def test_length(self):
+        ent = windowed_entropy(Sequence("ACGTACGTAC", DNA), window=4)
+        assert ent.shape == (7,)
+
+    def test_sliding_matches_direct(self):
+        seq = Sequence("ACGTTTTTACGT", DNA)
+        ent = windowed_entropy(seq, window=4)
+        direct = np.array(
+            [shannon_entropy(seq.codes[i : i + 4]) for i in range(len(seq) - 3)]
+        )
+        assert np.allclose(ent, direct)
+
+    def test_short_sequence_empty(self):
+        assert windowed_entropy(Sequence("AC", DNA), window=4).size == 0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            windowed_entropy(Sequence("ACGT", DNA), window=0)
+
+
+class TestLowComplexityMask:
+    def test_homopolymer_fully_masked(self):
+        mask = low_complexity_mask(Sequence("A" * 30, DNA), window=12)
+        assert mask.all()
+
+    def test_diverse_sequence_unmasked(self):
+        seq = Sequence("ACGTACGTTGCAACGTGTCA", DNA)
+        assert not low_complexity_mask(seq, window=12).any()
+
+    def test_embedded_tract_masked_locally(self):
+        text = "ACGTTGCAGTCA" + "A" * 20 + "TGCATCAGTGCA"
+        mask = low_complexity_mask(Sequence(text, DNA), window=12)
+        assert mask[12:32].all()  # the poly-A core
+        assert not mask[:4].any() and not mask[-4:].any()
+
+    def test_short_sequence_single_block(self):
+        assert low_complexity_mask(Sequence("AAAA", DNA), window=12).all()
+        assert not low_complexity_mask(Sequence("ACGT", DNA), window=12).any()
+
+    def test_empty(self):
+        assert low_complexity_mask(Sequence("", DNA)).size == 0
+
+
+class TestMasking:
+    def test_masked_residues_become_wildcard(self):
+        seq = Sequence("ACGTTGCAGTCA" + "Q" * 20 + "ACGTTGCAGTCA", PROTEIN)
+        masked = mask_low_complexity(seq, window=12, threshold=1.5)
+        assert "X" * 10 in masked.text
+        assert masked.text.startswith("ACGT")
+
+    def test_no_wildcard_alphabet_rejected(self):
+        from repro.sequences import Alphabet
+
+        bare = Alphabet("bare", "AB")
+        with pytest.raises(ValueError, match="wildcard"):
+            mask_low_complexity(Sequence("ABAB", bare))
+
+    def test_masking_suppresses_spurious_repeats(self):
+        """The practical point: a poly-A tract stops dominating the scan."""
+        from repro import find_repeats
+
+        seq = Sequence("ACGTTGCAGTCA" + "A" * 24 + "TCGATCAGTGCA", DNA)
+        raw = find_repeats(seq, top_alignments=1)
+        masked = find_repeats(
+            mask_low_complexity(seq, window=12, threshold=1.5), top_alignments=1
+        )
+        best_raw = raw.top_alignments[0].score if raw.top_alignments else 0
+        best_masked = (
+            masked.top_alignments[0].score if masked.top_alignments else 0
+        )
+        assert best_masked < best_raw

@@ -1,0 +1,99 @@
+"""Tests for reverse complement and translation."""
+
+import pytest
+
+from repro.sequences import DNA, RNA, Sequence
+from repro.sequences.translate import (
+    GENETIC_CODE,
+    reverse_complement,
+    transcribe,
+    translate,
+)
+
+
+class TestGeneticCode:
+    def test_complete(self):
+        assert len(GENETIC_CODE) == 64
+
+    def test_stops(self):
+        assert {c for c, aa in GENETIC_CODE.items() if aa == "*"} == {
+            "TAA", "TAG", "TGA",
+        }
+
+    def test_start_codon(self):
+        assert GENETIC_CODE["ATG"] == "M"
+
+
+class TestReverseComplement:
+    def test_dna(self):
+        seq = Sequence("ATGC", DNA)
+        assert reverse_complement(seq).text == "GCAT"
+
+    def test_involution(self):
+        seq = Sequence("ACGTTGCAN", DNA)
+        assert reverse_complement(reverse_complement(seq)) == seq
+
+    def test_rna(self):
+        seq = Sequence("AUGC", RNA)
+        assert reverse_complement(seq).text == "GCAU"
+
+    def test_protein_rejected(self):
+        with pytest.raises(ValueError):
+            reverse_complement(Sequence("MKT"))
+
+
+class TestTranscribe:
+    def test_t_to_u(self):
+        assert transcribe(Sequence("ATGT", DNA)).text == "AUGU"
+        assert transcribe(Sequence("ATGT", DNA)).alphabet is RNA
+
+    def test_rna_rejected(self):
+        with pytest.raises(ValueError):
+            transcribe(Sequence("AUG", RNA))
+
+
+class TestTranslate:
+    def test_simple_orf(self):
+        seq = Sequence("ATGAAACAGTAA", DNA)  # M K Q *
+        assert translate(seq).text == "MKQ*"
+
+    def test_to_stop(self):
+        seq = Sequence("ATGAAATAAAAA", DNA)
+        assert translate(seq, to_stop=True).text == "MK"
+
+    def test_frames(self):
+        seq = Sequence("AATGAAA", DNA)
+        assert translate(seq, frame=1).text == "MK"
+
+    def test_partial_codon_ignored(self):
+        assert translate(Sequence("ATGAA", DNA)).text == "M"
+
+    def test_rna_input(self):
+        assert translate(Sequence("AUGAAA", RNA)).text == "MK"
+
+    def test_n_codon_is_x(self):
+        assert translate(Sequence("ATGANA", DNA)).text == "MX"
+
+    def test_invalid_frame(self):
+        with pytest.raises(ValueError):
+            translate(Sequence("ATG", DNA), frame=3)
+
+    def test_protein_rejected(self):
+        with pytest.raises(ValueError):
+            translate(Sequence("MKT"))
+
+    def test_cag_tract_becomes_polyq(self):
+        """The Huntington connection: (CAG)n -> poly-Q."""
+        seq = Sequence("CAG" * 10, DNA)
+        assert translate(seq).text == "Q" * 10
+
+    def test_translated_repeat_detectable_at_protein_level(self):
+        """A codon-level tandem stays detectable after translation."""
+        from repro import find_repeats
+
+        dna = Sequence("ATGGAACGTAAACTG" * 4, DNA)  # 5-codon unit x4
+        protein = translate(dna)
+        assert protein.text == "MERKL" * 4
+        result = find_repeats(protein, top_alignments=3)
+        assert result.repeats
+        assert result.repeats[0].n_copies >= 3

@@ -1,0 +1,172 @@
+"""Unit tests for repro.sequences.workloads."""
+
+import numpy as np
+import pytest
+
+from repro.sequences import (
+    DNA,
+    PROTEIN,
+    RepeatSpec,
+    implant_repeats,
+    mutate,
+    pseudo_titin,
+    random_sequence,
+    tandem_repeat_sequence,
+)
+
+
+class TestRandomSequence:
+    def test_length_and_alphabet(self):
+        seq = random_sequence(500, PROTEIN, seed=1)
+        assert len(seq) == 500
+        assert seq.alphabet is PROTEIN
+
+    def test_deterministic(self):
+        assert random_sequence(100, seed=4) == random_sequence(100, seed=4)
+        assert random_sequence(100, seed=4) != random_sequence(100, seed=5)
+
+    def test_no_wildcards_emitted(self):
+        seq = random_sequence(2000, DNA, seed=2)
+        assert "N" not in seq.text
+
+    def test_protein_composition_plausible(self):
+        # Leucine is the most common residue in the background model.
+        seq = random_sequence(20000, PROTEIN, seed=3)
+        counts = np.bincount(seq.codes, minlength=PROTEIN.size)
+        assert counts[PROTEIN.code_of("L")] > counts[PROTEIN.code_of("W")]
+
+
+class TestMutate:
+    def test_zero_rates_identity(self):
+        rng = np.random.default_rng(0)
+        codes = DNA.encode("ACGTACGT")
+        assert np.array_equal(
+            mutate(codes, DNA, substitution_rate=0.0, rng=rng), codes
+        )
+
+    def test_full_substitution_changes_most(self):
+        rng = np.random.default_rng(0)
+        codes = DNA.encode("A" * 1000)
+        out = mutate(codes, DNA, substitution_rate=1.0, rng=rng)
+        # Each position resampled; ~1/4 may stay 'A' by chance.
+        assert (out != codes).mean() > 0.5
+
+    def test_indels_change_length(self):
+        rng = np.random.default_rng(0)
+        codes = DNA.encode("ACGT" * 100)
+        out = mutate(codes, DNA, substitution_rate=0.0, indel_rate=0.1, rng=rng)
+        assert out.size != codes.size
+
+    def test_invalid_rates_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            mutate(DNA.encode("AC"), DNA, substitution_rate=1.5, rng=rng)
+        with pytest.raises(ValueError):
+            mutate(DNA.encode("AC"), DNA, substitution_rate=0.1, indel_rate=-1, rng=rng)
+
+
+class TestTandem:
+    def test_exact_tandem(self):
+        assert tandem_repeat_sequence("ATGC", 3).text == "ATGCATGCATGC"
+
+    def test_single_copy(self):
+        assert tandem_repeat_sequence("ATGC", 1).text == "ATGC"
+
+    def test_zero_copies_rejected(self):
+        with pytest.raises(ValueError):
+            tandem_repeat_sequence("ATGC", 0)
+
+    def test_diverged_copies_differ(self):
+        seq = tandem_repeat_sequence("ATGCATGC", 4, substitution_rate=0.5, seed=1)
+        copies = [seq.text[i * 8 : (i + 1) * 8] for i in range(4)]
+        assert len(set(copies)) > 1
+
+
+class TestImplantRepeats:
+    def test_ground_truth_intervals_match_spec(self):
+        wl = implant_repeats(
+            300, RepeatSpec(unit_length=30, copies=4, substitution_rate=0.2), seed=9
+        )
+        assert len(wl.intervals) == 1
+        assert len(wl.intervals[0]) == 4
+        for start, end in wl.intervals[0]:
+            assert 0 <= start < end <= len(wl.sequence)
+
+    def test_tandem_copies_are_adjacent(self):
+        wl = implant_repeats(
+            300,
+            RepeatSpec(unit_length=30, copies=3, substitution_rate=0.0, tandem=True),
+            seed=9,
+        )
+        spans = wl.intervals[0]
+        for (s0, e0), (s1, e1) in zip(spans, spans[1:]):
+            assert e0 == s1
+
+    def test_exact_copies_are_identical_text(self):
+        wl = implant_repeats(
+            200, RepeatSpec(unit_length=20, copies=3, substitution_rate=0.0), seed=2
+        )
+        texts = {wl.sequence.text[s:e] for s, e in wl.intervals[0]}
+        assert len(texts) == 1
+
+    def test_interspersed_copies_inside_sequence(self):
+        wl = implant_repeats(
+            250,
+            RepeatSpec(unit_length=25, copies=3, substitution_rate=0.1, tandem=False),
+            seed=5,
+        )
+        for start, end in wl.intervals[0]:
+            assert 0 <= start < end <= len(wl.sequence)
+
+    def test_multiple_families(self):
+        wl = implant_repeats(
+            400,
+            [
+                RepeatSpec(unit_length=30, copies=2),
+                RepeatSpec(unit_length=15, copies=3),
+            ],
+            seed=11,
+        )
+        assert len(wl.intervals) == 2
+        assert wl.total_repeat_fraction > 0
+
+    def test_repeat_fraction_bounds(self):
+        wl = implant_repeats(
+            200, RepeatSpec(unit_length=50, copies=3, substitution_rate=0.0), seed=3
+        )
+        assert 0.0 < wl.total_repeat_fraction <= 1.0
+
+    def test_deterministic(self):
+        spec = RepeatSpec(unit_length=20, copies=3)
+        a = implant_repeats(200, spec, seed=1)
+        b = implant_repeats(200, spec, seed=1)
+        assert a.sequence == b.sequence
+        assert a.intervals == b.intervals
+
+
+class TestPseudoTitin:
+    def test_exact_length(self):
+        assert len(pseudo_titin(1000, seed=0)) == 1000
+
+    def test_default_is_full_titin_length(self):
+        # Just check the declared default, not a 34350-residue build.
+        import inspect
+
+        sig = inspect.signature(pseudo_titin)
+        assert sig.parameters["length"].default == 34350
+
+    def test_deterministic(self):
+        assert pseudo_titin(500, seed=7) == pseudo_titin(500, seed=7)
+
+    def test_is_protein(self):
+        assert pseudo_titin(300).alphabet is PROTEIN
+
+    def test_has_repeat_structure(self):
+        """Titin-like input must carry detectable internal repeats."""
+        from repro.core import find_top_alignments
+        from repro.scoring import GapPenalties, blosum62
+
+        seq = pseudo_titin(250, seed=1)
+        tops, _ = find_top_alignments(seq, 3, blosum62(), GapPenalties(8, 1))
+        assert len(tops) == 3
+        assert tops[0].score > 0

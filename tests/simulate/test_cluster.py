@@ -1,0 +1,169 @@
+"""Tests for the cluster simulator and the alignment oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core import find_top_alignments
+from repro.simulate import (
+    AlignmentOracle,
+    ClusterConfig,
+    ClusterSimulator,
+    VersionedTriangle,
+    simulate_cluster,
+)
+from repro.sequences import pseudo_titin, tandem_repeat_sequence
+
+
+@pytest.fixture(scope="module")
+def titin_240(protein_scoring_module):
+    ex, gaps = protein_scoring_module
+    seq = pseudo_titin(240, seed=5)
+    oracle = AlignmentOracle(seq, ex, gaps)
+    return seq, ex, gaps, oracle
+
+
+@pytest.fixture(scope="module")
+def protein_scoring_module():
+    from repro.scoring import GapPenalties, blosum62
+
+    return blosum62(), GapPenalties(8, 1)
+
+
+class TestVersionedTriangle:
+    def test_mask_per_version(self):
+        tri = VersionedTriangle(10)
+        tri.mark(((1, 5),), 0)
+        tri.mark(((2, 6),), 1)
+        v0 = tri.view(4, 0)
+        v1 = tri.view(4, 1)
+        v2 = tri.view(4, 2)
+        assert v0.row_mask(1) is None
+        assert v1.row_mask(1) is not None and v1.row_mask(2) is None
+        assert v2.row_mask(2) is not None
+
+    def test_double_mark_rejected(self):
+        tri = VersionedTriangle(10)
+        tri.mark(((1, 5),), 0)
+        with pytest.raises(ValueError, match="twice"):
+            tri.mark(((1, 5),), 1)
+
+    def test_bounds(self):
+        tri = VersionedTriangle(10)
+        with pytest.raises(ValueError):
+            tri.mark(((5, 5),), 0)
+
+
+class TestOracle:
+    def test_matches_real_algorithm(self, titin_240):
+        """The oracle-driven simulation discovers the real acceptance
+        sequence — the simulator's ground-truth property."""
+        seq, ex, gaps, oracle = titin_240
+        sim = ClusterSimulator(
+            oracle,
+            ClusterConfig(processors=1, tier="sse", dedicated_master=False),
+        )
+        result = sim.run(5)
+        real, _ = find_top_alignments(seq, 5, ex, gaps)
+        assert [(a.r, a.score, a.pairs) for a in result.top_alignments] == [
+            (a.r, a.score, a.pairs) for a in real
+        ]
+
+    def test_score_memoised(self, titin_240):
+        _, _, _, oracle = titin_240
+        before = oracle.cells_computed
+        s1 = oracle.score(100, 0)
+        mid = oracle.cells_computed
+        s2 = oracle.score(100, 0)
+        assert s1 == s2
+        assert oracle.cells_computed == mid  # second call was free
+        assert mid >= before
+
+    def test_version_beyond_known_rejected(self, titin_240):
+        _, _, _, oracle = titin_240
+        with pytest.raises(ValueError, match="not yet reached"):
+            oracle.score(10, 999)
+
+    def test_out_of_order_acceptance_rejected(self, titin_240):
+        _, _, _, oracle = titin_240
+        with pytest.raises(ValueError, match="in order"):
+            oracle.accept(3, len(oracle.acceptances) + 5)
+
+
+class TestSimulator:
+    def test_more_processors_never_slower(self, titin_240):
+        _, _, _, oracle = titin_240
+        makespans = []
+        for P in (2, 4, 8, 16):
+            result = ClusterSimulator(
+                oracle, ClusterConfig(processors=P, tier="sse")
+            ).run(3)
+            makespans.append(result.makespan)
+        assert makespans == sorted(makespans, reverse=True)
+
+    def test_speedup_bounded_by_workers_times_tier(self, titin_240):
+        """Speedup vs the conventional sequential run cannot exceed
+        (P-1 workers) x (sse/conventional rate ratio)."""
+        _, _, _, oracle = titin_240
+        base = ClusterSimulator(
+            oracle,
+            ClusterConfig(processors=1, tier="conventional", dedicated_master=False),
+        ).run(2)
+        for P in (2, 8):
+            result = ClusterSimulator(
+                oracle, ClusterConfig(processors=P, tier="sse")
+            ).run(2)
+            speedup = base.makespan / result.makespan
+            bound = (P - 1) * result.config.machine.improvement("sse") * 1.001
+            assert 0 < speedup <= bound
+
+    def test_acceptance_times_monotone(self, titin_240):
+        _, _, _, oracle = titin_240
+        result = ClusterSimulator(
+            oracle, ClusterConfig(processors=4, tier="sse")
+        ).run(5)
+        assert result.acceptance_times == sorted(result.acceptance_times)
+        assert result.makespan == result.acceptance_times[-1]
+
+    def test_identical_results_across_processor_counts(self, titin_240):
+        seq, ex, gaps, oracle = titin_240
+        results = [
+            ClusterSimulator(oracle, ClusterConfig(processors=P, tier="sse")).run(4)
+            for P in (2, 16, 64)
+        ]
+        keys = [
+            [(a.r, a.score) for a in res.top_alignments] for res in results
+        ]
+        assert keys[0] == keys[1] == keys[2]
+
+    def test_speculation_overhead_nonnegative(self, titin_240):
+        seq, ex, gaps, oracle = titin_240
+        result = simulate_cluster(
+            seq, 4, ex, gaps, config=ClusterConfig(processors=16, tier="sse"),
+            oracle=oracle,
+        )
+        assert result.alignments_sequential > 0
+        assert result.speculation_overhead >= 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterConfig(processors=0)
+        with pytest.raises(ValueError):
+            ClusterConfig(processors=1, dedicated_master=True)
+        with pytest.raises(ValueError):
+            ClusterConfig(processors=2, dedicated_master=False)
+
+    def test_k_validation(self, titin_240):
+        _, _, _, oracle = titin_240
+        sim = ClusterSimulator(oracle, ClusterConfig(processors=2))
+        with pytest.raises(ValueError):
+            sim.run(0)
+
+    def test_exhaustion_short_sequence(self, dna_scoring):
+        ex, gaps = dna_scoring
+        seq = tandem_repeat_sequence("ATGC", 3)
+        oracle = AlignmentOracle(seq, ex, gaps)
+        result = ClusterSimulator(
+            oracle, ClusterConfig(processors=4, tier="sse")
+        ).run(50)
+        assert len(result.top_alignments) < 50
+        assert len(result.top_alignments) >= 3

@@ -1,0 +1,52 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.simulate import EventLoop
+
+
+class TestEventLoop:
+    def test_pop_order_by_time(self):
+        loop = EventLoop()
+        loop.schedule(3.0, "c")
+        loop.schedule(1.0, "a")
+        loop.schedule(2.0, "b")
+        assert [loop.pop().kind for _ in range(3)] == ["a", "b", "c"]
+
+    def test_clock_advances_monotonically(self):
+        loop = EventLoop()
+        loop.schedule(1.0, "a")
+        loop.schedule(5.0, "b")
+        loop.pop()
+        assert loop.now == 1.0
+        loop.pop()
+        assert loop.now == 5.0
+
+    def test_ties_resolve_by_priority_then_insertion(self):
+        loop = EventLoop()
+        loop.schedule(1.0, "second", priority=1)
+        loop.schedule(1.0, "first", priority=0)
+        loop.schedule(1.0, "third", priority=1)
+        assert [loop.pop().kind for _ in range(3)] == ["first", "second", "third"]
+
+    def test_cannot_schedule_into_past(self):
+        loop = EventLoop()
+        loop.schedule(2.0, "a")
+        loop.pop()
+        with pytest.raises(ValueError, match="past"):
+            loop.schedule(1.0, "b")
+
+    def test_payload_roundtrip(self):
+        loop = EventLoop()
+        loop.schedule(1.0, "x", payload={"r": 7})
+        assert loop.pop().payload == {"r": 7}
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            EventLoop().pop()
+
+    def test_len_and_bool(self):
+        loop = EventLoop()
+        assert not loop
+        loop.schedule(1.0, "a")
+        assert loop and len(loop) == 1

@@ -1,0 +1,59 @@
+"""Tests for the calibrated machine models."""
+
+import pytest
+
+from repro.simulate import PENTIUM3, PENTIUM4, MachineModel
+
+
+class TestPaperCalibration:
+    """The models must reproduce Table 2's published ratios."""
+
+    def test_p3_sse_improvement_is_6_9(self):
+        assert PENTIUM3.improvement("sse") == pytest.approx(6.9, abs=0.05)
+
+    def test_p4_sse_improvement_is_6_0(self):
+        assert PENTIUM4.improvement("sse") == pytest.approx(6.0, abs=0.05)
+
+    def test_p4_sse2_improvement_is_9_8(self):
+        assert PENTIUM4.improvement("sse2") == pytest.approx(9.8, abs=0.05)
+
+    def test_p3_conventional_time_for_largest_titin_matrix(self):
+        """§5: 'up to 5.2 seconds for the largest matrices (17175x17175)'."""
+        cells = 17175 * 17175
+        assert PENTIUM3.align_seconds(cells, "conventional") == pytest.approx(5.2)
+
+    def test_p4_sse2_rate_above_one_billion(self):
+        """§5.1: 'more than a billion matrix entries per second'."""
+        assert PENTIUM4.rates["sse2"] > 1e9
+
+    def test_das2_nodes_are_dual_cpu(self):
+        assert PENTIUM3.cpus_per_node == 2
+
+
+class TestMachineModel:
+    def test_unknown_tier_raises(self):
+        with pytest.raises(KeyError, match="no tier"):
+            PENTIUM3.rate("avx512")
+
+    def test_smp_contention(self):
+        """§5.2: non-cache-aware kernels gain only 25 % from CPU 2."""
+        bus_bound = MachineModel(
+            name="no-stripes", rates={"sse": 1e8}, smp_efficiency=0.625
+        )
+        single = bus_bound.rate("sse", busy_cpus=1)
+        dual_each = bus_bound.rate("sse", busy_cpus=2)
+        assert 2 * dual_each / single == pytest.approx(1.25)
+
+    def test_cache_aware_smp_scales_fully(self):
+        """§5.2: cache-aware kernels double with the second CPU."""
+        assert PENTIUM3.rate("sse", busy_cpus=2) == PENTIUM3.rate("sse")
+
+    def test_align_seconds_linear_in_cells(self):
+        assert PENTIUM3.align_seconds(2_000_000, "sse") == pytest.approx(
+            2 * PENTIUM3.align_seconds(1_000_000, "sse")
+        )
+
+    def test_traceback_adds_path_overhead(self):
+        base = PENTIUM3.align_seconds(1000, "conventional")
+        with_path = PENTIUM3.traceback_seconds(1000, 500, "conventional")
+        assert with_path > base

@@ -1,0 +1,41 @@
+"""Tests for the network model."""
+
+import pytest
+
+from repro.simulate import NetworkModel
+
+
+class TestNetworkModel:
+    def test_latency_plus_bandwidth(self):
+        net = NetworkModel(latency=1e-5, bandwidth=1e8)
+        assert net.transfer_seconds(1_000_000) == pytest.approx(1e-5 + 0.01)
+
+    def test_zero_bytes_costs_latency(self):
+        net = NetworkModel(latency=5e-6)
+        assert net.transfer_seconds(0) == pytest.approx(5e-6)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_seconds(-1)
+
+    def test_per_endpoint_accounting(self):
+        net = NetworkModel()
+        net.transfer_seconds(1000, endpoint=1)
+        net.transfer_seconds(500, endpoint=1)
+        net.transfer_seconds(200, endpoint=2)
+        assert net.bytes_by_endpoint == {1: 1500, 2: 200}
+        assert net.messages == 3
+
+    def test_endpoint_rates(self):
+        net = NetworkModel()
+        net.transfer_seconds(64_000, endpoint=1)
+        assert net.endpoint_rate(1, elapsed=1.0) == 64_000
+        assert net.endpoint_rate(1, elapsed=0.0) == 0.0
+        assert net.endpoint_rate(9, elapsed=1.0) == 0.0
+
+    def test_peak_rate(self):
+        net = NetworkModel()
+        assert net.peak_endpoint_rate(1.0) == 0.0
+        net.transfer_seconds(100, endpoint=1)
+        net.transfer_seconds(900, endpoint=2)
+        assert net.peak_endpoint_rate(1.0) == 900

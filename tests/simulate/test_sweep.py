@@ -1,0 +1,63 @@
+"""Tests for the cluster sweep API."""
+
+import csv
+import io
+
+import pytest
+
+from repro.scoring import GapPenalties, blosum62
+from repro.sequences import pseudo_titin
+from repro.simulate import AlignmentOracle
+from repro.simulate.sweep import records_to_csv, sweep_cluster
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    seq = pseudo_titin(130, seed=3)
+    ex, gaps = blosum62(), GapPenalties(8, 1)
+    oracle = AlignmentOracle(seq, ex, gaps)
+    return sweep_cluster(
+        seq, ex, gaps, processors=(2, 8), ks=(1, 3), oracle=oracle
+    )
+
+
+class TestSweep:
+    def test_grid_size(self, sweep):
+        assert len(sweep) == 4
+        assert {(r.processors, r.k) for r in sweep} == {
+            (2, 1), (8, 1), (2, 3), (8, 3),
+        }
+
+    def test_speedups_consistent(self, sweep):
+        for record in sweep:
+            assert record.speedup_vs_conventional > record.speedup_vs_tier > 0
+            assert record.efficiency == pytest.approx(
+                record.speedup_vs_tier / (record.processors - 1)
+            )
+            assert 0 < record.efficiency <= 1.001
+
+    def test_monotone_in_processors(self, sweep):
+        by_k = {}
+        for record in sweep:
+            by_k.setdefault(record.k, []).append(record)
+        for records in by_k.values():
+            records.sort(key=lambda r: r.processors)
+            makespans = [r.makespan for r in records]
+            assert makespans == sorted(makespans, reverse=True)
+
+    def test_speculation_nonnegative(self, sweep):
+        assert all(r.speculation_overhead >= 0 for r in sweep)
+
+
+class TestCsv:
+    def test_roundtrip(self, sweep, tmp_path):
+        path = tmp_path / "sweep.csv"
+        text = records_to_csv(sweep, path)
+        assert path.read_text() == text
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == len(sweep)
+        assert rows[0]["machine"] == "pentium3"
+        assert float(rows[0]["makespan"]) > 0
+
+    def test_empty(self):
+        assert records_to_csv([]) == ""

@@ -1,0 +1,127 @@
+"""Tests for simulation tracing and the first-pass oracle."""
+
+import pytest
+
+from repro.scoring import GapPenalties, blosum62
+from repro.sequences import pseudo_titin
+from repro.simulate import (
+    AlignmentOracle,
+    ClusterConfig,
+    ClusterSimulator,
+    FirstPassOracle,
+    TraceRecorder,
+    simulate_first_pass,
+)
+from repro.simulate.trace import Span
+
+
+class TestSpanAndRecorder:
+    def test_span_duration(self):
+        assert Span(0, 1.0, 3.5, "align", 5).duration == 2.5
+
+    def test_recorder_rejects_negative_span(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().record(0, 2.0, 1.0, "align", 1)
+
+    def test_report_validation(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().report(makespan=0.0, n_workers=1)
+
+
+class TestTracedSimulation:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        seq = pseudo_titin(150, seed=4)
+        oracle = AlignmentOracle(seq, blosum62(), GapPenalties(8, 1))
+        recorder = TraceRecorder()
+        sim = ClusterSimulator(
+            oracle, ClusterConfig(processors=4, tier="sse"), trace=recorder
+        )
+        result = sim.run(3)
+        return recorder, result
+
+    def test_spans_cover_all_executions(self, traced):
+        recorder, result = traced
+        aligns = [s for s in recorder.spans if s.kind == "align"]
+        tracebacks = [s for s in recorder.spans if s.kind == "traceback"]
+        assert len(aligns) == result.alignments_executed
+        assert len(tracebacks) == len(result.top_alignments)
+
+    def test_spans_within_makespan(self, traced):
+        recorder, result = traced
+        for span in recorder.spans:
+            assert 0.0 <= span.start <= span.end
+            # Speculative aligns may finish after the last acceptance.
+            assert span.start <= result.makespan * 1.5
+
+    def test_no_overlap_per_cpu(self, traced):
+        """A CPU never runs two spans at once."""
+        recorder, _ = traced
+        by_cpu: dict[int, list[Span]] = {}
+        for span in recorder.spans:
+            by_cpu.setdefault(span.cpu, []).append(span)
+        for spans in by_cpu.values():
+            spans.sort(key=lambda s: s.start)
+            for a, b in zip(spans, spans[1:]):
+                assert b.start >= a.end - 1e-12
+
+    def test_report_quantities(self, traced):
+        recorder, result = traced
+        report = recorder.report(result.makespan, n_workers=3)
+        assert 0.0 < report.mean_utilisation <= 1.0
+        assert 0.0 <= report.idle_fraction < 1.0
+        assert 0.0 < report.traceback_fraction < 1.0
+        assert report.align_time > 0 and report.traceback_time > 0
+
+    def test_gantt_renders(self, traced):
+        recorder, result = traced
+        report = recorder.report(result.makespan, n_workers=3)
+        chart = report.gantt(width=40)
+        lines = chart.splitlines()
+        assert len(lines) >= 3
+        assert all("|" in line for line in lines)
+        assert any("#" in line for line in lines)
+        assert any("T" in line for line in lines)  # the master's tracebacks
+
+    def test_traceback_fraction_explains_efficiency(self, traced):
+        """The paper's story: efficiency loss ~ sequential traceback share
+        plus idle workers.  Sanity-check the accounting is consistent."""
+        recorder, result = traced
+        report = recorder.report(result.makespan, n_workers=3)
+        assert report.traceback_fraction + report.mean_utilisation > 0.3
+
+
+class TestFirstPassOracle:
+    def test_scores_peak_at_winner(self):
+        oracle = FirstPassOracle(100, winner_r=60)
+        assert oracle.score(60, 0) > oracle.score(59, 0) > oracle.score(10, 0)
+
+    def test_default_winner_is_middle(self):
+        assert FirstPassOracle(100).winner_r == 50
+
+    def test_only_version_zero(self):
+        oracle = FirstPassOracle(100)
+        with pytest.raises(ValueError):
+            oracle.score(10, 1)
+
+    def test_single_acceptance(self):
+        oracle = FirstPassOracle(100)
+        alignment = oracle.accept(50, 0)
+        assert alignment.r == 50
+        assert len(alignment.pairs) == 50
+        with pytest.raises(ValueError):
+            oracle.accept(50, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FirstPassOracle(1)
+        with pytest.raises(ValueError):
+            FirstPassOracle(10, winner_r=10)
+
+    def test_simulate_first_pass_accepts_middle(self):
+        result = simulate_first_pass(
+            200, ClusterConfig(processors=4, tier="sse")
+        )
+        assert len(result.top_alignments) == 1
+        assert result.top_alignments[0].r == 100
+        assert result.makespan > 0

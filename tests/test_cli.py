@@ -1,0 +1,237 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sequences import DNA, Sequence, write_fasta
+
+
+@pytest.fixture()
+def tandem_fasta(tmp_path):
+    path = tmp_path / "tandem.fasta"
+    write_fasta(Sequence("ATGCATGCATGC", DNA, id="tandem"), path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_find_defaults(self):
+        args = build_parser().parse_args(["find", "x.fasta"])
+        assert args.top_alignments == 20
+        assert args.engine == "vector"
+        assert args.algorithm == "new"
+
+
+class TestEnginesCommand:
+    def test_lists_engines(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "vector" in out and "scalar" in out and "lanes-sse2" in out
+
+
+class TestGenerateCommand:
+    def test_titin_to_file(self, tmp_path, capsys):
+        out = tmp_path / "titin.fasta"
+        assert main(["generate", "titin", "--length", "120", "--output", str(out)]) == 0
+        from repro.sequences import read_fasta
+
+        (rec,) = read_fasta(out)
+        assert len(rec) == 120
+
+    def test_implanted_to_stdout(self, capsys):
+        assert main(["generate", "implanted", "--length", "100", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith(">implanted")
+
+
+class TestFindCommand:
+    def test_find_on_tandem(self, tandem_fasta, capsys):
+        code = main(
+            [
+                "find",
+                tandem_fasta,
+                "-k",
+                "3",
+                "--alphabet",
+                "dna",
+                "--gap-open",
+                "2",
+                "--gap-extend",
+                "1",
+                "--show-alignments",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ">tandem length=12" in out
+        assert "repeat families: 1" in out
+        assert "top#0 score=8" in out
+
+    def test_find_old_algorithm(self, tandem_fasta, capsys):
+        assert (
+            main(["find", tandem_fasta, "-k", "2", "--alphabet", "dna", "--algorithm", "old"])
+            == 0
+        )
+        assert "top alignments: 2" in capsys.readouterr().out
+
+    def test_find_protein_matrix_choice(self, tmp_path, capsys):
+        path = tmp_path / "p.fasta"
+        write_fasta(Sequence("MKTAYIAKQRMKTAYIAKQR", id="p"), path)
+        assert main(["find", str(path), "-k", "1", "--matrix", "pam250"]) == 0
+        assert "top alignments: 1" in capsys.readouterr().out
+
+    def test_protein_matrix_on_dna_rejected(self, tandem_fasta):
+        with pytest.raises(SystemExit, match="protein"):
+            main(["find", tandem_fasta, "--alphabet", "dna", "--matrix", "blosum62"])
+
+    def test_empty_fasta_rejected(self, tmp_path):
+        empty = tmp_path / "empty.fasta"
+        empty.write_text("")
+        with pytest.raises(SystemExit, match="no FASTA records"):
+            main(["find", str(empty)])
+
+    def test_stdin_input(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(">s\nATGCATGCATGC\n"))
+        assert main(["find", "-", "-k", "2", "--alphabet", "dna"]) == 0
+        assert "top alignments: 2" in capsys.readouterr().out
+
+
+class TestAlignCommand:
+    def test_paper_example(self, capsys):
+        assert main(["align", "ATTGCGA", "CTTACAGA"]) == 0
+        out = capsys.readouterr().out
+        assert "score 6" in out
+        assert "TTGC-GA" in out and "TTACAGA" in out
+
+    def test_lowercase_input(self, capsys):
+        assert main(["align", "attgcga", "cttacaga"]) == 0
+        assert "score 6" in capsys.readouterr().out
+
+    def test_protein_matrix(self, capsys):
+        assert main(
+            ["align", "MKTAYIAK", "MKTAYIAK", "--alphabet", "protein",
+             "--matrix", "blosum62"]
+        ) == 0
+        assert "score" in capsys.readouterr().out
+
+    def test_no_alignment(self, capsys):
+        assert main(["align", "AAAA", "TTTT"]) == 0
+        assert "no positive-scoring" in capsys.readouterr().out
+
+    def test_matrix_requires_protein(self):
+        with pytest.raises(SystemExit, match="protein"):
+            main(["align", "ACGT", "ACGT", "--matrix", "pam250"])
+
+
+class TestScanCommand:
+    def test_ranking(self, tmp_path, capsys):
+        from repro.sequences import random_sequence, tandem_repeat_sequence
+
+        path = tmp_path / "db.fasta"
+        write_fasta(
+            [
+                Sequence(random_sequence(40, DNA, seed=3).codes, DNA, id="rand"),
+                Sequence(tandem_repeat_sequence("ATGCGT", 5).codes, DNA, id="tand"),
+            ],
+            path,
+        )
+        assert main(["scan", str(path), "--alphabet", "dna", "-k", "4"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[1].split()[1] == "tand"  # best score ranks first
+
+    def test_limit(self, tmp_path, capsys):
+        from repro.sequences import random_sequence
+
+        path = tmp_path / "db.fasta"
+        write_fasta(
+            [
+                Sequence(random_sequence(30, DNA, seed=s).codes, DNA, id=f"s{s}")
+                for s in range(3)
+            ],
+            path,
+        )
+        assert main(["scan", str(path), "--alphabet", "dna", "--limit", "1", "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 2  # header + 1 row
+
+    def test_empty_rejected(self, tmp_path):
+        empty = tmp_path / "e.fasta"
+        empty.write_text("")
+        with pytest.raises(SystemExit):
+            main(["scan", str(empty)])
+
+
+class TestSearchCommand:
+    def test_ranks_by_query_similarity(self, tmp_path, capsys):
+        from repro.sequences import PROTEIN, random_sequence
+
+        query = "HQRTHTGEKPYKCPECGK"
+        db = [
+            Sequence(random_sequence(50, PROTEIN, seed=1).codes, PROTEIN, id="noise"),
+            Sequence(
+                random_sequence(20, PROTEIN, seed=2).codes, PROTEIN, id="pre"
+            ),
+        ]
+        # Plant the query inside one record.
+        hit = Sequence(db[1].text + query + "AAAA", PROTEIN, id="hit")
+        path = tmp_path / "db.fasta"
+        write_fasta([db[0], hit], path)
+        assert main(["search", query, str(path)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[1].split()[1] == "hit"
+
+    def test_empty_db_rejected(self, tmp_path):
+        empty = tmp_path / "e.fasta"
+        empty.write_text("")
+        with pytest.raises(SystemExit):
+            main(["search", "ACDEF", str(empty)])
+
+    def test_dna_simple_matrix(self, tandem_fasta, capsys):
+        assert main(
+            ["search", "ATGCATGC", tandem_fasta, "--alphabet", "dna"]
+        ) == 0
+        assert "tandem" in capsys.readouterr().out
+
+
+class TestFindMsaFlag:
+    def test_msa_rendered(self, tandem_fasta, capsys):
+        assert main(
+            ["find", tandem_fasta, "-k", "3", "--alphabet", "dna",
+             "--gap-open", "2", "--gap-extend", "1", "--msa"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "alignment (100% identity)" in out
+        assert "ATGC" in out
+
+
+class TestSimulateCommand:
+    def test_basic_run(self, capsys):
+        assert main(["simulate", "--length", "120", "-k", "2", "-P", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "speed improvement" in out
+        assert "utilisation" in out
+
+    def test_gantt(self, capsys):
+        assert main(
+            ["simulate", "--length", "100", "-k", "1", "-P", "4", "--gantt"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cpu  0" in out and "master" in out
+
+
+class TestBenchCommand:
+    def test_realign_artifact_runs(self, capsys):
+        assert main(["bench", "realign", "-k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "realignments avoided" in out
