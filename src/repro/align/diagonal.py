@@ -46,8 +46,8 @@ class DiagonalEngine(AlignmentEngine):
         sub = problem.exchange.scores[:, problem.seq2.astype(np.int64)]
         seq1 = problem.seq1.astype(np.int64)
 
-        max_x = np.full(rows + 1, -np.inf)  # per-row running maxima
-        max_y = np.full(cols + 1, -np.inf)  # per-column running maxima
+        max_x = np.full(rows + 1, -np.inf, dtype=np.float64)  # per-row running maxima
+        max_y = np.full(cols + 1, -np.inf, dtype=np.float64)  # per-column running maxima
 
         # Pre-fetch override masks per row (None when clear).
         masks = None

@@ -44,7 +44,7 @@ def gotoh_matrix(problem: AlignmentProblem) -> np.ndarray:
     sub = problem.exchange.scores[:, problem.seq2.astype(np.int64)]
     override = problem.override
 
-    G = np.full(cols, -np.inf)  # vertical gap state, per column
+    G = np.full(cols, -np.inf, dtype=np.float64)  # vertical gap state, per column
     for y in range(1, rows + 1):
         prev = H[y - 1]
         erow = sub[problem.seq1[y - 1]]
@@ -59,6 +59,8 @@ def gotoh_matrix(problem: AlignmentProblem) -> np.ndarray:
         row = H[y]
         f = -np.inf
         mask = override.row_mask(y) if override is not None else None
+        # repro-lint: allow[RPR001] the horizontal-gap prefix scan interacts
+        # with the max(0,.) clamp; inherently sequential, one register of state
         for x in range(1, cols + 1):
             h = best[x - 1]
             if f > h:

@@ -100,7 +100,7 @@ class LanesEngine(AlignmentEngine):
             if p.rows == 0 or p.cols == 0:
                 results[lane] = np.zeros(p.cols + 1, dtype=np.float64)
         if max_rows == 0 or max_cols == 0:
-            return [r if r is not None else np.zeros(1) for r in results]
+            return [r if r is not None else np.zeros(1, dtype=np.float64) for r in results]
 
         is_float = self.dtype == "float64"
         work = np.float64 if is_float else np.int64

@@ -46,6 +46,8 @@ class ScalarEngine(AlignmentEngine):
             erow = exchange[seq1[y - 1]]
             mask = override.row_mask(y) if override is not None else None
             max_x = NEG_INF
+            # repro-lint: allow[RPR001] intentional: this engine IS the
+            # per-cell "conventional instruction set" baseline of Table 2
             for x in range(1, cols + 1):
                 diag = prev[x - 1]
                 value = erow[seq2[x - 1]] + max(max_x, max_y[x], diag)

@@ -88,11 +88,11 @@ def best_scores_batch(
 
     prev = np.zeros((max_cols + 1, group), dtype=np.float64)
     curr = np.zeros((max_cols + 1, group), dtype=np.float64)
-    max_y = np.full((max_cols, group), -np.inf)
+    max_y = np.full((max_cols, group), -np.inf, dtype=np.float64)
     k_up = (ext * np.arange(1, max_cols + 1, dtype=np.float64))[:, None]
     x_dn = (ext * np.arange(2, max_cols + 1, dtype=np.float64))[:, None]
-    inner = np.empty((max_cols, group))
-    b = np.empty((max_cols, group))
+    inner = np.empty((max_cols, group), dtype=np.float64)
+    b = np.empty((max_cols, group), dtype=np.float64)
     # Mask out padded columns/rows so garbage never enters the maxima.
     col_valid = (np.arange(max_cols)[:, None] < cols_l[None, :])
 

@@ -82,6 +82,8 @@ class StripedEngine(AlignmentEngine):
             new_left = np.zeros(rows + 1, dtype=np.float64)
             new_pref = np.full(rows + 1, -np.inf, dtype=np.float64)
 
+            # repro-lint: allow[RPR001] per-ROW loop, not per-cell: the body
+            # is vectorised across the stripe's columns (SWAT-style striping)
             for y in range(1, rows + 1):
                 prev[0] = left_diag[y - 1]
                 diag = prev[:width]  # diag[j] = M[y-1][x0-1+j]

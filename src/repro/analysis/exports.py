@@ -1,0 +1,171 @@
+"""RPR005 — ``__all__`` / re-export consistency.
+
+The package presents one curated surface (``repro``, plus per-subpackage
+``__init__`` files re-exporting their modules).  Three kinds of drift
+creep in as modules grow:
+
+* ``__all__`` names a symbol the module never defines or imports
+  (an ``ImportError`` for ``from m import *`` users, invisible until
+  someone does it) — tolerated only when the module defines a
+  ``__getattr__`` lazy-export hook;
+* an ``__init__.py`` imports a public symbol from a submodule but
+  forgets to list it in ``__all__`` (the symbol works but is
+  undocumented, and disappears under ``import *``);
+* an ``__init__.py`` re-exports a name the source module does not
+  declare in *its* ``__all__`` (the package surface silently depends
+  on a module-private symbol);
+* duplicated ``__all__`` entries.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .diagnostics import Diagnostic
+
+__all__ = ["check_exports"]
+
+
+def _literal_all(tree: ast.Module) -> tuple[list[str] | None, int]:
+    """The module's literal ``__all__`` list and its line, if present."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "__all__"
+                    and isinstance(node.value, (ast.List, ast.Tuple))
+                ):
+                    names = [
+                        elt.value
+                        for elt in node.value.elts
+                        if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                    ]
+                    return names, node.lineno
+    return None, 0
+
+
+def _top_level_bindings(tree: ast.Module) -> tuple[set[str], bool]:
+    """Names bound at module top level, and whether ``__getattr__`` exists."""
+    bound: set[str] = set()
+    has_getattr = False
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    for elt in target.elts:
+                        if isinstance(elt, ast.Name):
+                            bound.add(elt.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            bound.add(node.target.id)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+            if node.name == "__getattr__":
+                has_getattr = True
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+    return bound, has_getattr
+
+
+def _module_all_of(path: Path) -> list[str] | None:
+    """``__all__`` of a sibling module file, or None."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except (OSError, SyntaxError):
+        return None
+    names, _ = _literal_all(tree)
+    return names
+
+
+def check_exports(tree: ast.Module, path: str) -> list[Diagnostic]:
+    """Run every export-consistency check over one module."""
+    findings: list[Diagnostic] = []
+    all_names, all_line = _literal_all(tree)
+    bound, has_getattr = _top_level_bindings(tree)
+    is_init = Path(path).name == "__init__.py"
+
+    if all_names is None:
+        # Only package __init__ files that re-export are required to
+        # declare their surface.
+        if is_init and any(
+            isinstance(node, ast.ImportFrom) and node.level >= 1 for node in tree.body
+        ):
+            findings.append(
+                Diagnostic(
+                    rule="RPR005",
+                    path=path,
+                    line=1,
+                    message="package __init__ re-exports submodule names "
+                    "but declares no __all__",
+                )
+            )
+        return findings
+
+    seen: set[str] = set()
+    for name in all_names:
+        if name in seen:
+            findings.append(
+                Diagnostic(
+                    rule="RPR005",
+                    path=path,
+                    line=all_line,
+                    message=f"duplicate __all__ entry {name!r}",
+                )
+            )
+        seen.add(name)
+        if name not in bound and not has_getattr:
+            findings.append(
+                Diagnostic(
+                    rule="RPR005",
+                    path=path,
+                    line=all_line,
+                    message=f"__all__ names {name!r} but the module neither "
+                    "defines nor imports it (and has no __getattr__)",
+                )
+            )
+
+    if is_init:
+        public = {name for name in bound if not name.startswith("_")}
+        for name in sorted(public - set(all_names)):
+            findings.append(
+                Diagnostic(
+                    rule="RPR005",
+                    path=path,
+                    line=all_line,
+                    message=f"public name {name!r} is imported/defined in "
+                    "this __init__ but missing from __all__ (export drift)",
+                )
+            )
+        # Cross-module half: re-exported names must be in the source
+        # module's own __all__.
+        parent = Path(path).parent
+        for node in tree.body:
+            if not (
+                isinstance(node, ast.ImportFrom) and node.level == 1 and node.module
+            ):
+                continue
+            target = parent / (node.module.split(".", 1)[0] + ".py")
+            if not target.exists():
+                continue
+            module_all = _module_all_of(target)
+            if module_all is None:
+                continue
+            for alias in node.names:
+                if alias.name not in module_all:
+                    findings.append(
+                        Diagnostic(
+                            rule="RPR005",
+                            path=path,
+                            line=node.lineno,
+                            message=f"re-export of {node.module}.{alias.name} "
+                            "which is not in that module's __all__",
+                        )
+                    )
+    return findings

@@ -1,0 +1,350 @@
+"""Runtime invariant validators (``REPRO_CHECK_INVARIANTS``).
+
+The algorithm's million-fold speedup rests on three fragile claims:
+
+* **Heap upper bounds** (§3): a task's cached score — possibly computed
+  under an *older* override triangle — is an upper bound on its fresh
+  score under the current triangle, because newer triangles only
+  override more cells and overriding never raises a score.  Best-first
+  acceptance is exact only while this holds.
+* **Override-triangle monotonicity** (§3): accepted cells only ever
+  flip False → True; nothing un-marks a pair, and the version counter
+  advances by exactly one per acceptance.
+* **Shadow-row validity** (Appendix A): a realignment may end only in
+  bottom-row cells whose value is *unchanged* from the first-pass
+  cached row; changed cells are shadow alignments rerouted around an
+  accepted path.
+
+None of these fail loudly on their own — they fail as silently wrong
+top alignments.  Setting ``REPRO_CHECK_INVARIANTS=1`` (cheap checks)
+or ``REPRO_CHECK_INVARIANTS=full`` (adds O(n·cells) fresh-score
+re-verification of every queued upper bound after each acceptance)
+makes every execution mode — sequential, lane-grouped, threaded,
+distributed — self-verifying; violations raise
+:class:`InvariantViolation`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from ..core.tasks import NEVER_ALIGNED
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..core.result import TopAlignment
+    from ..core.tasks import Task
+    from ..core.topalign import TopAlignmentState
+
+__all__ = [
+    "ENV_FLAG",
+    "InvariantViolation",
+    "invariant_mode",
+    "checker_from_env",
+    "InvariantChecker",
+    "TriangleMonotonicityValidator",
+    "validate_shadow_rows",
+    "check_heap_upper_bound",
+]
+
+#: Environment variable controlling the checks.
+ENV_FLAG = "REPRO_CHECK_INVARIANTS"
+
+#: Absolute tolerance for score comparisons.  Scores are integral under
+#: the recommended matrices, so any tolerance well under 1 is safe.
+_TOL = 1e-6
+
+_OFF = {"", "0", "off", "false", "no"}
+_FULL = {"full", "2", "all"}
+
+
+class InvariantViolation(AssertionError):
+    """A checked algorithmic invariant does not hold."""
+
+    def __init__(self, invariant: str, message: str) -> None:
+        super().__init__(f"[{invariant}] {message}")
+        self.invariant = invariant
+
+
+def invariant_mode() -> str | None:
+    """``None`` (off), ``"cheap"`` or ``"full"``, from the environment."""
+    raw = os.environ.get(ENV_FLAG, "").strip().lower()
+    if raw in _OFF:
+        return None
+    return "full" if raw in _FULL else "cheap"
+
+
+def checker_from_env(state: "TopAlignmentState") -> "InvariantChecker | None":
+    """An :class:`InvariantChecker` bound to ``state``, if enabled."""
+    mode = invariant_mode()
+    if mode is None:
+        return None
+    return InvariantChecker(state, mode=mode)
+
+
+# ---------------------------------------------------------------------------
+# individual validators (usable standalone from tests / fuzzers)
+# ---------------------------------------------------------------------------
+
+
+class TriangleMonotonicityValidator:
+    """Checks that an override triangle only ever gains marked pairs.
+
+    Keeps a snapshot of the marked-pair set; each :meth:`validate` call
+    compares the triangle against the snapshot and then advances it.
+    """
+
+    def __init__(self, triangle) -> None:
+        self.pairs: set[tuple[int, int]] = set(triangle)
+        self.version: int = triangle.version
+
+    def validate(self, triangle) -> set[tuple[int, int]]:
+        """Raise unless the triangle grew monotonically; returns new pairs."""
+        current = set(triangle)
+        lost = self.pairs - current
+        if lost:
+            raise InvariantViolation(
+                "triangle-monotonic",
+                f"{len(lost)} previously marked pair(s) were un-marked "
+                f"(e.g. {sorted(lost)[:3]}); accepted cells may only flip "
+                "False->True",
+            )
+        if triangle.version < self.version:
+            raise InvariantViolation(
+                "triangle-monotonic",
+                f"triangle version went backwards: {self.version} -> "
+                f"{triangle.version}",
+            )
+        if triangle.marked_count != len(current):
+            raise InvariantViolation(
+                "triangle-monotonic",
+                f"marked_count={triangle.marked_count} disagrees with the "
+                f"{len(current)} pairs the triangle iterates",
+            )
+        for i, j in current - self.pairs:
+            if not (1 <= i < j <= triangle.m):
+                raise InvariantViolation(
+                    "triangle-monotonic",
+                    f"newly marked pair ({i}, {j}) outside the triangle "
+                    f"1 <= i < j <= {triangle.m}",
+                )
+        fresh = current - self.pairs
+        self.pairs = current
+        self.version = triangle.version
+        return fresh
+
+
+def validate_shadow_rows(
+    store,
+    r: int,
+    fresh_row: np.ndarray,
+    *,
+    claimed_mask: np.ndarray | None = None,
+    claimed_score: float | None = None,
+) -> None:
+    """Check Appendix A shadow-rejection for one realignment.
+
+    Recomputes the valid-endpoint mask independently of the store
+    (``fresh == cached``) and verifies the store's answers against it:
+    ``claimed_mask`` (if given) must match cell-for-cell, and
+    ``claimed_score`` (if given) must be the maximum over unchanged
+    cells — 0.0 when every cell changed.
+    """
+    original = np.asarray(store.get(r), dtype=np.float64)
+    fresh = np.asarray(fresh_row, dtype=np.float64)
+    if fresh.shape != original.shape:
+        raise InvariantViolation(
+            "shadow-rows",
+            f"split r={r}: fresh bottom row has shape {fresh.shape}, "
+            f"cached first-pass row has {original.shape}",
+        )
+    expected_mask = fresh == original
+    if claimed_mask is not None and not np.array_equal(
+        np.asarray(claimed_mask, dtype=bool), expected_mask
+    ):
+        bad = int(np.flatnonzero(np.asarray(claimed_mask) != expected_mask)[0])
+        raise InvariantViolation(
+            "shadow-rows",
+            f"split r={r}: validity mask wrong at column {bad} — a cell is "
+            "valid iff its value is unchanged from the first pass",
+        )
+    expected_score = (
+        float(fresh[expected_mask].max()) if expected_mask.any() else 0.0
+    )
+    if claimed_score is not None and not math.isclose(
+        claimed_score, expected_score, abs_tol=_TOL
+    ):
+        raise InvariantViolation(
+            "shadow-rows",
+            f"split r={r}: claimed realignment score {claimed_score} != "
+            f"max over unchanged cells {expected_score} (shadow alignments "
+            "must not contribute)",
+        )
+
+
+def check_heap_upper_bound(
+    state: "TopAlignmentState", task: "Task", *, tol: float = _TOL
+) -> float:
+    """Check one task's cached score against its fresh score.
+
+    Recomputes the split under the *current* triangle (with shadow
+    rejection, exactly as :meth:`TopAlignmentState.align_task` would)
+    and raises unless ``task.score >= fresh``.  Returns the fresh
+    score.  O(cells) — debug/fuzzing use only.
+    """
+    row = state.engine.last_row(state.problem_for(task.r))
+    if task.r in state.bottom_rows:
+        fresh = state.bottom_rows.score_of(task.r, row)
+    else:
+        fresh = float(row.max())
+    if task.score + tol < fresh:
+        raise InvariantViolation(
+            "heap-upper-bound",
+            f"task r={task.r}: cached score {task.score} (triangle version "
+            f"{task.aligned_with}) is below its fresh score {fresh} under "
+            f"triangle version {state.n_found}; stale scores must be upper "
+            "bounds for best-first acceptance to be exact",
+        )
+    return fresh
+
+
+# ---------------------------------------------------------------------------
+# the per-state checker the hot paths call
+# ---------------------------------------------------------------------------
+
+
+class InvariantChecker:
+    """Bundles the validators for one :class:`TopAlignmentState`.
+
+    Hook points (called by the sequential loop, the threaded scheduler
+    and the distributed master when ``REPRO_CHECK_INVARIANTS`` is set):
+
+    * :meth:`guard_task` — structural checks on every queue insert;
+    * :meth:`after_align` — score monotonicity + shadow-row validity;
+    * :meth:`after_accept` — triangle monotonicity + non-overlap;
+    * :meth:`verify_upper_bounds` — full-mode fresh-score sweep.
+    """
+
+    def __init__(self, state: "TopAlignmentState", mode: str = "cheap") -> None:
+        if mode not in ("cheap", "full"):
+            raise ValueError("mode must be 'cheap' or 'full'")
+        self.state = state
+        self.mode = mode
+        self.triangle_validator = TriangleMonotonicityValidator(state.triangle)
+        #: Number of individual invariant checks executed (observability).
+        self.checks = 0
+
+    # -- queue guard (wired into TaskQueue) --------------------------------
+
+    def guard_task(self, task: "Task") -> None:
+        """Structural sanity of a task entering the queue."""
+        self.checks += 1
+        if math.isnan(task.score):
+            raise InvariantViolation(
+                "task-structure", f"task r={task.r} has NaN score"
+            )
+        if task.score < 0.0:
+            raise InvariantViolation(
+                "task-structure",
+                f"task r={task.r} has negative score {task.score}; local "
+                "alignment scores are clamped at zero",
+            )
+        if not 1 <= task.r < self.state.m:
+            raise InvariantViolation(
+                "task-structure",
+                f"task split r={task.r} outside 1..{self.state.m - 1}",
+            )
+        if task.aligned_with != NEVER_ALIGNED and (
+            task.aligned_with < 0 or task.aligned_with > self.state.n_found
+        ):
+            raise InvariantViolation(
+                "task-structure",
+                f"task r={task.r} claims triangle version "
+                f"{task.aligned_with}, but only 0..{self.state.n_found} "
+                "exist",
+            )
+
+    # -- alignment hook ----------------------------------------------------
+
+    def after_align(
+        self,
+        task: "Task",
+        row: np.ndarray,
+        *,
+        prev_score: float,
+        prev_version: int,
+    ) -> None:
+        """Validate one (re)alignment that just updated ``task``."""
+        self.checks += 1
+        if task.score > prev_score + _TOL:
+            raise InvariantViolation(
+                "heap-upper-bound",
+                f"task r={task.r}: realignment raised the score "
+                f"{prev_score} -> {task.score} (previous version "
+                f"{prev_version}, now {task.aligned_with}); a growing "
+                "triangle can only lower scores, so the cached value was "
+                "not an upper bound",
+            )
+        if task.r in self.state.bottom_rows:
+            validate_shadow_rows(
+                self.state.bottom_rows, task.r, row, claimed_score=task.score
+            )
+
+    # -- acceptance hook ---------------------------------------------------
+
+    def after_accept(self, alignment: "TopAlignment") -> None:
+        """Validate the acceptance that just marked the triangle."""
+        self.checks += 1
+        accepted = set(alignment.pairs)
+        overlap = accepted & self.triangle_validator.pairs
+        if overlap:
+            raise InvariantViolation(
+                "non-overlap",
+                f"top alignment #{alignment.index} re-uses "
+                f"{len(overlap)} already-accepted pair(s) "
+                f"(e.g. {sorted(overlap)[:3]}); top alignments must be "
+                "pairwise disjoint",
+            )
+        prev_y, prev_x = 0, 0
+        for y, x in alignment.pairs:
+            if not (y <= alignment.r < x):
+                raise InvariantViolation(
+                    "non-overlap",
+                    f"top alignment #{alignment.index} pair ({y}, {x}) does "
+                    f"not straddle its split r={alignment.r}",
+                )
+            if y <= prev_y or x <= prev_x:
+                raise InvariantViolation(
+                    "non-overlap",
+                    f"top alignment #{alignment.index} pairs are not "
+                    f"strictly increasing at ({y}, {x})",
+                )
+            prev_y, prev_x = y, x
+        fresh = self.triangle_validator.validate(self.state.triangle)
+        if not accepted <= self.triangle_validator.pairs:
+            raise InvariantViolation(
+                "triangle-monotonic",
+                f"top alignment #{alignment.index}'s pairs were not all "
+                "marked in the triangle",
+            )
+        del fresh  # newly marked set; superset check above suffices
+
+    # -- full-mode sweep ---------------------------------------------------
+
+    def verify_upper_bounds(self, tasks: Iterable["Task"]) -> int:
+        """Re-verify every queued upper bound against a fresh score.
+
+        Returns the number of tasks checked.  O(n·cells); only wired
+        up in ``full`` mode.
+        """
+        n = 0
+        for task in tasks:
+            if task.aligned_with == NEVER_ALIGNED:
+                continue  # +inf placeholder, trivially an upper bound
+            check_heap_upper_bound(self.state, task)
+            n += 1
+        self.checks += n
+        return n

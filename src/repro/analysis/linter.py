@@ -1,0 +1,180 @@
+"""The ``repro lint`` driver.
+
+Collects Python files, parses each once, dispatches every registered
+rule (per-file AST rules, the RPR003 lock-discipline detector and the
+RPR005 export checker), applies waiver comments, and renders findings.
+
+Exit status: 0 when no unsuppressed error-severity findings remain,
+1 otherwise, 2 on usage errors — so CI can run
+``repro lint src/repro benchmarks`` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .diagnostics import Diagnostic, parse_waivers
+from .exports import check_exports
+from .locks import check_lock_discipline
+from .rules import FILE_RULES
+
+__all__ = ["collect_files", "lint_file", "lint_paths", "active_rules", "main"]
+
+#: Directories never worth linting.
+_SKIP_DIRS = {
+    ".git",
+    "__pycache__",
+    ".hypothesis",
+    ".pytest_cache",
+    ".benchmarks",
+    "build",
+    "dist",
+}
+
+#: Rule id -> one-line description, for ``--list-rules``.
+RULE_DOC: dict[str, str] = {
+    "RPR000": "malformed waiver comment (missing reason / misplaced)",
+    "RPR001": "per-cell Python loop in an align/ kernel (keep kernels vectorised)",
+    "RPR002": "numpy matrix constructor without explicit dtype=",
+    "RPR003": "mutation of lock-guarded shared state outside the lock (race)",
+    "RPR004": "unseeded randomness in benchmarks/ or simulate/",
+    "RPR005": "__all__ / re-export drift",
+    "RPR006": "bare except:",
+    "RPR007": "PYTHONPATH-unsafe absolute self-import inside the package",
+    "RPR008": "O(n) list.insert(0,..)/in-on-list in a loop",
+}
+
+
+def active_rules() -> list[str]:
+    """Ids of every rule the linter runs (sorted)."""
+    return sorted(RULE_DOC)
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.add(candidate)
+        elif path.suffix == ".py":
+            files.add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def lint_file(path: str | Path) -> list[Diagnostic]:
+    """All unsuppressed findings for one file."""
+    path = Path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [
+            Diagnostic(
+                rule="RPR000", path=str(path), line=0, message=f"unreadable: {exc}"
+            )
+        ]
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                rule="RPR000",
+                path=str(path),
+                line=exc.lineno or 0,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    waivers = parse_waivers(source, str(path))
+    findings: list[Diagnostic] = list(waivers.problems)
+    for _, rule in FILE_RULES:
+        findings.extend(rule(tree, str(path)))
+    findings.extend(check_lock_discipline(tree, source, str(path)))
+    findings.extend(check_exports(tree, str(path)))
+    unsuppressed = [
+        d for d in findings if not waivers.is_waived(d.rule, d.line)
+    ]
+    # A rule may fire twice on one statement via nested scopes; report once.
+    unique: dict[tuple[str, str, int, str], Diagnostic] = {}
+    for diag in unsuppressed:
+        unique.setdefault((diag.rule, diag.path, diag.line, diag.message), diag)
+    return sorted(unique.values(), key=lambda d: (d.path, d.line, d.rule))
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[Diagnostic]:
+    """Findings across every file reachable from ``paths``."""
+    findings: list[Diagnostic] = []
+    for path in collect_files(paths):
+        findings.extend(lint_file(path))
+    return findings
+
+
+def _render(findings: Sequence[Diagnostic], fmt: str) -> str:
+    if fmt == "json":
+        return json.dumps(
+            [
+                {
+                    "rule": d.rule,
+                    "path": d.path,
+                    "line": d.line,
+                    "severity": str(d.severity),
+                    "message": d.message,
+                }
+                for d in findings
+            ],
+            indent=2,
+        )
+    return "\n".join(d.render() for d in findings)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Project-specific static analysis for the repro codebase "
+        "(invariant-guarding lint rules; see ANALYSIS.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point (also ``python -m repro.analysis``)."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in active_rules():
+            print(f"{rule}  {RULE_DOC[rule]}")
+        return 0
+    try:
+        findings = lint_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if findings:
+        print(_render(findings, args.fmt))
+    n_files = len(collect_files(args.paths))
+    if args.fmt == "text":
+        print(
+            f"repro lint: {len(findings)} finding(s) in {n_files} file(s), "
+            f"{len(active_rules())} rules active",
+            file=sys.stderr,
+        )
+    return 1 if findings else 0

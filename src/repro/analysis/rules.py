@@ -1,0 +1,535 @@
+"""Project-specific AST lint rules (``repro lint``).
+
+Each rule guards one way the reproduction has been observed (or is
+expected) to rot — see ``ANALYSIS.md`` for the paper section each rule
+protects.  Rules are pure functions over one file's AST; the two rules
+that need more context live in their own modules (lock discipline in
+:mod:`repro.analysis.locks`, export consistency in
+:mod:`repro.analysis.exports`).
+
+Rule ids
+--------
+``RPR001`` per-cell Python loop in an ``align/`` kernel
+``RPR002`` numpy matrix constructor without an explicit ``dtype``
+``RPR004`` unseeded randomness in ``benchmarks/`` / ``simulate/``
+``RPR006`` bare ``except:``
+``RPR007`` PYTHONPATH-unsafe absolute self-import inside the package
+``RPR008`` O(n) list operation (``insert(0, ...)``, ``in``-on-list) in a loop
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Callable, Iterator
+
+from .diagnostics import Diagnostic
+
+__all__ = ["Rule", "FILE_RULES", "iter_file_rules"]
+
+#: Signature of a per-file rule: (tree, path) -> findings.
+Rule = Callable[[ast.Module, str], list[Diagnostic]]
+
+#: numpy array constructors whose dtype should always be spelled out in
+#: kernel/matrix code (implicit float64/int mixing silently changes the
+#: engines' value domain — the paper computed in 16-bit integers).
+_NUMPY_CONSTRUCTORS = {"zeros", "ones", "empty", "full"}
+
+#: Legacy global-state numpy RNG entry points (non-reproducible across
+#: call sites; benchmarks must thread an explicit seeded Generator).
+_NUMPY_GLOBAL_RNG = {
+    "random",
+    "rand",
+    "randn",
+    "randint",
+    "choice",
+    "shuffle",
+    "permutation",
+    "uniform",
+    "normal",
+    "poisson",
+    "exponential",
+}
+
+#: stdlib ``random`` module functions that draw from the global RNG.
+_STDLIB_RNG = {
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "betavariate",
+    "expovariate",
+}
+
+#: list methods whose presence with ``insert(0, ...)`` semantics makes a
+#: hot loop quadratic.
+_MIN_PER_CELL_SUBSCRIPTS = 3
+
+
+def _parts(path: str) -> set[str]:
+    return set(Path(path).parts)
+
+
+def _in_dir(path: str, *names: str) -> bool:
+    parts = _parts(path)
+    return any(name in parts for name in names)
+
+
+def _is_test_file(path: str) -> bool:
+    """Tests build tiny expected arrays; kernel-perf rules skip them."""
+    name = Path(path).name
+    return (
+        "tests" in _parts(path)
+        or name.startswith("test_")
+        or name == "conftest.py"
+    )
+
+
+def _numpy_aliases(tree: ast.Module) -> set[str]:
+    """Module aliases bound to numpy (``np``, ``numpy``, ...)."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def _constructor_names(tree: ast.Module) -> set[str]:
+    """Names bound by ``from numpy import zeros, ...``."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "numpy":
+            for alias in node.names:
+                if alias.name in _NUMPY_CONSTRUCTORS:
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+# ---------------------------------------------------------------------------
+# RPR001 — per-cell Python loops in alignment kernels
+# ---------------------------------------------------------------------------
+
+
+def _element_subscripts_with(node: ast.AST, var: str) -> int:
+    """Count element (non-slice) subscripts whose index mentions ``var``."""
+    count = 0
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Subscript):
+            continue
+        index = sub.slice
+        if isinstance(index, ast.Slice):
+            continue
+        if isinstance(index, ast.Tuple) and any(
+            isinstance(elt, ast.Slice) for elt in index.elts
+        ):
+            continue
+        if any(isinstance(n, ast.Name) and n.id == var for n in ast.walk(index)):
+            count += 1
+    return count
+
+
+def _is_range_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+    )
+
+
+def rule_per_cell_loop(tree: ast.Module, path: str) -> list[Diagnostic]:
+    """RPR001: nested Python ``for``-``range`` loops doing per-cell work.
+
+    The paper's million-fold speedup starts from keeping the Equation 1
+    recurrence out of the Python interpreter (row-vectorised or
+    lane-batched); a nested loop that touches matrix cells one at a
+    time re-introduces the "conventional instruction set" baseline.
+    Intentional scalar references carry a waiver.
+    """
+    if not _in_dir(path, "align") or _is_test_file(path):
+        return []
+    findings: list[Diagnostic] = []
+
+    def visit(node: ast.AST, for_depth: int) -> None:
+        for child in ast.iter_child_nodes(node):
+            depth = for_depth
+            if isinstance(child, ast.For):
+                if (
+                    for_depth >= 1
+                    and _is_range_call(child.iter)
+                    and isinstance(child.target, ast.Name)
+                    and _element_subscripts_with(child, child.target.id)
+                    >= _MIN_PER_CELL_SUBSCRIPTS
+                ):
+                    findings.append(
+                        Diagnostic(
+                            rule="RPR001",
+                            path=path,
+                            line=child.lineno,
+                            message="per-cell Python loop in an alignment "
+                            "kernel; vectorise the inner dimension "
+                            "(numpy row ops / lane batch) or waive with a "
+                            "reason if this is a reference implementation",
+                        )
+                    )
+                depth = for_depth + 1
+            visit(child, depth)
+
+    visit(tree, 0)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# RPR002 — implicit dtype in matrix construction
+# ---------------------------------------------------------------------------
+
+
+def rule_implicit_dtype(tree: ast.Module, path: str) -> list[Diagnostic]:
+    """RPR002: ``np.zeros``/``ones``/``empty``/``full`` without ``dtype=``.
+
+    Mixing implicit float64 with the lane engine's int16/int32 working
+    dtypes silently changes saturation behaviour (§4.1's 16-bit
+    overflow discussion), so matrix constructors in kernel and core
+    code must pin their dtype.
+    """
+    if not _in_dir(path, "align", "core") or _is_test_file(path):
+        return []
+    np_aliases = _numpy_aliases(tree)
+    direct = _constructor_names(tree)
+    findings: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        hit = False
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _NUMPY_CONSTRUCTORS
+            and isinstance(func.value, ast.Name)
+            and func.value.id in np_aliases
+        ):
+            hit = True
+        elif isinstance(func, ast.Name) and func.id in direct:
+            hit = True
+        if hit and not any(kw.arg == "dtype" for kw in node.keywords):
+            name = func.attr if isinstance(func, ast.Attribute) else func.id
+            findings.append(
+                Diagnostic(
+                    rule="RPR002",
+                    path=path,
+                    line=node.lineno,
+                    message=f"np.{name}(...) without an explicit dtype= in "
+                    "matrix construction; implicit dtypes mix float64 into "
+                    "integer lane kernels",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# RPR004 — unseeded randomness
+# ---------------------------------------------------------------------------
+
+
+def rule_unseeded_random(tree: ast.Module, path: str) -> list[Diagnostic]:
+    """RPR004: randomness without an explicit seed in benchmark/simulator code.
+
+    Every benchmark table and simulator trace in this repo is a
+    reproduction artifact; a run that cannot be replayed bit-for-bit
+    cannot be compared against the paper's Tables 1-2 / Figure 8.
+    """
+    if not _in_dir(path, "benchmarks", "simulate"):
+        return []
+    np_aliases = _numpy_aliases(tree)
+    random_aliases: set[str] = set()
+    seeds_global = False
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random":
+                    random_aliases.add(alias.asname or "random")
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "seed"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in random_aliases
+        ):
+            seeds_global = True
+
+    findings: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        # np.random.<legacy>(...) — global-state numpy RNG.
+        if (
+            isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in np_aliases
+            and func.attr in _NUMPY_GLOBAL_RNG
+        ):
+            findings.append(
+                Diagnostic(
+                    rule="RPR004",
+                    path=path,
+                    line=node.lineno,
+                    message=f"np.random.{func.attr}(...) uses the global "
+                    "numpy RNG; thread an explicit "
+                    "np.random.default_rng(seed) instead",
+                )
+            )
+        # np.random.default_rng() with no seed.
+        elif (
+            func.attr == "default_rng"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and not node.args
+            and not node.keywords
+        ):
+            findings.append(
+                Diagnostic(
+                    rule="RPR004",
+                    path=path,
+                    line=node.lineno,
+                    message="default_rng() without a seed is not "
+                    "reproducible; pass an explicit seed",
+                )
+            )
+        # stdlib random.<fn>() on the (unseeded) global RNG.
+        elif (
+            isinstance(func.value, ast.Name)
+            and func.value.id in random_aliases
+            and func.attr in _STDLIB_RNG
+            and not seeds_global
+        ):
+            findings.append(
+                Diagnostic(
+                    rule="RPR004",
+                    path=path,
+                    line=node.lineno,
+                    message=f"random.{func.attr}() draws from the unseeded "
+                    "global RNG; seed it or use random.Random(seed)",
+                )
+            )
+        # random.Random() with no seed.
+        elif (
+            func.attr == "Random"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in random_aliases
+            and not node.args
+            and not node.keywords
+        ):
+            findings.append(
+                Diagnostic(
+                    rule="RPR004",
+                    path=path,
+                    line=node.lineno,
+                    message="random.Random() without a seed is not "
+                    "reproducible; pass an explicit seed",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# RPR006 — bare except
+# ---------------------------------------------------------------------------
+
+
+def rule_bare_except(tree: ast.Module, path: str) -> list[Diagnostic]:
+    """RPR006: ``except:`` with no exception type.
+
+    A bare except swallows KeyboardInterrupt/SystemExit and — worse
+    here — the invariant-checker's violations, turning a broken
+    upper-bound into silently wrong output.
+    """
+    findings: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(
+                Diagnostic(
+                    rule="RPR006",
+                    path=path,
+                    line=node.lineno,
+                    message="bare `except:` swallows SystemExit and "
+                    "invariant violations; catch a concrete exception type",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# RPR007 — PYTHONPATH-unsafe self-imports
+# ---------------------------------------------------------------------------
+
+
+def _inside_package(path: str, package: str = "repro") -> bool:
+    """Whether ``path`` sits inside a package directory named ``package``."""
+    p = Path(path).resolve()
+    for parent in p.parents:
+        if parent.name == package and (parent / "__init__.py").exists():
+            return True
+    return False
+
+
+def rule_absolute_self_import(tree: ast.Module, path: str) -> list[Diagnostic]:
+    """RPR007: absolute ``import repro...`` inside the package itself.
+
+    Modules inside ``src/repro`` must use relative imports — absolute
+    self-imports only resolve when ``src`` happens to be on
+    ``PYTHONPATH``, and they can double-import the package under two
+    names (breaking engine-registry and isinstance identity).
+    """
+    if not _inside_package(path):
+        return []
+    findings: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        offending = None
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or alias.name.startswith("repro."):
+                    offending = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            if node.module == "repro" or node.module.startswith("repro."):
+                offending = node.module
+        if offending is not None:
+            findings.append(
+                Diagnostic(
+                    rule="RPR007",
+                    path=path,
+                    line=node.lineno,
+                    message=f"absolute self-import of {offending!r} inside "
+                    "the package; use a relative import so the module is "
+                    "PYTHONPATH-layout independent",
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# RPR008 — accidentally-quadratic list operations in loops
+# ---------------------------------------------------------------------------
+
+
+def _walk_scope(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without descending into nested function/class scopes."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue  # a nested scope: its names do not alias ours
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _list_valued_names(body: list[ast.stmt]) -> set[str]:
+    """Names assigned a list display / ``list(...)`` call in this scope."""
+    names: set[str] = set()
+    for node in _walk_scope(body):
+        if isinstance(node, ast.Assign) and isinstance(
+            node.value, (ast.List, ast.ListComp)
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Name)
+            and node.value.func.id == "list"
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _loops(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    for node in _walk_scope(body):
+        if isinstance(node, (ast.For, ast.While)):
+            yield node
+
+
+def rule_quadratic_list_op(tree: ast.Module, path: str) -> list[Diagnostic]:
+    """RPR008: ``list.insert(0, ...)`` and ``in``-on-list inside loops.
+
+    The best-first loop runs O(n) iterations per acceptance; an O(n)
+    list operation inside it silently turns the §3 bookkeeping
+    quadratic.  ``collections.deque`` / ``set`` are the drop-ins.
+    """
+    findings: list[Diagnostic] = []
+    # insert(0, ...) anywhere — there is no good reason for it.
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "insert"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == 0
+        ):
+            findings.append(
+                Diagnostic(
+                    rule="RPR008",
+                    path=path,
+                    line=node.lineno,
+                    message="list.insert(0, ...) is O(n); use "
+                    "collections.deque.appendleft or append+reverse",
+                )
+            )
+    # `x in somelist` inside a loop, where somelist is a local list.
+    for scope in ast.walk(tree):
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+            continue
+        body = scope.body
+        list_names = _list_valued_names(body)
+        if not list_names:
+            continue
+        for loop in _loops(body):
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Compare):
+                    continue
+                for op, comparator in zip(node.ops, node.comparators):
+                    if (
+                        isinstance(op, (ast.In, ast.NotIn))
+                        and isinstance(comparator, ast.Name)
+                        and comparator.id in list_names
+                    ):
+                        findings.append(
+                            Diagnostic(
+                                rule="RPR008",
+                                path=path,
+                                line=node.lineno,
+                                message=f"membership test against list "
+                                f"{comparator.id!r} inside a loop is O(n) "
+                                "per probe; use a set",
+                            )
+                        )
+    return findings
+
+
+#: Per-file rules, in reporting order.  Lock discipline (RPR003) and
+#: export consistency (RPR005) are registered by the linter driver.
+FILE_RULES: tuple[tuple[str, Rule], ...] = (
+    ("RPR001", rule_per_cell_loop),
+    ("RPR002", rule_implicit_dtype),
+    ("RPR004", rule_unseeded_random),
+    ("RPR006", rule_bare_except),
+    ("RPR007", rule_absolute_self_import),
+    ("RPR008", rule_quadratic_list_op),
+)
+
+
+def iter_file_rules() -> Iterator[tuple[str, Rule]]:
+    """The registered per-file rules (id, callable)."""
+    yield from FILE_RULES

@@ -11,6 +11,7 @@ Subcommands
 ``simulate``   run the DAS-2 cluster simulator at a given processor count
 ``report``     full analysis report (alignments, families, MSA, dot plot)
 ``engines``    list available alignment engines
+``lint``       run the project's static-analysis rules (see ANALYSIS.md)
 """
 
 from __future__ import annotations
@@ -145,6 +146,21 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--no-dotplot", action="store_true")
 
     sub.add_parser("engines", help="list registered alignment engines")
+
+    lint = sub.add_parser(
+        "lint",
+        help="project-specific static analysis (invariant-guarding rules)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
     return parser
 
 
@@ -425,6 +441,17 @@ def _cmd_engines(_: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.linter import main as lint_main
+
+    argv = list(args.paths)
+    if args.format != "text":
+        argv += ["--format", args.format]
+    if args.list_rules:
+        argv += ["--list-rules"]
+    return lint_main(argv)
+
+
 def main(argv: Seq[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -438,6 +465,7 @@ def main(argv: Seq[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "report": _cmd_report,
         "engines": _cmd_engines,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -12,8 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..sequences.sequence import Sequence
 from .delineate import column_classes
 from .result import Repeat, TopAlignment

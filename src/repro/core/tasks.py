@@ -19,6 +19,7 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
 __all__ = ["Task", "TaskQueue", "NEVER_ALIGNED"]
 
@@ -64,10 +65,16 @@ class TaskQueue:
     Mirrors Figure 5's ``InsertTask`` / ``GetTaskWithHighestScore``: a
     task is either in the queue or checked out, never both, so no lazy
     deletion is needed.
+
+    An optional ``guard`` callable is invoked on every insert — the
+    invariant checker (:mod:`repro.analysis.invariants`) uses it to
+    validate tasks as they enter the queue when
+    ``REPRO_CHECK_INVARIANTS`` is set.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, guard: Callable[[Task], None] | None = None) -> None:
         self._heap: list[_Entry] = []
+        self._guard = guard
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -75,8 +82,15 @@ class TaskQueue:
     def __bool__(self) -> bool:
         return bool(self._heap)
 
+    def tasks(self) -> Iterator[Task]:
+        """Iterate the queued tasks in unspecified order (debug/checks)."""
+        for entry in self._heap:
+            yield entry.task
+
     def insert(self, task: Task) -> None:
         """(Re)insert a task at the position its score dictates."""
+        if self._guard is not None:
+            self._guard(task)
         heapq.heappush(self._heap, _Entry((-task.score, task.r), task))
 
     def pop_highest(self) -> Task:

@@ -21,6 +21,7 @@ execution mode.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 
@@ -117,6 +118,13 @@ class TopAlignmentState:
         self.found: list[TopAlignment] = []
         self.stats = RunStats()
         self.stats.realignments_per_top.append(0)
+        # Debug-mode invariant checking (REPRO_CHECK_INVARIANTS=1|full);
+        # the env test avoids importing the analysis package on hot paths.
+        self.invariants = None
+        if os.environ.get("REPRO_CHECK_INVARIANTS", ""):
+            from ..analysis.invariants import checker_from_env
+
+            self.invariants = checker_from_env(self)
 
     # -- problem construction --------------------------------------------
 
@@ -151,6 +159,7 @@ class TopAlignmentState:
         the new score returned.
         """
         row = self._engine_row(self.problem_for(task.r))
+        prev_score, prev_version = task.score, task.aligned_with
         if task.r not in self.bottom_rows:
             self.bottom_rows.put(task.r, row)
             score = float(row.max())
@@ -160,6 +169,10 @@ class TopAlignmentState:
             score = self.bottom_rows.score_of(task.r, row)
         task.score = score
         task.aligned_with = self.n_found
+        if self.invariants is not None:
+            self.invariants.after_align(
+                task, row, prev_score=prev_score, prev_version=prev_version
+            )
         return score
 
     def accept_task(self, task: Task) -> TopAlignment:
@@ -198,6 +211,8 @@ class TopAlignmentState:
         self.triangle.mark(pairs)
         self.found.append(alignment)
         self.stats.realignments_per_top.append(0)
+        if self.invariants is not None:
+            self.invariants.after_accept(alignment)
         return alignment
 
     # -- engine plumbing ----------------------------------------------------
@@ -225,6 +240,7 @@ class TopAlignmentState:
         self.stats.cells += sum(p.cells for p in problems)
         scores: list[float] = []
         for task, row in zip(tasks, rows):
+            prev_score, prev_version = task.score, task.aligned_with
             if task.r not in self.bottom_rows:
                 self.bottom_rows.put(task.r, row)
                 score = float(row.max())
@@ -234,6 +250,10 @@ class TopAlignmentState:
                 score = self.bottom_rows.score_of(task.r, row)
             task.score = score
             task.aligned_with = self.n_found
+            if self.invariants is not None:
+                self.invariants.after_align(
+                    task, row, prev_score=prev_score, prev_version=prev_version
+                )
             scores.append(score)
         return scores
 
@@ -265,7 +285,8 @@ def find_top_alignments(
         state = TopAlignmentState(
             sequence, exchange, gaps, engine=engine, triangle=triangle
         )
-    queue = TaskQueue()
+    checker = state.invariants
+    queue = TaskQueue(guard=checker.guard_task if checker is not None else None)
     for task in state.make_tasks():
         queue.insert(task)
 
@@ -277,6 +298,10 @@ def find_top_alignments(
             break
         if task.is_current(state.n_found):
             state.accept_task(task)
+            if checker is not None and checker.mode == "full":
+                # Every queued upper bound must still dominate its fresh
+                # score under the just-grown triangle.
+                checker.verify_upper_bounds(queue.tasks())
         else:
             state.align_task(task)
         queue.insert(task)

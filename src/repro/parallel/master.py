@@ -62,7 +62,10 @@ class MasterRunner:
         self.k = k
         self.min_score = min_score
         self.slave_capacity = slave_capacity
-        self._queue = TaskQueue()
+        checker = state.invariants
+        self._queue = TaskQueue(
+            guard=checker.guard_task if checker is not None else None
+        )
         self._inflight: dict[int, Task] = {}  # r -> checked-out task
         self._load = {rank: 0 for rank in range(1, comm.size)}
         #: Per-slave message/byte counters (the paper's "each slave
@@ -144,6 +147,7 @@ class MasterRunner:
         self.bytes_received += row.nbytes
         state.stats.alignments += 1
         state.stats.cells += r * (state.m - r)
+        prev_score, prev_version = task.score, task.aligned_with
         if r not in state.bottom_rows:
             state.bottom_rows.put(r, row)
             score = float(row.max())
@@ -153,6 +157,10 @@ class MasterRunner:
             score = state.bottom_rows.score_of(r, row)
         task.score = score
         task.aligned_with = version
+        if state.invariants is not None:
+            state.invariants.after_align(
+                task, row, prev_score=prev_score, prev_version=prev_version
+            )
         self._queue.insert(task)
 
     def _exhausted(self) -> bool:

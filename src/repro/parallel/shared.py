@@ -65,7 +65,10 @@ class ThreadedTopAlignmentRunner:
         self.n_threads = n_threads
         self.min_score = min_score
         self._cond = threading.Condition()
-        self._queue = TaskQueue()
+        checker = state.invariants
+        self._queue = TaskQueue(
+            guard=checker.guard_task if checker is not None else None
+        )
         self._inflight: dict[int, tuple[float, int]] = {}  # r -> (score, r)
         self._done = False
         self._error: BaseException | None = None
@@ -77,8 +80,9 @@ class ThreadedTopAlignmentRunner:
 
     def run(self) -> tuple[list[TopAlignment], RunStats]:
         """Execute and return ``(top_alignments, stats)``."""
-        for task in self.state.make_tasks():
-            self._queue.insert(task)
+        with self._cond:  # workers do not exist yet; lock kept for discipline
+            for task in self.state.make_tasks():
+                self._queue.insert(task)
         threads = [
             threading.Thread(target=self._worker, name=f"repro-worker-{i}")
             for i in range(self.n_threads)
@@ -148,6 +152,7 @@ class ThreadedTopAlignmentRunner:
                         continue
                     task = candidate
                     start_version = state.n_found
+                    prev_score, prev_version = task.score, task.aligned_with
                     self._inflight[task.r] = (task.score, task.r)
                     problem = state.problem_for(task.r)
 
@@ -174,10 +179,17 @@ class ThreadedTopAlignmentRunner:
                         self.speculative_alignments += 1
                 task.score = score
                 task.aligned_with = start_version
+                if state.invariants is not None:
+                    state.invariants.after_align(
+                        task,
+                        row,
+                        prev_score=prev_score,
+                        prev_version=prev_version,
+                    )
                 self._queue.insert(task)
                 self._cond.notify_all()
 
-    def _finish(self) -> None:
+    def _finish(self) -> None:  # repro-lint: holds-lock
         self._done = True
         self._cond.notify_all()
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from .alphabet import Alphabet
 from .sequence import Sequence
 
 __all__ = [

@@ -9,9 +9,7 @@ DNA and protein views so examples and users can analyse both.
 
 from __future__ import annotations
 
-import numpy as np
-
-from .alphabet import DNA, PROTEIN, RNA
+from .alphabet import PROTEIN, RNA
 from .sequence import Sequence
 
 __all__ = ["reverse_complement", "transcribe", "translate", "GENETIC_CODE"]

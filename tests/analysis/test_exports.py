@@ -1,0 +1,111 @@
+"""Seeded-violation tests for the RPR005 export-consistency checker."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.analysis.exports import check_exports
+
+
+def _check(source: str, path: str = "mod.py"):
+    return check_exports(ast.parse(textwrap.dedent(source)), path)
+
+
+def test_rpr005_flags_seeded_phantom_export():
+    findings = _check(
+        """
+        __all__ = ["real", "phantom"]
+
+        def real():
+            return 1
+        """
+    )
+    assert len(findings) == 1
+    assert "phantom" in findings[0].message
+
+
+def test_rpr005_getattr_hook_excuses_lazy_exports():
+    findings = _check(
+        """
+        __all__ = ["lazy"]
+
+        def __getattr__(name):
+            raise AttributeError(name)
+        """
+    )
+    assert findings == []
+
+
+def test_rpr005_flags_duplicate_all_entries():
+    findings = _check(
+        """
+        __all__ = ["f", "f"]
+
+        def f():
+            return 1
+        """
+    )
+    assert any("duplicate" in d.message for d in findings)
+
+
+def test_rpr005_flags_public_import_missing_from_init_all(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text('__all__ = ["exported", "forgotten"]\n')
+    init = pkg / "__init__.py"
+    init.write_text(
+        '__all__ = ["exported"]\nfrom .mod import exported, forgotten\n'
+    )
+    findings = check_exports(ast.parse(init.read_text()), str(init))
+    assert len(findings) == 1
+    assert "'forgotten'" in findings[0].message
+    assert "missing from __all__" in findings[0].message
+
+
+def test_rpr005_flags_init_reexports_without_all(tmp_path):
+    init = tmp_path / "__init__.py"
+    init.write_text("from .mod import thing\n")
+    findings = check_exports(ast.parse(init.read_text()), str(init))
+    assert len(findings) == 1
+    assert "declares no __all__" in findings[0].message
+
+
+def test_rpr005_flags_reexport_of_module_private_name(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text(
+        '__all__ = ["public"]\n\ndef public():\n    pass\n\ndef hidden():\n    pass\n'
+    )
+    init = pkg / "__init__.py"
+    init.write_text('__all__ = ["public", "hidden"]\nfrom .mod import public, hidden\n')
+    findings = check_exports(ast.parse(init.read_text()), str(init))
+    assert len(findings) == 1
+    assert "not in that module's __all__" in findings[0].message
+
+
+def test_rpr005_quiet_on_consistent_package(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text(
+        '__all__ = ["public"]\n\ndef public():\n    pass\n'
+    )
+    init = pkg / "__init__.py"
+    init.write_text('__all__ = ["public"]\nfrom .mod import public\n')
+    assert check_exports(ast.parse(init.read_text()), str(init)) == []
+
+
+def test_rpr005_plain_module_without_all_is_fine():
+    assert _check("def helper():\n    return 1\n") == []
+
+
+def test_repro_package_surface_is_drift_free():
+    """The real package's __init__/__all__ graph must stay consistent."""
+    src = Path(__file__).parents[2] / "src" / "repro"
+    assert src.is_dir()
+    findings = []
+    for path in sorted(src.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        findings.extend(check_exports(tree, str(path)))
+    assert findings == [], "\n".join(d.render() for d in findings)

@@ -1,0 +1,437 @@
+"""Seeded-violation tests for the per-file lint rules.
+
+Every rule must (a) flag a file with a deliberately planted violation
+and (b) stay quiet on the compliant twin — no always-green and no
+always-red checkers.  Files are written under ``tmp_path`` in directory
+layouts that match each rule's scoping (``align/``, ``benchmarks/``,
+a ``repro`` package, ...).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_file
+from repro.analysis.diagnostics import parse_waivers
+
+
+def _write(tmp_path: Path, relpath: str, source: str) -> Path:
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return path
+
+
+def _rules_hit(path: Path) -> set[str]:
+    return {d.rule for d in lint_file(path)}
+
+
+# ---------------------------------------------------------------------------
+# RPR001 — per-cell loops in align/ kernels
+# ---------------------------------------------------------------------------
+
+PER_CELL_LOOP = """
+    def kernel(M, E, rows, cols):
+        for y in range(1, rows):
+            for x in range(1, cols):
+                M[y][x] = max(0.0, E[y][x] + M[y - 1][x - 1])
+"""
+
+
+def test_rpr001_flags_seeded_per_cell_loop(tmp_path):
+    path = _write(tmp_path, "align/bad_kernel.py", PER_CELL_LOOP)
+    findings = [d for d in lint_file(path) if d.rule == "RPR001"]
+    assert len(findings) == 1
+    assert findings[0].line == 4  # the inner for
+
+
+def test_rpr001_scoped_to_align_dir(tmp_path):
+    path = _write(tmp_path, "io/bad_kernel.py", PER_CELL_LOOP)
+    assert "RPR001" not in _rules_hit(path)
+
+
+def test_rpr001_ignores_row_vectorised_loops(tmp_path):
+    path = _write(
+        tmp_path,
+        "align/good_kernel.py",
+        """
+        import numpy as np
+
+        def kernel(M, E, rows):
+            for y in range(1, rows):
+                M[y, 1:] = np.maximum(0.0, E[y] + M[y - 1, :-1])
+        """,
+    )
+    assert "RPR001" not in _rules_hit(path)
+
+
+def test_rpr001_waivable_with_reason(tmp_path):
+    path = _write(
+        tmp_path,
+        "align/reference.py",
+        """
+        def kernel(M, E, rows, cols):
+            for y in range(1, rows):
+                # repro-lint: allow[RPR001] reference implementation on purpose
+                for x in range(1, cols):
+                    M[y][x] = max(0.0, E[y][x] + M[y - 1][x - 1])
+        """,
+    )
+    assert _rules_hit(path) == set()
+
+
+# ---------------------------------------------------------------------------
+# RPR002 — implicit dtype in matrix construction
+# ---------------------------------------------------------------------------
+
+
+def test_rpr002_flags_seeded_implicit_dtype(tmp_path):
+    path = _write(
+        tmp_path,
+        "core/matrices.py",
+        """
+        import numpy as np
+
+        def make(rows, cols):
+            return np.zeros((rows, cols))
+        """,
+    )
+    findings = [d for d in lint_file(path) if d.rule == "RPR002"]
+    assert len(findings) == 1
+    assert "dtype" in findings[0].message
+
+
+def test_rpr002_quiet_when_dtype_pinned(tmp_path):
+    path = _write(
+        tmp_path,
+        "core/matrices.py",
+        """
+        import numpy as np
+
+        def make(rows, cols):
+            return np.zeros((rows, cols), dtype=np.float64)
+        """,
+    )
+    assert "RPR002" not in _rules_hit(path)
+
+
+def test_rpr002_sees_from_import_and_alias(tmp_path):
+    path = _write(
+        tmp_path,
+        "align/lanes.py",
+        """
+        import numpy as xp
+        from numpy import full as mk_full
+
+        a = xp.empty(4)
+        b = mk_full(4, 0)
+        """,
+    )
+    findings = [d for d in lint_file(path) if d.rule == "RPR002"]
+    assert len(findings) == 2
+
+
+def test_rpr002_skips_test_files(tmp_path):
+    path = _write(
+        tmp_path,
+        "align/test_kernels.py",
+        """
+        import numpy as np
+
+        expected = np.zeros(3)
+        """,
+    )
+    assert "RPR002" not in _rules_hit(path)
+
+
+# ---------------------------------------------------------------------------
+# RPR004 — unseeded randomness in benchmarks/ and simulate/
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import numpy as np\nx = np.random.rand(5)\n",
+        "import numpy as np\nrng = np.random.default_rng()\n",
+        "import random\nx = random.random()\n",
+        "import random\nrng = random.Random()\n",
+    ],
+)
+def test_rpr004_flags_seeded_unseeded_randomness(tmp_path, snippet):
+    path = _write(tmp_path, "benchmarks/bench_x.py", snippet)
+    assert "RPR004" in _rules_hit(path)
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import numpy as np\nrng = np.random.default_rng(42)\nx = rng.random(5)\n",
+        "import random\nrng = random.Random(42)\nx = rng.random()\n",
+        "import random\nrandom.seed(7)\nx = random.random()\n",
+    ],
+)
+def test_rpr004_quiet_when_seeded(tmp_path, snippet):
+    path = _write(tmp_path, "simulate/model.py", snippet)
+    assert "RPR004" not in _rules_hit(path)
+
+
+def test_rpr004_scoped_to_benchmark_and_simulator_code(tmp_path):
+    path = _write(tmp_path, "tools/scratch.py", "import random\nx = random.random()\n")
+    assert "RPR004" not in _rules_hit(path)
+
+
+# ---------------------------------------------------------------------------
+# RPR006 — bare except
+# ---------------------------------------------------------------------------
+
+
+def test_rpr006_flags_seeded_bare_except(tmp_path):
+    path = _write(
+        tmp_path,
+        "anywhere.py",
+        """
+        try:
+            work()
+        except:
+            pass
+        """,
+    )
+    findings = [d for d in lint_file(path) if d.rule == "RPR006"]
+    assert len(findings) == 1
+
+
+def test_rpr006_quiet_on_typed_except(tmp_path):
+    path = _write(
+        tmp_path,
+        "anywhere.py",
+        """
+        try:
+            work()
+        except ValueError:
+            pass
+        """,
+    )
+    assert "RPR006" not in _rules_hit(path)
+
+
+# ---------------------------------------------------------------------------
+# RPR007 — absolute self-imports inside the package
+# ---------------------------------------------------------------------------
+
+
+def _package(tmp_path: Path) -> Path:
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    return pkg
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import repro.core\n",
+        "from repro.align import base\n",
+        "from repro import scoring\n",
+    ],
+)
+def test_rpr007_flags_seeded_absolute_self_import(tmp_path, snippet):
+    pkg = _package(tmp_path)
+    path = pkg / "mod.py"
+    path.write_text(snippet, encoding="utf-8")
+    assert "RPR007" in _rules_hit(path)
+
+
+def test_rpr007_quiet_on_relative_imports(tmp_path):
+    pkg = _package(tmp_path)
+    path = pkg / "mod.py"
+    path.write_text("from .core import tasks\nfrom . import scoring\n")
+    assert "RPR007" not in _rules_hit(path)
+
+
+def test_rpr007_quiet_outside_the_package(tmp_path):
+    # Scripts/tests legitimately import the package absolutely.
+    path = _write(tmp_path, "scripts/run.py", "import repro.core\n")
+    assert "RPR007" not in _rules_hit(path)
+
+
+# ---------------------------------------------------------------------------
+# RPR008 — accidentally-quadratic list operations
+# ---------------------------------------------------------------------------
+
+
+def test_rpr008_flags_seeded_insert_front(tmp_path):
+    path = _write(
+        tmp_path,
+        "anywhere.py",
+        """
+        def reorder(items):
+            out = []
+            for item in items:
+                out.insert(0, item)
+            return out
+        """,
+    )
+    assert "RPR008" in _rules_hit(path)
+
+
+def test_rpr008_flags_seeded_membership_on_list_in_loop(tmp_path):
+    path = _write(
+        tmp_path,
+        "anywhere.py",
+        """
+        def dedup(items):
+            seen = []
+            for item in items:
+                if item in seen:
+                    continue
+                seen.append(item)
+            return seen
+        """,
+    )
+    findings = [d for d in lint_file(path) if d.rule == "RPR008"]
+    assert any("membership" in d.message for d in findings)
+
+
+def test_rpr008_quiet_on_set_membership(tmp_path):
+    path = _write(
+        tmp_path,
+        "anywhere.py",
+        """
+        def dedup(items):
+            seen = set()
+            for item in items:
+                if item in seen:
+                    continue
+                seen.add(item)
+            return sorted(seen)
+        """,
+    )
+    assert "RPR008" not in _rules_hit(path)
+
+
+def test_rpr008_does_not_leak_names_across_scopes(tmp_path):
+    # `planted` is a list in one function and a set in another; the
+    # set-using loop must not be flagged (regression: scope leak).
+    path = _write(
+        tmp_path,
+        "anywhere.py",
+        """
+        def build():
+            planted = [1, 2, 3]
+            return set(planted)
+
+        def scan(items):
+            planted = build()
+            for item in items:
+                if item in planted:
+                    yield item
+        """,
+    )
+    assert "RPR008" not in _rules_hit(path)
+
+
+# ---------------------------------------------------------------------------
+# RPR000 + waiver mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_rpr000_flags_waiver_without_reason(tmp_path):
+    path = _write(
+        tmp_path,
+        "anywhere.py",
+        """
+        try:
+            work()
+        except:  # repro-lint: allow[RPR006]
+            pass
+        """,
+    )
+    rules = _rules_hit(path)
+    assert "RPR000" in rules
+    # A reasonless waiver does not suppress anything either.
+    assert "RPR006" in rules
+
+
+def test_rpr000_flags_allow_file_past_window(tmp_path):
+    filler = "\n".join(f"x{i} = {i}" for i in range(20))
+    path = _write(
+        tmp_path,
+        "anywhere.py",
+        filler + "\n# repro-lint: allow-file[RPR006] too late to count\n",
+    )
+    assert "RPR000" in _rules_hit(path)
+
+
+def test_allow_file_waives_whole_file(tmp_path):
+    path = _write(
+        tmp_path,
+        "anywhere.py",
+        """
+        # repro-lint: allow-file[RPR006] exercising the file-level waiver
+        try:
+            a()
+        except:
+            pass
+        try:
+            b()
+        except:
+            pass
+        """,
+    )
+    assert _rules_hit(path) == set()
+
+
+def test_standalone_waiver_skips_comment_continuation_lines(tmp_path):
+    path = _write(
+        tmp_path,
+        "anywhere.py",
+        """
+        try:
+            work()
+        # repro-lint: allow[RPR006] a justification long enough that it
+        # wraps onto a second comment line before the handler
+        except:
+            pass
+        """,
+    )
+    assert _rules_hit(path) == set()
+
+
+def test_waiver_examples_in_docstrings_are_inert(tmp_path):
+    path = _write(
+        tmp_path,
+        "anywhere.py",
+        '''
+        """Docs showing `# repro-lint: allow-file[RPR006]` as an example."""
+
+        try:
+            work()
+        except:
+            pass
+        ''',
+    )
+    rules = _rules_hit(path)
+    assert "RPR006" in rules  # the docstring mention waived nothing
+    assert "RPR000" not in rules
+
+
+def test_parse_waivers_collects_rules_and_targets():
+    waivers = parse_waivers(
+        "x = 1  # repro-lint: allow[RPR001, RPR008] two rules, one reason\n",
+        "mem.py",
+    )
+    assert waivers.is_waived("RPR001", 1)
+    assert waivers.is_waived("RPR008", 1)
+    assert not waivers.is_waived("RPR006", 1)
+    assert not waivers.problems
+
+
+def test_syntax_error_reported_not_raised(tmp_path):
+    path = _write(tmp_path, "broken.py", "def f(:\n")
+    findings = lint_file(path)
+    assert [d.rule for d in findings] == ["RPR000"]
+    assert "syntax error" in findings[0].message
