@@ -13,6 +13,7 @@ from .diagonal import DiagonalEngine
 from .gotoh import GotohEngine, gotoh_matrix
 from .lanes import INT16_MAX, LanesEngine
 from .matrix import full_matrix, matrix_for_texts
+from .profile import ProfileView, QueryProfile
 from .scalar import ScalarEngine
 from .striped import StripedEngine
 from .traceback import (
@@ -40,6 +41,8 @@ __all__ = [
     "gotoh_matrix",
     "LanesEngine",
     "StripedEngine",
+    "QueryProfile",
+    "ProfileView",
     "full_matrix",
     "matrix_for_texts",
     "iter_rows",

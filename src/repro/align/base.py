@@ -31,6 +31,7 @@ import numpy as np
 from ..scoring.exchange import ExchangeMatrix
 from ..scoring.gaps import GapPenalties
 from ..sequences.sequence import Sequence
+from .profile import ProfileView
 
 __all__ = [
     "NEG_INF",
@@ -69,7 +70,10 @@ class AlignmentProblem:
     ``seq1`` runs vertically (matrix rows ``y = 1..len(seq1)``), ``seq2``
     horizontally (columns ``x = 1..len(seq2)``), matching Figure 2.  The
     optional ``override`` masks entries contained in previously accepted
-    top alignments.
+    top alignments.  The optional ``profile`` is a precomputed
+    substitution gather for ``seq2`` (see :mod:`repro.align.profile`);
+    engines that honour it slice views instead of re-gathering
+    ``exchange.scores[:, seq2]`` on every call.
     """
 
     seq1: np.ndarray
@@ -77,10 +81,34 @@ class AlignmentProblem:
     exchange: ExchangeMatrix
     gaps: GapPenalties
     override: OverrideProvider | None = None
+    profile: ProfileView | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "seq1", np.ascontiguousarray(self.seq1, dtype=np.int8))
         object.__setattr__(self, "seq2", np.ascontiguousarray(self.seq2, dtype=np.int8))
+        if self.profile is not None and self.profile.cols != self.seq2.size:
+            raise ValueError(
+                f"profile window spans {self.profile.cols} columns but seq2 "
+                f"has {self.seq2.size}"
+            )
+
+    def substitution_rows(self) -> np.ndarray:
+        """``(n_symbols, cols)`` float64 substitution scores for ``seq2``.
+
+        A zero-copy profile view when the problem carries one, otherwise
+        the classic per-call fancy-index gather.
+        """
+        if self.profile is not None:
+            return self.profile.scores
+        return self.exchange.scores[:, self.seq2.astype(np.int64)]
+
+    def substitution_rows_int(self) -> np.ndarray:
+        """Integer (int64) variant for the lane engine's int modes."""
+        if self.profile is not None:
+            return self.profile.integer_scores()
+        return self.exchange.as_integers().astype(np.int64)[
+            :, self.seq2.astype(np.int64)
+        ]
 
     @classmethod
     def from_sequences(
@@ -119,6 +147,10 @@ class AlignmentEngine(ABC):
 
     #: Registry key, e.g. ``"vector"``.
     name: str = "abstract"
+
+    def describe(self) -> str:
+        """Configuration tag for stats/bench attribution (default: name)."""
+        return self.name
 
     @abstractmethod
     def last_row(self, problem: AlignmentProblem) -> np.ndarray:

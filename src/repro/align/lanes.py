@@ -14,6 +14,18 @@ their right/bottom borders, which never contaminates valid cells
 because data dependencies flow left-to-right and top-to-bottom (the
 paper's "corrections for the left and bottom borders").
 
+Two per-call overheads are amortised away on the batched hot path:
+
+* **Query profiles** — problems that carry a
+  :class:`~repro.align.profile.ProfileView` contribute a zero-copy
+  slice of a precomputed substitution gather instead of a fresh
+  ``E[:, seq2]`` fancy index per lane per call;
+* **Scratch reuse** — the interleaved working rows, per-lane
+  substitution block and decay offsets are kept in a per-thread cache
+  keyed by group shape, so back-to-back batches of similar shape
+  (exactly what the speculative batched driver issues) skip
+  reallocation entirely.
+
 Three value modes mirror the instruction tiers:
 
 * ``float64`` — exact, used for correctness tests;
@@ -23,6 +35,8 @@ Three value modes mirror the instruction tiers:
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -36,8 +50,55 @@ INT16_MAX = 32767
 _NEG = {
     "float64": -np.inf,
     "int32": -(2**30),
-    "int16": -(2**30),  # internal arithmetic is int32; only values saturate
+    "int16": -(2**30),  # internal arithmetic is int64; only values saturate
 }
+
+
+class _LaneScratch:
+    """Reusable working buffers for one ``(group, n_symbols, dtype)`` family.
+
+    Capacities only grow; each :meth:`ensure` call returns views sized
+    to the current batch.  Values left behind by a previous batch are
+    confined to each lane's padded right/bottom border (the same
+    argument that lets short lanes ignore padding), except for the
+    buffers reinitialised below.
+    """
+
+    __slots__ = (
+        "group", "nsym", "work",
+        "rows_cap", "cols_cap",
+        "subs", "codes1", "prev", "curr", "max_y", "inner", "b", "ext_ramp",
+    )
+
+    def __init__(self, group: int, nsym: int, work: np.dtype) -> None:
+        self.group = group
+        self.nsym = nsym
+        self.work = work
+        self.rows_cap = 0
+        self.cols_cap = 0
+
+    def ensure(self, max_rows: int, max_cols: int) -> None:
+        """Grow the buffers to cover a ``max_rows x max_cols`` batch."""
+        if max_cols > self.cols_cap:
+            cols = max(max_cols, 2 * self.cols_cap)
+            self.cols_cap = cols
+            group, work = self.group, self.work
+            # subs starts (and stays) finite: zero-initialised, and every
+            # later write stores real exchange scores — so stale values in
+            # a lane's padded border can never be inf/NaN.
+            self.subs = np.zeros((group, self.nsym, cols), dtype=work)
+            self.prev = np.empty((cols + 1, group), dtype=work)
+            self.curr = np.empty((cols + 1, group), dtype=work)
+            self.max_y = np.empty((cols, group), dtype=work)
+            self.inner = np.empty((cols, group), dtype=work)
+            self.b = np.empty((cols, group), dtype=work)
+            self.ext_ramp = np.arange(1, cols + 2, dtype=work)[:, None]
+        if max_rows > self.rows_cap:
+            rows = max(max_rows, 2 * self.rows_cap)
+            self.rows_cap = rows
+            # Zero-initialised for the same reason: every entry is always
+            # a valid residue code, so padded rows gather safely.
+            self.codes1 = np.zeros((rows, self.group), dtype=np.int64)
 
 
 class LanesEngine(AlignmentEngine):
@@ -62,14 +123,34 @@ class LanesEngine(AlignmentEngine):
             raise ValueError(f"dtype must be one of {sorted(_NEG)}")
         self.lanes = lanes
         self.dtype = dtype
+        # Scratch buffers are mutable shared state; keep them per-thread
+        # so the threaded runner's workers never race on them.
+        self._tls = threading.local()
 
     def __repr__(self) -> str:
         return f"LanesEngine(lanes={self.lanes}, dtype={self.dtype!r})"
+
+    def describe(self) -> str:
+        return f"{self.name}[{self.dtype}]"
 
     # -- single problem (interface compliance) ---------------------------
 
     def last_row(self, problem: AlignmentProblem) -> np.ndarray:
         return self.last_rows_batch([problem])[0]
+
+    # -- scratch cache -----------------------------------------------------
+
+    def _scratch_for(self, group: int, nsym: int, work: np.dtype) -> _LaneScratch:
+        cache: dict | None = getattr(self._tls, "cache", None)
+        if cache is None:
+            cache = {}
+            self._tls.cache = cache
+        key = (group, nsym, np.dtype(work).str)
+        scratch = cache.get(key)
+        if scratch is None:
+            scratch = _LaneScratch(group, nsym, work)
+            cache[key] = scratch
+        return scratch
 
     # -- the lockstep batch ----------------------------------------------
 
@@ -107,31 +188,43 @@ class LanesEngine(AlignmentEngine):
         neg = _NEG[self.dtype]
         if is_float:
             open_, ext = gaps.open_, gaps.extend
-            escores = exchange.scores
         else:
             open_, ext = gaps.as_integers()
-            escores = exchange.as_integers().astype(np.int64)
 
-        # Per-lane exchange gathers for the horizontal sequences:
-        # subs[lane, code, x] = E[code, seq2_lane[x]].  One fancy-index
-        # per row then fetches all lanes' exchange rows at once.
         nsym = exchange.size
-        subs = np.zeros((group, nsym, max_cols), dtype=work)
-        codes1 = np.zeros((max_rows, group), dtype=np.int64)
+        scratch = self._scratch_for(group, nsym, work)
+        scratch.ensure(max_rows, max_cols)
+
+        # Per-lane substitution blocks for the horizontal sequences:
+        # subs[lane, code, x] = E[code, seq2_lane[x]].  Problems carrying
+        # a query profile contribute a precomputed slice (a memcpy);
+        # profile-less problems fall back to the per-call fancy gather.
+        # One fancy-index per row then fetches all lanes' rows at once.
+        subs = scratch.subs[:, :, :max_cols]
+        codes1 = scratch.codes1[:max_rows]
         for lane, p in enumerate(problems):
-            subs[lane, :, : p.cols] = escores[:, p.seq2.astype(np.int64)]
+            if p.profile is not None:
+                lane_sub = p.profile.scores if is_float else p.profile.integer_scores()
+            else:
+                lane_sub = (
+                    p.substitution_rows() if is_float else p.substitution_rows_int()
+                )
+            subs[lane, :, : p.cols] = lane_sub
             codes1[: p.rows, lane] = p.seq1
         lane_idx = np.arange(group)
 
         # Interleaved working rows, Figure 7 style: shape (cols, lanes),
         # C-contiguous, so one cell's lane values are adjacent.
-        prev = np.zeros((max_cols + 1, group), dtype=work)
-        curr = np.zeros((max_cols + 1, group), dtype=work)
-        max_y = np.full((max_cols, group), neg, dtype=work)
-        k_up = (ext * np.arange(1, max_cols + 1, dtype=work))[:, None]
-        x_dn = (ext * np.arange(2, max_cols + 1, dtype=work))[:, None]
-        inner = np.empty((max_cols, group), dtype=work)
-        b = np.empty((max_cols, group), dtype=work)
+        prev = scratch.prev[: max_cols + 1]
+        curr = scratch.curr[: max_cols + 1]
+        prev.fill(0)  # boundary row/column of Equation 1
+        curr.fill(0)
+        max_y = scratch.max_y[:max_cols]
+        max_y.fill(neg)
+        k_up = ext * scratch.ext_ramp[:max_cols]  # ext * k for k = 1..cols
+        x_dn = ext * scratch.ext_ramp[1:max_cols]  # ext * x for x = 2..cols
+        inner = scratch.inner[:max_cols]
+        b = scratch.b[:max_cols]
 
         for y in range(1, max_rows + 1):
             diag = prev[:max_cols]

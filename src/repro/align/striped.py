@@ -62,7 +62,7 @@ class StripedEngine(AlignmentEngine):
 
         open_, ext = problem.gaps.open_, problem.gaps.extend
         override = problem.override
-        sub = problem.exchange.scores[:, problem.seq2.astype(np.int64)]
+        sub = problem.substitution_rows()
         seq1 = problem.seq1
 
         # Cross-stripe carry state, indexed by row y = 0..rows:

@@ -42,10 +42,11 @@ def iter_rows(problem: AlignmentProblem):
     rows, cols = problem.rows, problem.cols
     open_, ext = problem.gaps.open_, problem.gaps.extend
     override = problem.override
-    # Gather the exchange columns for the horizontal sequence once; each
-    # row's exchange values are then a plain row view (the vector
+    # Exchange columns for the horizontal sequence: a zero-copy query
+    # profile view when the problem carries one, else a one-off gather.
+    # Each row's exchange values are then a plain row view (the vector
     # analogue of the paper's shared exchange lookup across lanes).
-    sub = problem.exchange.scores[:, problem.seq2.astype(np.int64)]
+    sub = problem.substitution_rows()
 
     prev = np.zeros(cols + 1, dtype=np.float64)
     curr = np.zeros(cols + 1, dtype=np.float64)

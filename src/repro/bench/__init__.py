@@ -2,6 +2,8 @@
 
 from .harness import (
     BenchTable,
+    batched_report,
+    batched_rows,
     bench_sequence,
     default_scoring,
     figure8_series,
@@ -18,4 +20,6 @@ __all__ = [
     "table2_rows",
     "figure8_series",
     "realignment_rows",
+    "batched_report",
+    "batched_rows",
 ]

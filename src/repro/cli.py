@@ -64,6 +64,12 @@ def build_parser() -> argparse.ArgumentParser:
     find.add_argument("--gap-extend", type=float, default=1.0)
     find.add_argument("--engine", default="vector")
     find.add_argument(
+        "--group",
+        type=int,
+        default=1,
+        help="speculative batch width G (1 = sequential best-first)",
+    )
+    find.add_argument(
         "--algorithm", default="new", choices=["new", "old"],
         help="'old' runs the quartic 1993-style baseline (same results)",
     )
@@ -87,10 +93,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="regenerate a paper artifact")
     bench.add_argument(
-        "artifact", choices=["table1", "table2", "figure8", "realign"],
+        "artifact", choices=["table1", "table2", "figure8", "realign", "batched"],
     )
     bench.add_argument("--length", type=int, default=None)
     bench.add_argument("-k", "--top-alignments", type=int, default=None)
+    bench.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the artifact's raw numbers as JSON (batched only)",
+    )
 
     scan = sub.add_parser("scan", help="rank FASTA records by repeat content")
     scan.add_argument("fasta", nargs="?", default="-")
@@ -98,6 +110,13 @@ def build_parser() -> argparse.ArgumentParser:
     scan.add_argument("--alphabet", default="protein", choices=["protein", "dna", "rna"])
     scan.add_argument("--mask", action="store_true", help="mask low-complexity tracts")
     scan.add_argument("--min-length", type=int, default=10)
+    scan.add_argument("--engine", default="vector")
+    scan.add_argument(
+        "--group",
+        type=int,
+        default=1,
+        help="speculative batch width G (1 = sequential best-first)",
+    )
     scan.add_argument("--limit", type=int, default=0, help="print only the top N")
 
     align = sub.add_parser("align", help="align two sequences and render them")
@@ -186,6 +205,7 @@ def _cmd_find(args: argparse.Namespace) -> int:
             gaps=GapPenalties(args.gap_open, args.gap_extend),
             engine=args.engine,
             algorithm=args.algorithm,
+            group=args.group,
             min_score=args.min_score,
             max_gap=args.max_gap,
         )
@@ -249,13 +269,29 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .bench.harness import (
+        batched_report,
+        batched_rows,
         figure8_series,
         realignment_rows,
         table1_rows,
         table2_rows,
     )
 
-    if args.artifact == "table1":
+    if args.artifact == "batched":
+        kwargs = {}
+        if args.length:
+            kwargs["length"] = args.length
+        if args.top_alignments:
+            kwargs["k"] = args.top_alignments
+        report = batched_report(**kwargs)
+        print(batched_rows(report=report).render())
+        if args.json:
+            import json
+
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2)
+            print(f"wrote {args.json}")
+    elif args.artifact == "table1":
         kwargs = {}
         if args.top_alignments:
             kwargs["k"] = args.top_alignments
@@ -292,6 +328,8 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         finder=RepeatFinder(top_alignments=args.top_alignments),
         mask=args.mask,
         min_length=args.min_length,
+        engine=args.engine,
+        group=args.group,
     )
     reports = scanner.rank(records)
     if args.limit:

@@ -1,6 +1,7 @@
 """The paper's contribution: the O(n³) top-alignment algorithm and Repro."""
 
 from .api import RepeatFinder, find_repeats
+from .batched import BatchedTopAlignmentRunner, find_top_alignments_batched
 from .bottomrows import BottomRowStore
 from .consensus import (
     UnitChoice,
@@ -36,7 +37,9 @@ from .topalign import TopAlignmentState, find_top_alignments
 
 __all__ = [
     "find_top_alignments",
+    "find_top_alignments_batched",
     "old_find_top_alignments",
+    "BatchedTopAlignmentRunner",
     "TopAlignmentState",
     "find_repeats",
     "RepeatFinder",

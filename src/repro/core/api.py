@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..align.base import AlignmentEngine, get_engine
 from ..scoring.blosum import blosum62
 from ..scoring.exchange import ExchangeMatrix, match_mismatch
 from ..scoring.gaps import GapPenalties
@@ -54,6 +55,11 @@ class RepeatFinder:
     algorithm:
         ``"new"`` (the paper's O(n³) algorithm) or ``"old"`` (the 1993
         O(n⁴) baseline) — both return identical alignments.
+    group:
+        Scheduling group width for the new algorithm: 1 (default) runs
+        the sequential best-first loop, larger values the speculative
+        lane-batched driver (:mod:`repro.core.batched`).  Results are
+        identical either way.
     min_score:
         Alignments scoring at or below this are not reported.
     min_copy_length, max_gap, min_score_fraction:
@@ -66,6 +72,7 @@ class RepeatFinder:
     top_alignments: int = 20
     engine: str = "vector"
     algorithm: str = "new"
+    group: int = 1
     min_score: float = 0.0
     min_copy_length: int = 2
     max_gap: int = 0
@@ -76,20 +83,45 @@ class RepeatFinder:
             raise ValueError("algorithm must be 'new' or 'old'")
         if self.top_alignments < 1:
             raise ValueError("top_alignments must be >= 1")
+        if self.group < 1:
+            raise ValueError("group must be >= 1")
+        if self.group > 1 and self.algorithm != "new":
+            raise ValueError("group > 1 requires the new algorithm")
+        # Shared across records of a scan: one engine instance (so its
+        # lane scratch buffers persist) and one exchange per alphabet.
+        self._engine_instance: AlignmentEngine | None = None
+        self._exchange_cache: dict[str, ExchangeMatrix] = {}
+
+    def _engine_for_run(self) -> AlignmentEngine:
+        if self._engine_instance is None:
+            self._engine_instance = get_engine(self.engine)
+        return self._engine_instance
+
+    def _exchange_for(self, sequence: Sequence) -> ExchangeMatrix:
+        if self.exchange is not None:
+            return self.exchange
+        name = sequence.alphabet.name
+        cached = self._exchange_cache.get(name)
+        if cached is None:
+            cached = _default_exchange(sequence)
+            self._exchange_cache[name] = cached
+        return cached
 
     def find(self, sequence: Sequence | str) -> RepeatResult:
         """Run both Repro phases on ``sequence`` and return everything."""
         if isinstance(sequence, str):
             sequence = Sequence(sequence, "protein")
-        exchange = self.exchange or _default_exchange(sequence)
+        exchange = self._exchange_for(sequence)
+        engine = self._engine_for_run()
         if self.algorithm == "new":
             alignments, stats = find_top_alignments(
                 sequence,
                 self.top_alignments,
                 exchange,
                 self.gaps,
-                engine=self.engine,
+                engine=engine,
                 min_score=self.min_score,
+                group=self.group,
             )
         else:
             alignments, stats = old_find_top_alignments(
@@ -97,7 +129,7 @@ class RepeatFinder:
                 self.top_alignments,
                 exchange,
                 self.gaps,
-                engine=self.engine,
+                engine=engine,
                 min_score=self.min_score,
             )
         repeats = delineate_repeats(
@@ -118,6 +150,7 @@ def find_repeats(
     gaps: GapPenalties | None = None,
     engine: str = "vector",
     algorithm: str = "new",
+    group: int = 1,
     min_score: float = 0.0,
     min_copy_length: int = 2,
     max_gap: int = 0,
@@ -130,6 +163,7 @@ def find_repeats(
         top_alignments=top_alignments,
         engine=engine,
         algorithm=algorithm,
+        group=group,
         min_score=min_score,
         min_copy_length=min_copy_length,
         max_gap=max_gap,

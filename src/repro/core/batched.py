@@ -1,0 +1,185 @@
+"""Speculative lane-batched best-first driver (§3 + §4.1 combined).
+
+The sequential loop of :func:`repro.core.topalign.find_top_alignments`
+pops one task per iteration, so a lockstep engine only ever sees
+single-problem "batches" and the paper's coarse-grained SIMD gain
+(Figure 7) never reaches the hot path.  This driver merges the two
+ideas the paper combines for its headline speedup:
+
+* **best-first queue** (§3) — stale scores are upper bounds, so the
+  heap's head is accepted the moment its score is current;
+* **lockstep lane batches** (§4.1) — when the head is *stale*, the
+  driver keeps popping further stale tasks (up to ``group`` of them)
+  and realigns them all in one engine batch.
+
+The extra lanes are *speculative* in exactly the paper's §5 sense: if
+the first lane's fresh score keeps it at the head and it is accepted,
+the override triangle grows, every other lane's just-computed score is
+stale again, and that work was wasted.  Waste is tracked per run in
+``RunStats.speculative_waste`` — a speculative lane realignment counts
+as wasted when an acceptance invalidates it before its fresh score was
+ever consumed by an acceptance decision.
+
+**Equivalence guarantee.**  The driver returns *bit-identical* top
+alignments to the sequential (G=1) loop, by the same argument that
+covers every other execution mode:
+
+* acceptance fires only when the popped head is current, i.e. its score
+  is exact under the current triangle and dominates every queued score
+  — each of which is an upper bound on its own fresh score.  The
+  accepted task therefore attains the maximum fresh score, and the heap
+  key ``(-score, r)`` resolves ties to the smallest split point exactly
+  as the sequential loop does;
+* speculative realignment only *refreshes* scores earlier than the
+  sequential schedule would — it never changes what any score converges
+  to, because a task's fresh score is a pure function of its split and
+  the triangle version;
+* gathering stops at the first current (or exhausted) task, so tasks
+  the sequential loop would leave untouched below a pending acceptance
+  are not churned.
+
+Batches only ever shrink below ``group`` when the heap runs out of
+leading stale tasks, so the first passes — where every task is stale —
+run at full lane width, which is where the lockstep engines earn their
+throughput.
+"""
+
+from __future__ import annotations
+
+from ..scoring.exchange import ExchangeMatrix
+from ..scoring.gaps import GapPenalties
+from ..sequences.sequence import Sequence
+from .result import RunStats, TopAlignment
+from .tasks import Task, TaskQueue
+from .topalign import TopAlignmentState
+
+__all__ = ["BatchedTopAlignmentRunner", "find_top_alignments_batched"]
+
+
+class BatchedTopAlignmentRunner:
+    """Figure 5 with speculative top-G batching of stale realignments.
+
+    Parameters
+    ----------
+    state:
+        The shared search state (also selects the engine — a lockstep
+        engine such as ``"lanes"`` is what makes batching pay off).
+    k:
+        Number of nonoverlapping top alignments to compute.
+    group:
+        Maximum lanes per engine batch (the paper's G: 4 for SSE, 8 for
+        SSE2).  ``group=1`` degenerates to the sequential loop.
+    min_score:
+        Alignments scoring at or below this are not reported.
+    """
+
+    def __init__(
+        self,
+        state: TopAlignmentState,
+        k: int,
+        *,
+        group: int = 8,
+        min_score: float = 0.0,
+    ) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if group < 1:
+            raise ValueError("group must be >= 1")
+        self.state = state
+        self.k = k
+        self.group = group
+        self.min_score = min_score
+        #: Realignments issued on non-head lanes (all speculation, wasted
+        #: or not); first passes are excluded — every mode performs them.
+        self.speculative_lanes = 0
+
+    def _gather_batch(self, head: Task, queue: TaskQueue) -> tuple[list[Task], Task | None]:
+        """The head plus up to ``group - 1`` further stale tasks.
+
+        Scanning stops at the first current or sub-threshold task (it is
+        returned for reinsertion, unrealigned): a current task above the
+        remaining heap is the next acceptance candidate, and anything
+        below it is work the sequential loop may never reach.
+        """
+        batch = [head]
+        blocked: Task | None = None
+        n_found = self.state.n_found
+        while len(batch) < self.group and queue:
+            candidate = queue.pop_highest()
+            if candidate.score <= self.min_score or candidate.is_current(n_found):
+                blocked = candidate
+                break
+            batch.append(candidate)
+        return batch, blocked
+
+    def run(self) -> tuple[list[TopAlignment], RunStats]:
+        """Execute and return ``(top_alignments, stats)``."""
+        state = self.state
+        state.stats.group = self.group
+        checker = state.invariants
+        queue = TaskQueue(guard=checker.guard_task if checker is not None else None)
+        for task in state.make_tasks():
+            queue.insert(task)
+        # Splits speculatively realigned at the current triangle version
+        # whose fresh score has not yet fed an acceptance decision.
+        pending: set[int] = set()
+
+        while state.n_found < self.k and queue:
+            head = queue.pop_highest()
+            if head.score <= self.min_score:
+                # Stale scores are upper bounds, so nothing in the queue
+                # can still beat min_score: the sequence is exhausted.
+                break
+            if head.is_current(state.n_found):
+                # The speculative realignment (if any) produced this
+                # acceptance — it was useful; every other pending lane
+                # is invalidated by the triangle growing underneath it.
+                pending.discard(head.r)
+                state.accept_task(head)
+                queue.insert(head)
+                state.stats.speculative_waste += len(pending)
+                pending.clear()
+                if checker is not None and checker.mode == "full":
+                    # Every queued upper bound must still dominate its
+                    # fresh score under the just-grown triangle.
+                    checker.verify_upper_bounds(queue.tasks())
+                continue
+
+            batch, blocked = self._gather_batch(head, queue)
+            for task in batch[1:]:
+                if task.r in state.bottom_rows:
+                    self.speculative_lanes += 1
+                    pending.add(task.r)
+            state.align_tasks_batch(batch)
+            for task in batch:
+                queue.insert(task)
+            if blocked is not None:
+                queue.insert(blocked)
+
+        return list(state.found), state.stats
+
+
+def find_top_alignments_batched(
+    sequence: Sequence,
+    k: int,
+    exchange: ExchangeMatrix,
+    gaps: GapPenalties = GapPenalties(),
+    *,
+    group: int = 8,
+    engine: str = "lanes",
+    triangle: str = "dense",
+    min_score: float = 0.0,
+    state: TopAlignmentState | None = None,
+) -> tuple[list[TopAlignment], RunStats]:
+    """Batched drop-in for :func:`repro.core.find_top_alignments`.
+
+    ``group=4`` with the int16 lane engine mirrors the paper's SSE
+    configuration, ``group=8`` its SSE2 configuration; results are
+    bit-identical to the sequential driver either way.
+    """
+    if state is None:
+        state = TopAlignmentState(
+            sequence, exchange, gaps, engine=engine, triangle=triangle
+        )
+    runner = BatchedTopAlignmentRunner(state, k, group=group, min_score=min_score)
+    return runner.run()

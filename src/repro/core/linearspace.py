@@ -21,6 +21,7 @@ from collections import OrderedDict
 import numpy as np
 
 from ..align.base import AlignmentEngine, AlignmentProblem
+from ..align.profile import QueryProfile
 from ..scoring.exchange import ExchangeMatrix
 from ..scoring.gaps import GapPenalties
 
@@ -38,6 +39,10 @@ class RecomputingBottomRowStore:
         Maximum number of rows kept resident.  ``sum(len(row))`` over
         ``capacity`` hottest rows is the real memory bound; with
         ``capacity ~ O(1)`` the store is O(m) as the appendix promises.
+    profile:
+        Optional precomputed :class:`~repro.align.profile.QueryProfile`
+        of ``codes`` — recomputations then slice it instead of
+        re-gathering the exchange matrix.
     """
 
     def __init__(
@@ -48,6 +53,7 @@ class RecomputingBottomRowStore:
         engine: AlignmentEngine,
         *,
         capacity: int = 32,
+        profile: QueryProfile | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -58,6 +64,7 @@ class RecomputingBottomRowStore:
         self._exchange = exchange
         self._gaps = gaps
         self._engine = engine
+        self._profile = profile
         self.capacity = capacity
         self._cache: OrderedDict[int, np.ndarray] = OrderedDict()
         self._known: set[int] = set()
@@ -82,7 +89,11 @@ class RecomputingBottomRowStore:
 
     def _compute(self, r: int) -> np.ndarray:
         problem = AlignmentProblem(
-            self._codes[:r], self._codes[r:], self._exchange, self._gaps
+            self._codes[:r],
+            self._codes[r:],
+            self._exchange,
+            self._gaps,
+            profile=self._profile.suffix(r) if self._profile is not None else None,
         )
         row = self._engine.last_row(problem)
         row.setflags(write=False)

@@ -106,6 +106,15 @@ class RunStats:
     realignments_per_top: list[int] = field(default_factory=list)
     #: Wall-clock seconds spent in engine calls (approximate).
     engine_seconds: float = 0.0
+    #: Configuration tag of the engine that computed the alignments
+    #: (``AlignmentEngine.describe()``; "" until a state binds one).
+    engine: str = ""
+    #: Scheduling group width G (1 = strictly sequential best-first;
+    #: set by the speculative batched driver).
+    group: int = 1
+    #: Speculative lane realignments invalidated by an acceptance before
+    #: their fresh score was ever consumed (§5.1-style waste).
+    speculative_waste: int = 0
 
     def realignment_fraction(self, m: int, k: int) -> float:
         """Realignments performed / realignments a full-rescan strategy
@@ -117,6 +126,20 @@ class RunStats:
         if naive <= 0:
             return 0.0
         return self.realignments / naive
+
+    @property
+    def cells_per_second(self) -> float:
+        """Engine throughput — the unit the batched benchmark compares."""
+        if self.engine_seconds <= 0.0:
+            return 0.0
+        return self.cells / self.engine_seconds
+
+    @property
+    def waste_ratio(self) -> float:
+        """Invalidated speculative realignments / all alignments."""
+        if self.alignments <= 0:
+            return 0.0
+        return self.speculative_waste / self.alignments
 
 
 @dataclass

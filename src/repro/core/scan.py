@@ -9,6 +9,7 @@ ranking, and a FASTA entry point.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -67,7 +68,11 @@ class DatabaseScanner:
     Parameters
     ----------
     finder:
-        The configured single-sequence detector.
+        The configured single-sequence detector.  The scanner reuses
+        this one finder — and therefore its engine instance (with its
+        lane scratch buffers) and per-alphabet exchange matrices —
+        across every record of a scan, instead of rebuilding scoring
+        objects per sequence.
     mask:
         Apply low-complexity masking before scanning (recommended for
         real protein sets; masked residues score neutrally).
@@ -76,6 +81,10 @@ class DatabaseScanner:
     min_length:
         Sequences shorter than this are skipped (a split needs at least
         two residues; realistic repeats need far more).
+    engine / group:
+        Optional overrides applied to ``finder`` — convenience knobs so
+        callers (the CLI ``scan`` command) can pick the lane engine and
+        the speculative batch width without building a finder by hand.
     """
 
     finder: RepeatFinder = field(default_factory=RepeatFinder)
@@ -83,6 +92,17 @@ class DatabaseScanner:
     mask_window: int = 12
     mask_threshold: float = 1.5
     min_length: int = 10
+    engine: str | None = None
+    group: int | None = None
+
+    def __post_init__(self) -> None:
+        overrides = {}
+        if self.engine is not None:
+            overrides["engine"] = self.engine
+        if self.group is not None:
+            overrides["group"] = self.group
+        if overrides:
+            self.finder = dataclasses.replace(self.finder, **overrides)
 
     def scan(self, sequences: Iterable[Sequence]) -> list[SequenceReport]:
         """Scan sequences in order; returns one report per scanned record."""
@@ -114,11 +134,15 @@ def scan_fasta(
     finder: RepeatFinder | None = None,
     mask: bool = False,
     min_length: int = 10,
+    engine: str | None = None,
+    group: int | None = None,
 ) -> list[SequenceReport]:
     """Rank the records of a FASTA file by repeat content."""
     scanner = DatabaseScanner(
         finder=finder or RepeatFinder(),
         mask=mask,
         min_length=min_length,
+        engine=engine,
+        group=group,
     )
     return scanner.rank(iter_fasta(path, alphabet))

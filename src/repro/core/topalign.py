@@ -23,12 +23,12 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
 
 import numpy as np
 
 from ..align.base import AlignmentProblem, get_engine
 from ..align.matrix import full_matrix
+from ..align.profile import QueryProfile
 from ..align.traceback import traceback
 from ..scoring.exchange import ExchangeMatrix
 from ..scoring.gaps import GapPenalties
@@ -39,13 +39,6 @@ from .result import RunStats, TopAlignment
 from .tasks import Task, TaskQueue
 
 __all__ = ["TopAlignmentState", "find_top_alignments"]
-
-
-@dataclass
-class _Acceptance:
-    """Internal: outcome of accepting a task."""
-
-    alignment: TopAlignment
 
 
 class TopAlignmentState:
@@ -95,6 +88,10 @@ class TopAlignmentState:
         self.exchange = exchange
         self.gaps = gaps
         self.engine = get_engine(engine)
+        # The query profile: the full n_symbols x m substitution gather,
+        # computed once here so every problem's seq2 block is a zero-copy
+        # suffix view (the SSW-style precomputation; see align.profile).
+        self.profile = QueryProfile(self.codes, exchange)
         if triangle == "dense":
             self.triangle: OverrideTriangle = DenseOverrideTriangle(self.m)
         elif triangle == "sparse":
@@ -112,11 +109,12 @@ class TopAlignmentState:
                 gaps,
                 self.engine,
                 capacity=linear_capacity,
+                profile=self.profile,
             )
         else:
             raise ValueError("memory must be 'full' or 'linear'")
         self.found: list[TopAlignment] = []
-        self.stats = RunStats()
+        self.stats = RunStats(engine=self.engine.describe())
         self.stats.realignments_per_top.append(0)
         # Debug-mode invariant checking (REPRO_CHECK_INVARIANTS=1|full);
         # the env test avoids importing the analysis package on hot paths.
@@ -142,6 +140,7 @@ class TopAlignmentState:
             self.exchange,
             self.gaps,
             override,
+            profile=self.profile.suffix(r),
         )
 
     # -- Figure 5 operations ----------------------------------------------
@@ -159,6 +158,16 @@ class TopAlignmentState:
         the new score returned.
         """
         row = self._engine_row(self.problem_for(task.r))
+        return self._record_row(task, row)
+
+    def _record_row(self, task: Task, row: np.ndarray) -> float:
+        """Put-or-shadow-score bookkeeping shared by both alignment paths.
+
+        First alignments cache the bottom row; realignments apply the
+        Appendix A shadow-validity rule.  The task's ``score`` and
+        ``aligned_with`` are updated in place, the invariant checker (if
+        armed) validates the transition, and the new score is returned.
+        """
         prev_score, prev_version = task.score, task.aligned_with
         if task.r not in self.bottom_rows:
             self.bottom_rows.put(task.r, row)
@@ -238,24 +247,7 @@ class TopAlignmentState:
         self.stats.engine_seconds += time.perf_counter() - start
         self.stats.alignments += len(tasks)
         self.stats.cells += sum(p.cells for p in problems)
-        scores: list[float] = []
-        for task, row in zip(tasks, rows):
-            prev_score, prev_version = task.score, task.aligned_with
-            if task.r not in self.bottom_rows:
-                self.bottom_rows.put(task.r, row)
-                score = float(row.max())
-            else:
-                self.stats.realignments += 1
-                self.stats.realignments_per_top[-1] += 1
-                score = self.bottom_rows.score_of(task.r, row)
-            task.score = score
-            task.aligned_with = self.n_found
-            if self.invariants is not None:
-                self.invariants.after_align(
-                    task, row, prev_score=prev_score, prev_version=prev_version
-                )
-            scores.append(score)
-        return scores
+        return [self._record_row(task, row) for task, row in zip(tasks, rows)]
 
 
 def find_top_alignments(
@@ -267,6 +259,7 @@ def find_top_alignments(
     engine: str = "vector",
     triangle: str = "dense",
     min_score: float = 0.0,
+    group: int = 1,
     state: TopAlignmentState | None = None,
 ) -> tuple[list[TopAlignment], RunStats]:
     """Compute up to ``k`` nonoverlapping top alignments (Figure 5).
@@ -276,15 +269,28 @@ def find_top_alignments(
     the sequence is exhausted (the best remaining score would be
     ``<= min_score``).
 
+    ``group`` selects the scheduling grain: 1 (default) runs the
+    sequential best-first loop below; larger values delegate to the
+    speculative batched driver (:mod:`repro.core.batched`), which
+    realigns the heap's top ``group`` stale tasks per lockstep engine
+    batch and returns bit-identical top alignments.
+
     Passing a pre-built ``state`` lets callers (tests, the simulator)
     inspect internals afterwards; otherwise one is created.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
+    if group < 1:
+        raise ValueError("group must be >= 1")
     if state is None:
         state = TopAlignmentState(
             sequence, exchange, gaps, engine=engine, triangle=triangle
         )
+    if group > 1:
+        from .batched import BatchedTopAlignmentRunner
+
+        runner = BatchedTopAlignmentRunner(state, k, group=group, min_score=min_score)
+        return runner.run()
     checker = state.invariants
     queue = TaskQueue(guard=checker.guard_task if checker is not None else None)
     for task in state.make_tasks():

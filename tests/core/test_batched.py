@@ -1,0 +1,165 @@
+"""Tests for the speculative lane-batched best-first driver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import INT16_MAX, LanesEngine
+from repro.core import (
+    BatchedTopAlignmentRunner,
+    TopAlignmentState,
+    find_top_alignments,
+    find_top_alignments_batched,
+)
+from repro.scoring import GapPenalties, match_mismatch
+from repro.scoring.blosum import blosum62
+from repro.sequences import PROTEIN, Sequence, pseudo_titin, tandem_repeat_sequence
+
+
+def _key(alignments):
+    return [(a.index, a.r, a.score, a.pairs) for a in alignments]
+
+
+def _reference(seq, k, exchange, gaps, min_score=0.0):
+    return find_top_alignments(
+        seq, k, exchange, gaps, engine="vector", min_score=min_score
+    )
+
+
+def _random_protein(data, min_size=6, max_size=24):
+    codes = data.draw(
+        st.lists(st.integers(0, 19), min_size=min_size, max_size=max_size)
+    )
+    return Sequence(np.array(codes, dtype=np.int8), PROTEIN)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("group", [2, 4, 8])
+    @pytest.mark.parametrize("dtype", ["float64", "int32", "int16"])
+    def test_titin_identical_to_sequential(self, group, dtype):
+        seq = pseudo_titin(150, seed=7)
+        exchange, gaps = blosum62(), GapPenalties(8, 1)
+        expected, _ = _reference(seq, 8, exchange, gaps)
+        engine = LanesEngine(lanes=group, dtype=dtype)
+        got, stats = find_top_alignments_batched(
+            seq, 8, exchange, gaps, group=group, engine=engine
+        )
+        assert _key(got) == _key(expected)
+        assert stats.group == group
+        assert stats.engine == f"lanes[{dtype}]"
+
+    def test_group_kwarg_delegates(self):
+        seq = tandem_repeat_sequence("MKTAYIAK", 5, alphabet=PROTEIN)
+        exchange, gaps = blosum62(), GapPenalties(8, 1)
+        expected, _ = _reference(seq, 4, exchange, gaps)
+        got, stats = find_top_alignments(
+            seq, 4, exchange, gaps, engine="lanes", group=4
+        )
+        assert _key(got) == _key(expected)
+        assert stats.group == 4
+
+    def test_min_score_respected(self):
+        seq = pseudo_titin(120, seed=3)
+        exchange, gaps = blosum62(), GapPenalties(8, 1)
+        expected, _ = _reference(seq, 30, exchange, gaps, min_score=25.0)
+        got, _ = find_top_alignments_batched(
+            seq, 30, exchange, gaps, group=8, min_score=25.0
+        )
+        assert _key(got) == _key(expected)
+        assert all(a.score > 25.0 for a in got)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        data=st.data(),
+        k=st.integers(1, 5),
+        group=st.sampled_from([2, 4, 8]),
+        dtype=st.sampled_from(["float64", "int32", "int16"]),
+    )
+    def test_random_sequences(self, data, k, group, dtype):
+        """Arbitrary proteins: batched == sequential, lane for lane."""
+        seq = _random_protein(data)
+        exchange = match_mismatch(PROTEIN, 2.0, -1.0)
+        gaps = GapPenalties(2.0, 1.0)
+        expected, _ = _reference(seq, k, exchange, gaps)
+        engine = LanesEngine(lanes=group, dtype=dtype)
+        got, _ = find_top_alignments_batched(
+            seq, k, exchange, gaps, group=group, engine=engine
+        )
+        assert _key(got) == _key(expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(data=st.data(), match=st.sampled_from([1000, 2000, 2500]))
+    def test_near_int16_saturation(self, data, match):
+        """Scores pushed toward INT16_MAX: int16 lanes must still agree
+        (the clamp at 32767 may never actually engage on valid scores)."""
+        seq = _random_protein(data, min_size=8, max_size=20)
+        exchange = match_mismatch(PROTEIN, float(match), -1.0)
+        gaps = GapPenalties(2.0, 1.0)
+        # Self-similarity bounds the best score by ~(len/2) matches.
+        assert (len(seq) // 2) * match < INT16_MAX
+        expected, _ = _reference(seq, 3, exchange, gaps)
+        engine = LanesEngine(lanes=4, dtype="int16")
+        got, _ = find_top_alignments_batched(
+            seq, 3, exchange, gaps, group=4, engine=engine
+        )
+        assert _key(got) == _key(expected)
+
+
+class TestWasteAccounting:
+    def test_sequential_never_wastes(self):
+        seq = pseudo_titin(120, seed=11)
+        exchange, gaps = blosum62(), GapPenalties(8, 1)
+        _, stats = _reference(seq, 6, exchange, gaps)
+        assert stats.speculative_waste == 0
+        assert stats.waste_ratio == 0.0
+        assert stats.group == 1
+
+    def test_batched_waste_is_bounded(self):
+        seq = pseudo_titin(150, seed=11)
+        exchange, gaps = blosum62(), GapPenalties(8, 1)
+        state = TopAlignmentState(seq, exchange, gaps, engine="lanes")
+        runner = BatchedTopAlignmentRunner(state, 8, group=8)
+        _, stats = runner.run()
+        # Waste never exceeds total speculative lanes, and each
+        # acceptance invalidates at most group - 1 pending lanes.
+        assert 0 <= stats.speculative_waste <= runner.speculative_lanes
+        assert stats.speculative_waste <= (runner.group - 1) * stats.tracebacks
+        assert stats.waste_ratio == stats.speculative_waste / stats.alignments
+
+    def test_first_passes_are_not_speculation(self):
+        """k=1 does first passes only — zero realignments, zero waste."""
+        seq = pseudo_titin(100, seed=5)
+        exchange, gaps = blosum62(), GapPenalties(8, 1)
+        _, stats = find_top_alignments_batched(seq, 1, exchange, gaps, group=8)
+        assert stats.realignments == 0
+        assert stats.speculative_waste == 0
+
+
+class TestValidation:
+    def test_bad_group(self):
+        seq = pseudo_titin(50, seed=1)
+        exchange, gaps = blosum62(), GapPenalties(8, 1)
+        with pytest.raises(ValueError, match="group"):
+            find_top_alignments_batched(seq, 2, exchange, gaps, group=0)
+        with pytest.raises(ValueError, match="group"):
+            find_top_alignments(seq, 2, exchange, gaps, group=0)
+
+    def test_bad_k(self):
+        seq = pseudo_titin(50, seed=1)
+        exchange, gaps = blosum62(), GapPenalties(8, 1)
+        with pytest.raises(ValueError, match="k"):
+            find_top_alignments_batched(seq, 0, exchange, gaps)
+
+    def test_group_one_matches_sequential_stats(self):
+        """The degenerate G=1 batched run performs the exact same work."""
+        seq = pseudo_titin(100, seed=9)
+        exchange, gaps = blosum62(), GapPenalties(8, 1)
+        expected, seq_stats = _reference(seq, 5, exchange, gaps)
+        got, stats = find_top_alignments_batched(
+            seq, 5, exchange, gaps, group=1, engine="vector"
+        )
+        assert _key(got) == _key(expected)
+        assert stats.alignments == seq_stats.alignments
+        assert stats.realignments == seq_stats.realignments
+        assert stats.speculative_waste == 0

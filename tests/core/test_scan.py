@@ -68,6 +68,45 @@ class TestScanner:
         assert masked_score < raw_score  # the poly-Q no longer dominates
 
 
+class TestEngineKnobs:
+    def test_overrides_applied_to_finder(self):
+        scanner = DatabaseScanner(
+            finder=RepeatFinder(top_alignments=4), engine="lanes", group=8
+        )
+        assert scanner.finder.engine == "lanes"
+        assert scanner.finder.group == 8
+
+    def test_no_overrides_keeps_finder(self):
+        finder = RepeatFinder(top_alignments=4)
+        scanner = DatabaseScanner(finder=finder)
+        assert scanner.finder is finder
+
+    def test_knobs_do_not_change_reports(self, mixed_records):
+        baseline = DatabaseScanner(finder=RepeatFinder(top_alignments=4))
+        batched = DatabaseScanner(
+            finder=RepeatFinder(top_alignments=4), engine="lanes", group=8
+        )
+        expected = baseline.rank(mixed_records)
+        got = batched.rank(mixed_records)
+        assert [r.id for r in got] == [r.id for r in expected]
+        for a, b in zip(got, expected):
+            assert a.best_score == b.best_score
+            assert [
+                (t.r, t.score, t.pairs) for t in a.result.top_alignments
+            ] == [(t.r, t.score, t.pairs) for t in b.result.top_alignments]
+
+    def test_scoring_objects_reused_across_records(self, mixed_records):
+        scanner = DatabaseScanner(
+            finder=RepeatFinder(top_alignments=4), engine="lanes", group=4
+        )
+        scanner.scan(mixed_records)
+        finder = scanner.finder
+        # One engine instance and one exchange served every record.
+        assert finder._engine_instance is not None
+        assert finder._engine_instance is finder._engine_for_run()
+        assert len(finder._exchange_cache) == 1
+
+
 class TestScanFasta:
     def test_end_to_end(self, tmp_path, mixed_records):
         path = tmp_path / "db.fasta"

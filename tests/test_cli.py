@@ -29,6 +29,14 @@ class TestParser:
         assert args.top_alignments == 20
         assert args.engine == "vector"
         assert args.algorithm == "new"
+        assert args.group == 1
+
+    def test_scan_engine_knobs(self):
+        args = build_parser().parse_args(
+            ["scan", "db.fasta", "--engine", "lanes", "--group", "8"]
+        )
+        assert args.engine == "lanes"
+        assert args.group == 8
 
 
 class TestEnginesCommand:
@@ -75,6 +83,22 @@ class TestFindCommand:
         assert ">tandem length=12" in out
         assert "repeat families: 1" in out
         assert "top#0 score=8" in out
+
+    def test_find_batched_matches_sequential(self, tandem_fasta, capsys):
+        def results_only(text):
+            # Speculation legitimately changes "alignments computed";
+            # every reported alignment and family must be identical.
+            return [
+                line for line in text.splitlines()
+                if "alignments computed" not in line
+            ]
+
+        base = ["find", tandem_fasta, "-k", "3", "--alphabet", "dna",
+                "--gap-open", "2", "--gap-extend", "1", "--show-alignments"]
+        assert main(base) == 0
+        sequential = capsys.readouterr().out
+        assert main(base + ["--engine", "lanes", "--group", "4"]) == 0
+        assert results_only(capsys.readouterr().out) == results_only(sequential)
 
     def test_find_old_algorithm(self, tandem_fasta, capsys):
         assert (
@@ -165,6 +189,20 @@ class TestScanCommand:
         out = capsys.readouterr().out
         assert len(out.strip().splitlines()) == 2  # header + 1 row
 
+    def test_engine_and_group_knobs(self, tmp_path, capsys):
+        from repro.sequences import tandem_repeat_sequence
+
+        path = tmp_path / "db.fasta"
+        write_fasta(
+            [Sequence(tandem_repeat_sequence("ATGCGT", 5).codes, DNA, id="tand")],
+            path,
+        )
+        base = ["scan", str(path), "--alphabet", "dna", "-k", "4"]
+        assert main(base) == 0
+        sequential = capsys.readouterr().out
+        assert main(base + ["--engine", "lanes", "--group", "8"]) == 0
+        assert capsys.readouterr().out == sequential
+
     def test_empty_rejected(self, tmp_path):
         empty = tmp_path / "e.fasta"
         empty.write_text("")
@@ -235,3 +273,24 @@ class TestBenchCommand:
         assert main(["bench", "realign", "-k", "3"]) == 0
         out = capsys.readouterr().out
         assert "realignments avoided" in out
+
+    def test_batched_artifact_with_json(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_batched.json"
+        assert main(
+            ["bench", "batched", "--length", "90", "-k", "3",
+             "--json", str(out_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Speculative batched driver" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["identical_tops"] is True
+        groups = [r["group"] for r in payload["rows"]]
+        assert groups == [1, 1, 4, 8]  # vector baseline + lanes G sweep
+        for row in payload["rows"]:
+            assert set(row) >= {
+                "engine", "group", "seconds", "alignments", "cells",
+                "cells_per_second", "speculative_waste", "waste_ratio",
+                "speedup_vs_g1",
+            }
