@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Service smoke test: serve, submit, cache-hit, graceful shutdown.
+
+Starts ``repro serve`` as a real subprocess on an ephemeral port,
+submits two jobs — the second a duplicate of the first — and asserts:
+
+* both jobs reach ``done`` and their results are fetchable;
+* the duplicate was served from the content-addressed cache (born
+  done, never queued) while the workers' alignment counters did not
+  move — zero realignment work;
+* the service result matches an in-process run of the same spec
+  through the library bit-for-bit (top alignments and repeat families);
+* SIGTERM shuts the service down cleanly (exit code 0, workers
+  drained).
+
+Exits non-zero on any failure, so CI can run it directly::
+
+    python examples/service_smoke.py
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from pathlib import Path
+
+from repro.sequences import Sequence, pseudo_titin
+from repro.service import JobSpec, ServiceClient
+from repro.service.workers import build_finder
+
+K = 6
+SEQUENCE = pseudo_titin(90, seed=11)
+
+
+def start_service(data_dir: str) -> tuple[subprocess.Popen, str]:
+    """Launch ``repro serve`` on an ephemeral port; returns (proc, url)."""
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "2",
+            "--data-dir",
+            data_dir,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    # The first line announces the bound address:
+    #   repro service listening on http://127.0.0.1:PORT (...)
+    line = proc.stdout.readline()
+    if "listening on" not in line:
+        proc.kill()
+        raise RuntimeError(f"unexpected service banner: {line!r}")
+    url = line.split("listening on", 1)[1].split()[0]
+    deadline = time.monotonic() + 15
+    while time.monotonic() < deadline:
+        try:
+            with urllib.request.urlopen(f"{url}/healthz", timeout=2) as resp:
+                if json.load(resp).get("ok"):
+                    return proc, url
+        except OSError:
+            time.sleep(0.1)
+    proc.kill()
+    raise RuntimeError("service never became healthy")
+
+
+def main() -> int:
+    spec = {"sequence": SEQUENCE.text, "seq_id": SEQUENCE.id, "top_alignments": K}
+    with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as tmp:
+        proc, url = start_service(str(Path(tmp) / "data"))
+        try:
+            client = ServiceClient(url, timeout=30)
+
+            first = client.submit(spec)
+            assert not first["from_cache"], "fresh submission must not hit the cache"
+            done = client.wait(first["id"], timeout=120)
+            assert done["state"] == "done", done
+            print(f"job 1: {done['id']} done, found={done['found']}")
+
+            aligned = client.stats()["alignments_total"]
+            assert aligned > 0, "workers reported no alignment work"
+
+            duplicate = client.submit(spec)
+            assert duplicate["from_cache"], "duplicate must be served from cache"
+            assert duplicate["state"] == "done"
+            assert duplicate["digest"] == first["digest"]
+            assert client.stats()["alignments_total"] == aligned, (
+                "cache hit must do zero alignment work"
+            )
+            print(f"job 2: {duplicate['id']} served from cache, zero new alignments")
+
+            events = [e["event"] for e in client.events(first["id"])]
+            assert events[0] == "queued" and events[-1] == "done", events
+            assert "progress" in events, events
+
+            payload = client.result(first["digest"])
+            # The same spec, executed in-process through the library.
+            expected = build_finder(JobSpec.from_dict(spec)).find(
+                Sequence(SEQUENCE.text, "protein", id=SEQUENCE.id)
+            )
+            got = [(a["r"], a["score"]) for a in payload["top_alignments"]]
+            want = [(a.r, a.score) for a in expected.top_alignments]
+            assert got == want, f"service result diverged: {got} != {want}"
+            got_families = [tuple(map(tuple, r["copies"])) for r in payload["repeats"]]
+            want_families = [tuple(r.copies) for r in expected.repeats]
+            assert got_families == want_families, "repeat families diverged"
+            print(f"results identical to the in-process library run ({K} alignments)")
+        finally:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                code = proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                raise
+        tail = proc.stdout.read()
+        assert code == 0, f"service exited {code}: {tail}"
+        assert "repro service stopped" in tail, tail
+        print("service shut down cleanly")
+    print("service smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,7 @@ Three value modes mirror the instruction tiers:
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 
 import numpy as np
 
@@ -140,16 +141,25 @@ class LanesEngine(AlignmentEngine):
 
     # -- scratch cache -----------------------------------------------------
 
+    #: Per-thread bound on live scratch shapes.  A long-lived process
+    #: (the service worker pool) cycles through many batch shapes; an
+    #: unbounded cache would pin one scratch block per shape forever.
+    _SCRATCH_CACHE_MAX = 8
+
     def _scratch_for(self, group: int, nsym: int, work: np.dtype) -> _LaneScratch:
-        cache: dict | None = getattr(self._tls, "cache", None)
+        cache: OrderedDict | None = getattr(self._tls, "cache", None)
         if cache is None:
-            cache = {}
+            cache = OrderedDict()
             self._tls.cache = cache
         key = (group, nsym, np.dtype(work).str)
         scratch = cache.get(key)
         if scratch is None:
             scratch = _LaneScratch(group, nsym, work)
             cache[key] = scratch
+            while len(cache) > self._SCRATCH_CACHE_MAX:
+                cache.popitem(last=False)
+        else:
+            cache.move_to_end(key)
         return scratch
 
     # -- the lockstep batch ----------------------------------------------

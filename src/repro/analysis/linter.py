@@ -47,6 +47,7 @@ RULE_DOC: dict[str, str] = {
     "RPR006": "bare except:",
     "RPR007": "PYTHONPATH-unsafe absolute self-import inside the package",
     "RPR008": "O(n) list.insert(0,..)/in-on-list in a loop",
+    "RPR010": "blocking call (time.sleep / unbounded Queue.get) in a service request-handling path",
 }
 
 

@@ -15,6 +15,7 @@ Rule ids
 ``RPR006`` bare ``except:``
 ``RPR007`` PYTHONPATH-unsafe absolute self-import inside the package
 ``RPR008`` O(n) list operation (``insert(0, ...)``, ``in``-on-list) in a loop
+``RPR010`` blocking call in a ``repro.service`` request-handling path
 """
 
 from __future__ import annotations
@@ -518,6 +519,130 @@ def rule_quadratic_list_op(tree: ast.Module, path: str) -> list[Diagnostic]:
     return findings
 
 
+# ---------------------------------------------------------------------------
+# RPR010 — blocking calls in service request-handling paths
+# ---------------------------------------------------------------------------
+
+def _is_handler_function(node: ast.AST) -> bool:
+    """BaseHTTPRequestHandler verb methods and ``handle*`` entry points."""
+    return isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+        node.name.startswith("do_") or node.name.startswith("handle")
+    )
+
+
+def _is_handler_class(node: ast.AST) -> bool:
+    """A class whose bases name a request handler (``*Handler``)."""
+    if not isinstance(node, ast.ClassDef):
+        return False
+    for base in node.bases:
+        name = base.attr if isinstance(base, ast.Attribute) else (
+            base.id if isinstance(base, ast.Name) else ""
+        )
+        if name.endswith("Handler"):
+            return True
+    return False
+
+
+def _time_sleep_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(module aliases of ``time``, direct names bound to ``time.sleep``)."""
+    modules: set[str] = set()
+    direct: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    modules.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "sleep":
+                    direct.add(alias.asname or "sleep")
+    return modules, direct
+
+
+def _receiver_tail(node: ast.expr) -> str:
+    """Last name component of a call receiver (``self.jobs_queue`` -> ``jobs_queue``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def rule_blocking_in_handler(tree: ast.Module, path: str) -> list[Diagnostic]:
+    """RPR010: blocking calls inside ``repro.service`` request handlers.
+
+    The HTTP server handles each request on a pool thread; a handler
+    that parks in ``time.sleep`` or an unbounded ``Queue.get()`` ties
+    up a thread indefinitely and turns slow clients into denial of
+    service.  Intentional bounded waits (e.g. the event-stream tail
+    poll, which re-checks a deadline every iteration) carry a waiver:
+    ``# repro-lint: allow[RPR010] reason``.
+    """
+    if not _in_dir(path, "service") or _is_test_file(path):
+        return []
+    modules, direct = _time_sleep_aliases(tree)
+    findings: list[Diagnostic] = []
+
+    def check_scope(fn: ast.AST) -> None:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_sleep = (
+                isinstance(func, ast.Attribute)
+                and func.attr == "sleep"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in modules
+            ) or (isinstance(func, ast.Name) and func.id in direct)
+            if is_sleep:
+                findings.append(
+                    Diagnostic(
+                        rule="RPR010",
+                        path=path,
+                        line=node.lineno,
+                        message="time.sleep in a request-handling path "
+                        "blocks a server thread; poll with a deadline and "
+                        "waive (`# repro-lint: allow[RPR010] reason`) if "
+                        "the wait is intentionally bounded",
+                    )
+                )
+                continue
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "get"
+                and "queue" in _receiver_tail(func.value).lower()
+                and not node.args
+                and not any(
+                    kw.arg in ("timeout", "block") for kw in node.keywords
+                )
+            ):
+                findings.append(
+                    Diagnostic(
+                        rule="RPR010",
+                        path=path,
+                        line=node.lineno,
+                        message="unbounded Queue.get() in a request-handling "
+                        "path blocks a server thread forever; pass a timeout "
+                        "or block=False",
+                    )
+                )
+
+    def visit(node: ast.AST, in_handler_class: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_handler_function(child) or in_handler_class:
+                    check_scope(child)
+                    continue  # check_scope walked the whole body already
+                visit(child, in_handler_class)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, in_handler_class or _is_handler_class(child))
+            else:
+                visit(child, in_handler_class)
+
+    visit(tree, False)
+    return findings
+
+
 #: Per-file rules, in reporting order.  Lock discipline (RPR003) and
 #: export consistency (RPR005) are registered by the linter driver.
 FILE_RULES: tuple[tuple[str, Rule], ...] = (
@@ -527,6 +652,7 @@ FILE_RULES: tuple[tuple[str, Rule], ...] = (
     ("RPR006", rule_bare_except),
     ("RPR007", rule_absolute_self_import),
     ("RPR008", rule_quadratic_list_op),
+    ("RPR010", rule_blocking_in_handler),
 )
 
 

@@ -12,6 +12,10 @@ Subcommands
 ``report``     full analysis report (alignments, families, MSA, dot plot)
 ``engines``    list available alignment engines
 ``lint``       run the project's static-analysis rules (see ANALYSIS.md)
+``serve``      run the job-queue service (HTTP JSON API + worker pool)
+``submit``     submit FASTA records to a running service
+``status``     show a service job's record (and optionally its events)
+``fetch``      fetch a cached result by digest or job id
 """
 
 from __future__ import annotations
@@ -180,6 +184,59 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
     )
+
+    serve = sub.add_parser(
+        "serve", help="run the repeat-finder job service (HTTP + worker pool)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765, help="0 = ephemeral")
+    serve.add_argument("--workers", type=int, default=2, help="0 = no in-process pool")
+    serve.add_argument("--queue-capacity", type=int, default=64, help="0 = unbounded")
+    serve.add_argument("--data-dir", default="repro-service-data")
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        help="top alignments accepted between checkpoints",
+    )
+
+    submit = sub.add_parser("submit", help="submit FASTA records to a service")
+    submit.add_argument("fasta", nargs="?", default="-", help="FASTA path or '-' for stdin")
+    submit.add_argument("--url", default="http://127.0.0.1:8765")
+    submit.add_argument("-k", "--top-alignments", type=int, default=20)
+    submit.add_argument("--alphabet", default="protein", choices=["protein", "dna", "rna"])
+    submit.add_argument(
+        "--matrix", default=None, choices=sorted(_MATRICES) + ["simple"]
+    )
+    submit.add_argument("--gap-open", type=float, default=8.0)
+    submit.add_argument("--gap-extend", type=float, default=1.0)
+    submit.add_argument("--engine", default="vector")
+    submit.add_argument("--group", type=int, default=1)
+    submit.add_argument("--algorithm", default="new", choices=["new", "old"])
+    submit.add_argument("--min-score", type=float, default=0.0)
+    submit.add_argument("--max-gap", type=int, default=0)
+    submit.add_argument("--priority", type=int, default=0, help="higher runs earlier")
+    submit.add_argument(
+        "--wait", action="store_true", help="block until every job finishes"
+    )
+    submit.add_argument(
+        "--follow", action="store_true", help="stream progress events (implies --wait)"
+    )
+    submit.add_argument("--timeout", type=float, default=600.0)
+
+    status = sub.add_parser("status", help="show a service job record")
+    status.add_argument("job_id")
+    status.add_argument("--url", default="http://127.0.0.1:8765")
+    status.add_argument(
+        "--events", action="store_true", help="also print the job's event lines"
+    )
+
+    fetch = sub.add_parser("fetch", help="fetch a cached result by digest or job id")
+    fetch.add_argument("ref", help="result digest (full or unique prefix) or job id")
+    fetch.add_argument("--url", default="http://127.0.0.1:8765")
+    fetch.add_argument(
+        "--summary", action="store_true", help="render a summary instead of raw JSON"
+    )
     return parser
 
 
@@ -336,10 +393,17 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         reports = reports[: args.limit]
     print(f"{'rank':>4}  {'id':<24} {'len':>6} {'best':>7} {'families':>8} {'repeat%':>8}")
     for rank, rep in enumerate(reports, 1):
+        if rep.failed:
+            print(f"{rank:>4}  {rep.id[:24]:<24} {rep.length:>6} FAILED: {rep.error}")
+            continue
         print(
             f"{rank:>4}  {rep.id[:24]:<24} {rep.length:>6} {rep.best_score:>7g} "
             f"{rep.n_families:>8} {rep.repeat_fraction:>8.1%}"
         )
+    failures = [rep for rep in reports if rep.failed]
+    if failures:
+        print(f"{len(failures)} of {len(reports)} record(s) failed", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -490,6 +554,137 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(argv)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import ServiceConfig, serve
+
+    config = ServiceConfig(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        checkpoint_every=args.checkpoint_every,
+    )
+    return serve(config)
+
+
+def _render_result_summary(payload: dict) -> str:
+    lines = [
+        f">{payload.get('sequence_id') or '<unnamed>'} length={payload['length']} "
+        f"digest={payload['digest'][:16]}",
+        f"  top alignments: {len(payload['top_alignments'])}  "
+        f"repeat families: {len(payload['repeats'])}  "
+        f"alignments computed: {payload['stats']['alignments']}",
+    ]
+    for repeat in payload["repeats"]:
+        spans = ", ".join(f"{s}-{e}" for s, e in repeat["copies"])
+        lines.append(
+            f"  family {repeat['family']}: {repeat['n_copies']} copies "
+            f"(~{repeat['unit_length']:.0f} aa, {repeat['columns']} conserved "
+            f"cols): {spans}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import json
+
+    from .service.client import ClientBacklogFull, ServiceClient, ServiceError
+
+    alphabet = alphabet_for(args.alphabet)
+    source = sys.stdin if args.fasta == "-" else args.fasta
+    records = read_fasta(source, alphabet)
+    if not records:
+        raise SystemExit("no FASTA records found")
+    client = ServiceClient(args.url)
+    job_ids: list[str] = []
+    for record in records:
+        spec = {
+            "sequence": record.text,
+            "alphabet": args.alphabet,
+            "seq_id": record.id,
+            "top_alignments": args.top_alignments,
+            "matrix": args.matrix,
+            "gap_open": args.gap_open,
+            "gap_extend": args.gap_extend,
+            "engine": args.engine,
+            "group": args.group,
+            "algorithm": args.algorithm,
+            "min_score": args.min_score,
+            "max_gap": args.max_gap,
+            "priority": args.priority,
+        }
+        try:
+            job = client.submit(spec)
+        except ClientBacklogFull as exc:
+            print(
+                f"queue full; retry in {exc.retry_after}s "
+                f"({len(job_ids)} of {len(records)} submitted)",
+                file=sys.stderr,
+            )
+            return 75  # EX_TEMPFAIL
+        except ServiceError as exc:
+            print(f"submit failed for {record.id or '<unnamed>'}: {exc}", file=sys.stderr)
+            return 1
+        tag = "cache" if job.get("from_cache") else job["state"]
+        print(f"job {job['id']} [{tag}] digest={job['digest'][:16]} id={record.id}")
+        job_ids.append(job["id"])
+
+    if not (args.wait or args.follow):
+        return 0
+    failed = 0
+    for job_id in job_ids:
+        if args.follow:
+            for event in client.events(job_id, follow=True):
+                print(f"  {job_id} {json.dumps(event, sort_keys=True)}")
+        record = client.wait(job_id, timeout=args.timeout)
+        if record["state"] != "done":
+            failed += 1
+            print(
+                f"job {job_id} {record['state']}: {record.get('error', '')}",
+                file=sys.stderr,
+            )
+            continue
+        print(_render_result_summary(client.result(record["digest"])))
+    return 1 if failed else 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import json
+
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        record = client.status(args.job_id)
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if args.events:
+        for event in client.events(args.job_id):
+            print(json.dumps(event, sort_keys=True))
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    import json
+
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        payload = client.result(args.ref)
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.summary:
+        print(_render_result_summary(payload))
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Seq[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -504,6 +699,10 @@ def main(argv: Seq[str] | None = None) -> int:
         "report": _cmd_report,
         "engines": _cmd_engines,
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "fetch": _cmd_fetch,
     }
     return handlers[args.command](args)
 

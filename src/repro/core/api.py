@@ -97,7 +97,16 @@ class RepeatFinder:
             self._engine_instance = get_engine(self.engine)
         return self._engine_instance
 
-    def _exchange_for(self, sequence: Sequence) -> ExchangeMatrix:
+    def resolve_exchange(self, sequence: Sequence) -> ExchangeMatrix:
+        """The exchange matrix this finder uses for ``sequence``.
+
+        Explicit configuration wins; otherwise the per-alphabet default
+        (cached per alphabet, so a scan over mixed records builds each
+        matrix once).  Exposed for callers that drive the search state
+        directly — the incremental service executor checkpoints and
+        resumes runs, and must score them under exactly the matrix
+        :meth:`find` would have used.
+        """
         if self.exchange is not None:
             return self.exchange
         name = sequence.alphabet.name
@@ -107,11 +116,26 @@ class RepeatFinder:
             self._exchange_cache[name] = cached
         return cached
 
+    def delineate(self, alignments, length: int):
+        """Phase 2 under this finder's knobs (see :func:`delineate_repeats`).
+
+        Split out of :meth:`find` so external drivers (the service
+        worker resuming from a checkpoint) turn independently-computed
+        top alignments into the identical :class:`RepeatResult` families.
+        """
+        return delineate_repeats(
+            alignments,
+            length,
+            min_copy_length=self.min_copy_length,
+            max_gap=self.max_gap,
+            min_score_fraction=self.min_score_fraction,
+        )
+
     def find(self, sequence: Sequence | str) -> RepeatResult:
         """Run both Repro phases on ``sequence`` and return everything."""
         if isinstance(sequence, str):
             sequence = Sequence(sequence, "protein")
-        exchange = self._exchange_for(sequence)
+        exchange = self.resolve_exchange(sequence)
         engine = self._engine_for_run()
         if self.algorithm == "new":
             alignments, stats = find_top_alignments(
@@ -132,13 +156,7 @@ class RepeatFinder:
                 engine=engine,
                 min_score=self.min_score,
             )
-        repeats = delineate_repeats(
-            alignments,
-            len(sequence),
-            min_copy_length=self.min_copy_length,
-            max_gap=self.max_gap,
-            min_score_fraction=self.min_score_fraction,
-        )
+        repeats = self.delineate(alignments, len(sequence))
         return RepeatResult(top_alignments=alignments, repeats=repeats, stats=stats)
 
 

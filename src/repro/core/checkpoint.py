@@ -46,7 +46,14 @@ def _fingerprint(state_or_args) -> np.ndarray:
 
 
 def save_checkpoint(state: TopAlignmentState, path: str | os.PathLike) -> None:
-    """Write ``state``'s durable products to ``path`` (.npz)."""
+    """Write ``state``'s durable products to ``path`` (.npz).
+
+    The write is atomic (temp file + ``os.replace``): service workers
+    checkpoint after every accepted chunk and may be SIGKILLed at any
+    instant, and a torn write must never replace the last good
+    checkpoint.  Unlike ``np.savez``'s path form, ``path`` is used
+    verbatim — no ``.npz`` suffix is appended.
+    """
     arrays: dict[str, np.ndarray] = {
         "format": np.array([_FORMAT_VERSION]),
         "codes": state.codes,
@@ -62,7 +69,15 @@ def save_checkpoint(state: TopAlignmentState, path: str | os.PathLike) -> None:
     arrays["stored_rows"] = np.array(stored, dtype=np.int64)
     for r in stored:
         arrays[f"row_{r}"] = np.asarray(state.bottom_rows.get(r))
-    np.savez_compressed(os.fspath(path), **arrays)
+    target = os.fspath(path)
+    tmp = f"{target}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, target)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
 
 
 def load_checkpoint(
@@ -94,7 +109,12 @@ def load_checkpoint(
     meta = data["alignment_meta"].reshape(-1, 2)
     scores = data["alignment_scores"]
     for (index, r), score in zip(meta, scores):
-        pairs = tuple(map(tuple, data[f"pairs_{int(index)}"]))
+        # Plain-int pairs: a restored alignment must be indistinguishable
+        # from a freshly computed one (which uses Python ints), down to
+        # JSON serialisability of downstream result payloads.
+        pairs = tuple(
+            (int(i), int(j)) for i, j in data[f"pairs_{int(index)}"]
+        )
         alignment = TopAlignment(
             index=int(index), r=int(r), score=float(score), pairs=pairs
         )

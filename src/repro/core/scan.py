@@ -26,23 +26,35 @@ __all__ = ["SequenceReport", "DatabaseScanner", "scan_fasta"]
 
 @dataclass(frozen=True)
 class SequenceReport:
-    """Summary of one scanned sequence."""
+    """Summary of one scanned sequence.
+
+    ``result`` is ``None`` exactly when the record failed, in which
+    case ``error`` carries the failure description.  A failed record
+    still produces a report — one bad sequence in a database scan must
+    not discard the work done on every other record.
+    """
 
     id: str
     length: int
-    result: RepeatResult
+    result: RepeatResult | None
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether scanning this record raised instead of finishing."""
+        return self.result is None
 
     @property
     def best_score(self) -> float:
         """Best top-alignment score (0 when no alignment was found)."""
-        if not self.result.top_alignments:
+        if self.result is None or not self.result.top_alignments:
             return 0.0
         return self.result.top_alignments[0].score
 
     @property
     def repeat_fraction(self) -> float:
         """Fraction of residues covered by delineated repeat copies."""
-        if self.length == 0 or not self.result.repeats:
+        if self.result is None or self.length == 0 or not self.result.repeats:
             return 0.0
         covered = np.zeros(self.length, dtype=bool)
         for repeat in self.result.repeats:
@@ -53,6 +65,8 @@ class SequenceReport:
     @property
     def n_families(self) -> int:
         """Number of delineated repeat families."""
+        if self.result is None:
+            return 0
         return len(self.result.repeats)
 
     @property
@@ -105,26 +119,47 @@ class DatabaseScanner:
             self.finder = dataclasses.replace(self.finder, **overrides)
 
     def scan(self, sequences: Iterable[Sequence]) -> list[SequenceReport]:
-        """Scan sequences in order; returns one report per scanned record."""
+        """Scan sequences in order; returns one report per scanned record.
+
+        A record whose scan raises is recorded as a failed report
+        (``result=None``, ``error`` set) and the scan continues with
+        the remaining records.
+        """
         reports: list[SequenceReport] = []
         for seq in sequences:
             if len(seq) < self.min_length:
                 continue
-            target = (
-                mask_low_complexity(seq, self.mask_window, self.mask_threshold)
-                if self.mask
-                else seq
-            )
-            result = self.finder.find(target)
+            try:
+                target = (
+                    mask_low_complexity(
+                        seq, self.mask_window, self.mask_threshold
+                    )
+                    if self.mask
+                    else seq
+                )
+                result = self.finder.find(target)
+            except Exception as exc:  # noqa: BLE001 - per-record isolation
+                reports.append(
+                    SequenceReport(
+                        id=seq.id,
+                        length=len(seq),
+                        result=None,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
             reports.append(
                 SequenceReport(id=seq.id, length=len(seq), result=result)
             )
         return reports
 
     def rank(self, sequences: Iterable[Sequence]) -> list[SequenceReport]:
-        """Scan and sort by best alignment score (descending), then id."""
+        """Scan and sort by best alignment score (descending), then id.
+
+        Failed records sort after every successful one.
+        """
         reports = self.scan(sequences)
-        return sorted(reports, key=lambda r: (-r.best_score, r.id))
+        return sorted(reports, key=lambda r: (r.failed, -r.best_score, r.id))
 
 
 def scan_fasta(

@@ -52,6 +52,27 @@ class TopAlignmentSession:
         self.min_score = min_score
         self._exhausted = False
 
+    @classmethod
+    def from_state(
+        cls, state: TopAlignmentState, *, min_score: float = 0.0
+    ) -> "TopAlignmentSession":
+        """Wrap an existing (e.g. checkpoint-restored) search state.
+
+        The fresh task queue starts with every split's score stale, but
+        stale scores are upper bounds under the restored triangle, so
+        :meth:`extend` continues exactly where the original run stopped
+        — this is what lets a service worker resume a killed job from
+        its last checkpoint instead of restarting it.
+        """
+        session = cls.__new__(cls)
+        session._state = state
+        session._queue = TaskQueue()
+        for task in state.make_tasks():
+            session._queue.insert(task)
+        session.min_score = min_score
+        session._exhausted = False
+        return session
+
     # -- inspection --------------------------------------------------------
 
     @property

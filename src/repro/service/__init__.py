@@ -1,0 +1,57 @@
+"""``repro.service`` — the repeat finder as a long-running server.
+
+The library runs one scan to completion in-process; the service wraps
+the same engines behind a durable job queue so repeat detection can be
+scheduled, cached and resumed under concurrent load:
+
+* :mod:`~repro.service.protocol` — job specs, content digests and the
+  JSON wire forms shared by server, workers and clients;
+* :mod:`~repro.service.cache` — content-addressed result cache
+  (on-disk store + in-memory LRU);
+* :mod:`~repro.service.jobstore` — durable job records, progress
+  event logs and checkpoint files;
+* :mod:`~repro.service.queue` — bounded, priority, disk-backed job
+  queue with backpressure and atomic multi-process claims;
+* :mod:`~repro.service.workers` — the multi-process worker pool and
+  the resumable job executor;
+* :mod:`~repro.service.server` — the stdlib HTTP JSON API
+  (``repro serve``);
+* :mod:`~repro.service.client` — the matching urllib client
+  (``repro submit/status/fetch``).
+"""
+
+from .cache import ResultCache
+from .client import ClientBacklogFull, ServiceClient, ServiceError
+from .jobstore import JobRecord, JobStore
+from .protocol import (
+    ALGORITHM_VERSION,
+    JobSpec,
+    JobState,
+    SpecError,
+    job_digest,
+    result_to_dict,
+)
+from .queue import BacklogFull, SpoolQueue
+from .server import ReproService, ServiceConfig
+from .workers import WorkerPool, execute_job
+
+__all__ = [
+    "ALGORITHM_VERSION",
+    "BacklogFull",
+    "ClientBacklogFull",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "JobStore",
+    "ReproService",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SpecError",
+    "SpoolQueue",
+    "WorkerPool",
+    "execute_job",
+    "job_digest",
+    "result_to_dict",
+]

@@ -1,0 +1,126 @@
+"""urllib client for the repro service (``repro submit/status/fetch``).
+
+Stdlib-only, mirroring the server's endpoints one method each.  HTTP
+errors surface as :class:`ServiceError` (with the server's JSON error
+message when present); a ``429`` becomes :class:`ClientBacklogFull`
+carrying the server's ``Retry-After`` hint so callers can implement
+polite retry loops.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Iterator
+
+__all__ = ["ServiceError", "ClientBacklogFull", "ServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"HTTP {code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ClientBacklogFull(ServiceError):
+    """HTTP 429 — the job queue is shedding load."""
+
+    def __init__(self, message: str, retry_after: int) -> None:
+        super().__init__(429, message)
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Thin JSON client bound to one service base URL."""
+
+    def __init__(self, base_url: str = "http://127.0.0.1:8765", *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> dict[str, Any]:
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raise self._to_error(exc) from None
+
+    @staticmethod
+    def _to_error(exc: urllib.error.HTTPError) -> ServiceError:
+        try:
+            message = json.loads(exc.read().decode("utf-8")).get("error", "")
+        except ValueError:
+            message = exc.reason or ""
+        if exc.code == 429:
+            retry_after = int(exc.headers.get("Retry-After") or 1)
+            return ClientBacklogFull(message, retry_after)
+        return ServiceError(exc.code, message)
+
+    # -- endpoints -------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def submit(self, spec: dict[str, Any]) -> dict[str, Any]:
+        """POST /jobs; the returned record includes ``from_cache``."""
+        return self._request("POST", "/jobs", spec)
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def result(self, ref: str) -> dict[str, Any]:
+        """GET /results/<digest-or-job-id>."""
+        return self._request("GET", f"/results/{ref}")
+
+    def events(
+        self, job_id: str, *, since: int = 0, follow: bool = False
+    ) -> Iterator[dict[str, Any]]:
+        """Yield progress events; with ``follow`` streams until terminal."""
+        url = f"{self.base_url}/jobs/{job_id}/events?since={since}&follow={int(follow)}"
+        request = urllib.request.Request(url, headers={"Accept": "application/x-ndjson"})
+        timeout = None if follow else self.timeout
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                for raw in response:
+                    line = raw.decode("utf-8").strip()
+                    if line:
+                        yield json.loads(line)
+        except urllib.error.HTTPError as exc:
+            raise self._to_error(exc) from None
+
+    def wait(
+        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.2
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; returns the record."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            if record.get("state") in ("done", "failed", "cancelled"):
+                return record
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record.get('state')!r} after {timeout}s"
+                )
+            time.sleep(poll)

@@ -1,0 +1,242 @@
+"""Durable job state: records, progress events, checkpoints.
+
+The store is the single source of truth shared by the server process
+and every worker process — all coordination happens through files under
+one data directory, so a killed worker loses nothing that was already
+durable:
+
+``jobs/<id>.json``
+    the :class:`JobRecord` (atomic rewrite on every transition);
+``events/<id>.jsonl``
+    append-only progress stream (one JSON object per line) — what
+    ``GET /jobs/<id>/events`` tails;
+``checkpoints/<id>.npz``
+    the search state, written via :mod:`repro.core.checkpoint` after
+    every accepted chunk, so a resumed job continues mid-run;
+``cancel/<id>``
+    a flag file; workers poll it between chunks.
+
+Writers are disjoint by construction — the server writes a record at
+admission and cancellation, the claiming worker owns it while running —
+so plain atomic rewrites are enough; no cross-process record lock is
+needed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any
+
+from ..core.checkpoint import save_checkpoint
+from .protocol import JobState, ProgressEvent
+
+__all__ = ["JobRecord", "JobStore"]
+
+
+@dataclass
+class JobRecord:
+    """Everything durable about one job except its result payload.
+
+    The result itself lives in the content-addressed cache under
+    ``digest``; the record only carries lifecycle metadata.
+    """
+
+    id: str
+    spec: dict[str, Any]
+    digest: str
+    state: str = JobState.QUEUED
+    priority: int = 0
+    created: float = 0.0
+    started: float = 0.0
+    finished: float = 0.0
+    attempts: int = 0
+    worker: str = ""
+    error: str = ""
+    served_from_cache: bool = False
+    found: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "JobRecord":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+class JobStore:
+    """File-backed job metadata under one service data directory."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.events_dir = self.root / "events"
+        self.checkpoints_dir = self.root / "checkpoints"
+        self.cancel_dir = self.root / "cancel"
+        self.workers_dir = self.root / "workers"
+        for d in (
+            self.jobs_dir,
+            self.events_dir,
+            self.checkpoints_dir,
+            self.cancel_dir,
+            self.workers_dir,
+        ):
+            d.mkdir(parents=True, exist_ok=True)
+
+    # -- records ---------------------------------------------------------
+
+    def new_job(self, spec: dict[str, Any], digest: str, priority: int = 0) -> JobRecord:
+        """Create and persist a fresh queued record."""
+        record = JobRecord(
+            id=uuid.uuid4().hex[:16],
+            spec=spec,
+            digest=digest,
+            priority=priority,
+            created=time.time(),
+        )
+        self.put(record)
+        return record
+
+    def _job_path(self, job_id: str) -> Path:
+        if not job_id or "/" in job_id or job_id.startswith("."):
+            raise ValueError(f"bad job id: {job_id!r}")
+        return self.jobs_dir / f"{job_id}.json"
+
+    def put(self, record: JobRecord) -> None:
+        """Atomically (re)write ``record``."""
+        path = self._job_path(record.id)
+        tmp = path.parent / f".{record.id}.{os.getpid()}.tmp"
+        tmp.write_text(json.dumps(record.to_dict(), sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def get(self, job_id: str) -> JobRecord | None:
+        try:
+            text = self._job_path(job_id).read_text(encoding="utf-8")
+        except (OSError, ValueError):
+            return None
+        return JobRecord.from_dict(json.loads(text))
+
+    def update(self, job_id: str, **fields: Any) -> JobRecord | None:
+        """Read-modify-write ``fields`` into the record (last write wins)."""
+        record = self.get(job_id)
+        if record is None:
+            return None
+        for key, value in fields.items():
+            setattr(record, key, value)
+        self.put(record)
+        return record
+
+    def delete(self, job_id: str) -> None:
+        """Remove every trace of a job (admission rollback)."""
+        for path in (
+            self._job_path(job_id),
+            self.events_dir / f"{job_id}.jsonl",
+            self.checkpoint_path(job_id),
+            self.cancel_dir / job_id,
+        ):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def list_ids(self) -> list[str]:
+        return sorted(p.stem for p in self.jobs_dir.glob("*.json"))
+
+    def states(self) -> dict[str, int]:
+        """Job counts by lifecycle state (scans every record)."""
+        counts = dict.fromkeys(JobState.ALL, 0)
+        for job_id in self.list_ids():
+            record = self.get(job_id)
+            if record is not None:
+                counts[record.state] = counts.get(record.state, 0) + 1
+        return counts
+
+    def find_active_by_digest(self, digest: str) -> JobRecord | None:
+        """A queued/running record with this digest, if any (dedup probe)."""
+        for job_id in self.list_ids():
+            record = self.get(job_id)
+            if record is not None and record.digest == digest and not record.terminal:
+                return record
+        return None
+
+    # -- progress events -------------------------------------------------
+
+    def append_event(self, job_id: str, event: str, **data: Any) -> None:
+        """Append one progress line (atomic for short O_APPEND writes)."""
+        line = ProgressEvent(event=event, t=time.time(), data=data).to_line()
+        with open(self.events_dir / f"{job_id}.jsonl", "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+
+    def read_events(self, job_id: str, since: int = 0) -> list[dict[str, Any]]:
+        """Parsed events after line index ``since`` (0 = from the start)."""
+        try:
+            with open(self.events_dir / f"{job_id}.jsonl", encoding="utf-8") as fh:
+                lines = fh.read().splitlines()
+        except OSError:
+            return []
+        events = []
+        for line in lines[since:]:
+            try:
+                events.append(json.loads(line))
+            except ValueError:
+                continue  # torn trailing line mid-append
+        return events
+
+    # -- checkpoints -----------------------------------------------------
+
+    def checkpoint_path(self, job_id: str) -> Path:
+        return self.checkpoints_dir / f"{job_id}.npz"
+
+    def save_job_checkpoint(self, job_id: str, state) -> Path:
+        """Checkpoint ``state`` for ``job_id`` (atomic via core.checkpoint)."""
+        path = self.checkpoint_path(job_id)
+        save_checkpoint(state, path)
+        return path
+
+    def clear_checkpoint(self, job_id: str) -> None:
+        try:
+            self.checkpoint_path(job_id).unlink()
+        except OSError:
+            pass
+
+    # -- cancellation ----------------------------------------------------
+
+    def request_cancel(self, job_id: str) -> None:
+        (self.cancel_dir / job_id).touch()
+
+    def cancel_requested(self, job_id: str) -> bool:
+        return (self.cancel_dir / job_id).exists()
+
+    def clear_cancel(self, job_id: str) -> None:
+        try:
+            (self.cancel_dir / job_id).unlink()
+        except OSError:
+            pass
+
+    # -- worker stats ----------------------------------------------------
+
+    def write_worker_stats(self, tag: str, stats: dict[str, Any]) -> None:
+        """Publish one worker's counters (atomic rewrite)."""
+        path = self.workers_dir / f"{tag}.json"
+        tmp = path.parent / f".{tag}.tmp"
+        tmp.write_text(json.dumps(stats, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+
+    def worker_stats(self) -> dict[str, dict[str, Any]]:
+        """Every published worker's counters, keyed by worker tag."""
+        out: dict[str, dict[str, Any]] = {}
+        for path in sorted(self.workers_dir.glob("*.json")):
+            try:
+                out[path.stem] = json.loads(path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                continue
+        return out

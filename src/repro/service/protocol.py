@@ -1,0 +1,235 @@
+"""Wire protocol of the repro service.
+
+Everything the server, the workers and the clients exchange is defined
+here: the :class:`JobSpec` a client submits, the job lifecycle states,
+the content digest that addresses results, and the JSON form of a
+:class:`~repro.core.result.RepeatResult`.
+
+Content addressing
+------------------
+Two submissions that must produce bit-identical results share one
+digest: the SHA-256 of the *result-affecting* fields — sequence text,
+alphabet, scoring model, search/delineation knobs — plus
+:data:`ALGORITHM_VERSION`.  Execution knobs (``engine``, ``group``,
+``priority``) are deliberately excluded: every engine and every batch
+width returns the same alignments (the repo-wide equivalence
+guarantee), so they must not fragment the cache.  Bump
+:data:`ALGORITHM_VERSION` whenever a change alters what any spec
+aligns to, and stale cache entries become unreachable automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from ..core.result import RepeatResult
+from ..sequences.alphabet import alphabet_for
+
+__all__ = [
+    "ALGORITHM_VERSION",
+    "MATRIX_NAMES",
+    "JobState",
+    "SpecError",
+    "JobSpec",
+    "ProgressEvent",
+    "job_digest",
+    "result_to_dict",
+]
+
+#: Version of the alignment/delineation semantics baked into digests.
+#: Bump on any change that alters the results some spec produces.
+ALGORITHM_VERSION = 1
+
+#: Exchange-matrix names accepted over the wire (``None``/"default"
+#: resolves per alphabet exactly like :class:`repro.core.api.RepeatFinder`).
+MATRIX_NAMES = ("blosum62", "blosum50", "pam250", "pam120", "simple")
+
+_ALPHABETS = ("protein", "dna", "rna")
+_ALGORITHMS = ("new", "old")
+
+
+class JobState:
+    """Job lifecycle: ``queued → running → done | failed | cancelled``.
+
+    A running job whose worker dies (or drains on shutdown) goes back
+    to ``queued`` with its checkpoint kept, so the transition graph has
+    one legal back-edge.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    ALL = (QUEUED, RUNNING, DONE, FAILED, CANCELLED)
+    TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+class SpecError(ValueError):
+    """A submitted job spec is malformed (HTTP 400)."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of service work: a single-sequence repeat search.
+
+    Mirrors the knobs of :class:`repro.core.api.RepeatFinder` plus the
+    scheduling-only ``priority`` (higher runs earlier).  ``matrix`` is
+    a name from :data:`MATRIX_NAMES` or ``None`` for the per-alphabet
+    default (BLOSUM62 for protein, +2/-1 otherwise).
+    """
+
+    sequence: str
+    alphabet: str = "protein"
+    seq_id: str = ""
+    top_alignments: int = 20
+    matrix: str | None = None
+    gap_open: float = 8.0
+    gap_extend: float = 1.0
+    engine: str = "vector"
+    group: int = 1
+    algorithm: str = "new"
+    min_score: float = 0.0
+    min_copy_length: int = 2
+    max_gap: int = 0
+    min_score_fraction: float = 0.25
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.sequence, str) or not self.sequence:
+            raise SpecError("sequence must be a non-empty string")
+        if self.alphabet not in _ALPHABETS:
+            raise SpecError(f"alphabet must be one of {_ALPHABETS}")
+        if self.algorithm not in _ALGORITHMS:
+            raise SpecError(f"algorithm must be one of {_ALGORITHMS}")
+        if self.matrix is not None and self.matrix not in MATRIX_NAMES:
+            raise SpecError(f"matrix must be one of {MATRIX_NAMES} or null")
+        if self.matrix not in (None, "simple") and self.alphabet != "protein":
+            raise SpecError(f"matrix {self.matrix!r} requires alphabet 'protein'")
+        if self.top_alignments < 1:
+            raise SpecError("top_alignments must be >= 1")
+        if self.group < 1:
+            raise SpecError("group must be >= 1")
+        if self.group > 1 and self.algorithm != "new":
+            raise SpecError("group > 1 requires the new algorithm")
+        if self.gap_open < 0 or self.gap_extend < 0:
+            raise SpecError("gap penalties must be non-negative")
+        # Reject unencodable residues at admission, not in a worker.
+        try:
+            alphabet_for(self.alphabet).encode(self.normalized_sequence())
+        except ValueError as exc:
+            raise SpecError(str(exc)) from None
+
+    def normalized_sequence(self) -> str:
+        """Case-folded residue text (the canonical digest form)."""
+        return self.sequence.upper()
+
+    # -- wire form -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "JobSpec":
+        """Validate and build a spec from a JSON object."""
+        if not isinstance(payload, dict):
+            raise SpecError("job spec must be a JSON object")
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(payload) - known
+        if unknown:
+            raise SpecError(f"unknown job spec field(s): {sorted(unknown)}")
+        if "sequence" not in payload:
+            raise SpecError("job spec requires a 'sequence' field")
+        try:
+            return cls(**payload)
+        except TypeError as exc:
+            raise SpecError(str(exc)) from None
+
+    # -- content addressing ----------------------------------------------
+
+    def digest_fields(self) -> dict[str, Any]:
+        """The result-affecting fields, in canonical form."""
+        return {
+            "version": ALGORITHM_VERSION,
+            "sequence": self.normalized_sequence(),
+            "alphabet": self.alphabet,
+            "matrix": self.matrix,
+            "gap_open": float(self.gap_open),
+            "gap_extend": float(self.gap_extend),
+            "top_alignments": int(self.top_alignments),
+            "algorithm": self.algorithm,
+            "min_score": float(self.min_score),
+            "min_copy_length": int(self.min_copy_length),
+            "max_gap": int(self.max_gap),
+            "min_score_fraction": float(self.min_score_fraction),
+        }
+
+
+def job_digest(spec: JobSpec) -> str:
+    """SHA-256 content address of ``spec``'s result."""
+    canonical = json.dumps(
+        spec.digest_fields(), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class ProgressEvent:
+    """One line of a job's progress stream (``GET /jobs/<id>/events``)."""
+
+    event: str
+    t: float = 0.0
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_line(self) -> str:
+        payload = {"event": self.event, "t": self.t, **self.data}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def result_to_dict(
+    result: RepeatResult, *, digest: str, spec: JobSpec
+) -> dict[str, Any]:
+    """JSON payload stored in the result cache for one finished job.
+
+    Floats round-trip exactly through ``json`` (shortest-repr), so two
+    payloads compare bit-identical iff the underlying results do.
+    """
+    stats = result.stats
+    return {
+        "digest": digest,
+        "sequence_id": spec.seq_id,
+        "length": len(spec.normalized_sequence()),
+        "top_alignments": [
+            {
+                "index": int(a.index),
+                "r": int(a.r),
+                "score": float(a.score),
+                "pairs": [[int(i), int(j)] for i, j in a.pairs],
+            }
+            for a in result.top_alignments
+        ],
+        "repeats": [
+            {
+                "family": int(rep.family),
+                "copies": [[int(s), int(e)] for s, e in rep.copies],
+                "columns": int(rep.columns),
+                "n_copies": int(rep.n_copies),
+                "unit_length": float(rep.unit_length),
+            }
+            for rep in result.repeats
+        ],
+        "stats": {
+            "alignments": int(stats.alignments),
+            "realignments": int(stats.realignments),
+            "cells": int(stats.cells),
+            "tracebacks": int(stats.tracebacks),
+            "engine": stats.engine,
+            "group": int(stats.group),
+            "speculative_waste": int(stats.speculative_waste),
+        },
+    }

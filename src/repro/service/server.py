@@ -1,0 +1,374 @@
+"""The stdlib HTTP JSON API (``repro serve``).
+
+Endpoints
+---------
+``POST /jobs``
+    submit a :class:`~repro.service.protocol.JobSpec` JSON body.
+    Returns ``202`` with the queued record, ``200`` when the result
+    cache already holds the digest (the job is born ``done``), ``429``
+    + ``Retry-After`` when the bounded queue sheds load, ``400`` on a
+    malformed spec.
+``GET /jobs/<id>``
+    the job record (lifecycle state, attempts, progress counter).
+``GET /jobs/<id>/events``
+    the job's progress stream as JSON lines.  ``?since=N`` skips the
+    first N lines; ``?follow=1`` keeps the connection open, tailing new
+    events until the job reaches a terminal state.
+``POST /jobs/<id>/cancel``
+    request cancellation (queued jobs die immediately; running jobs at
+    their next chunk boundary).
+``GET /results/<digest>``
+    the content-addressed result payload.
+``GET /stats``
+    queue depth, job states, cache counters, per-worker counters.
+``GET /healthz``
+    liveness probe.
+
+The server is a ``ThreadingHTTPServer`` over the same on-disk stores
+the worker processes use, so it holds no job state worth losing.
+SIGTERM/SIGINT shut it down gracefully: the pool drains running jobs to
+checkpoints and requeues them, then the listener closes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from .jobstore import JobRecord
+from .protocol import JobSpec, JobState, SpecError, job_digest
+from .queue import BacklogFull
+from .workers import WorkerPool, open_stores, recover
+
+__all__ = ["ServiceConfig", "ReproService", "serve"]
+
+#: How long a followed event stream may stay open, and how often it
+#: polls the append-only event log for new lines.
+_FOLLOW_TIMEOUT = 3600.0
+_FOLLOW_POLL = 0.1
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of one service instance."""
+
+    data_dir: str = "repro-service-data"
+    host: str = "127.0.0.1"
+    port: int = 8765
+    workers: int = 2
+    queue_capacity: int = 64
+    checkpoint_every: int = 1
+    poll_interval: float = 0.05
+    cache_memory_items: int = 64
+
+
+class ReproService:
+    """Server-side operations over the shared stores (HTTP-agnostic).
+
+    The HTTP handler below is a thin JSON shim over these methods, so
+    tests (and the smoke script) can also drive the service in-process.
+    """
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.store, self.queue, self.cache = open_stores(
+            config.data_dir,
+            capacity=config.queue_capacity,
+            memory_items=config.cache_memory_items,
+        )
+        self._admission = threading.Lock()
+        self.started = time.time()
+
+    # -- operations ------------------------------------------------------
+
+    def submit(self, payload: dict) -> tuple[JobRecord, bool]:
+        """Admit one job; returns ``(record, from_cache)``.
+
+        Raises :class:`SpecError` (400) or :class:`BacklogFull` (429).
+        """
+        spec = JobSpec.from_dict(payload)
+        digest = job_digest(spec)
+        if self.cache.get(digest) is not None:
+            # Born done: the content-addressed cache already holds the
+            # answer, so the job never touches the queue or a worker.
+            record = self.store.new_job(spec.to_dict(), digest, spec.priority)
+            record.state = JobState.DONE
+            record.served_from_cache = True
+            record.finished = time.time()
+            record.found = spec.top_alignments
+            self.store.put(record)
+            self.store.append_event(record.id, "cache-hit", digest=digest)
+            return record, True
+        with self._admission:
+            record = self.store.new_job(spec.to_dict(), digest, spec.priority)
+            try:
+                self.queue.submit(record.id, spec.priority)
+            except BacklogFull:
+                self.store.delete(record.id)
+                raise
+        self.store.append_event(
+            record.id, "queued", digest=digest, priority=spec.priority
+        )
+        return record, False
+
+    def status(self, job_id: str) -> JobRecord | None:
+        return self.store.get(job_id)
+
+    def cancel(self, job_id: str) -> JobRecord | None:
+        """Flag a job for cancellation; queued jobs die immediately."""
+        record = self.store.get(job_id)
+        if record is None or record.terminal:
+            return record
+        self.store.request_cancel(job_id)
+        if record.state == JobState.QUEUED and self.queue.discard(job_id):
+            record = self.store.update(
+                job_id, state=JobState.CANCELLED, finished=time.time()
+            )
+            self.store.append_event(job_id, "cancelled")
+            self.store.clear_cancel(job_id)
+        return record
+
+    def result(self, ref: str) -> dict | None:
+        """Result payload by digest (full or unique prefix) or job id."""
+        payload = None
+        try:
+            payload = self.cache.get(ref)
+        except ValueError:
+            payload = None
+        if payload is not None:
+            return payload
+        record = self.store.get(ref)
+        if record is not None:
+            return self.cache.get(record.digest)
+        full = self.cache.resolve(ref)
+        if full is not None and full != ref:
+            return self.cache.get(full)
+        return None
+
+    def stats(self) -> dict:
+        workers = self.store.worker_stats()
+        return {
+            "uptime": time.time() - self.started,
+            "queue": {
+                "depth": self.queue.depth(),
+                "in_flight": self.queue.in_flight(),
+                "capacity": self.queue.capacity,
+            },
+            "jobs": self.store.states(),
+            "cache": {**self.cache.stats(), "disk_entries": self.cache.entries()},
+            "workers": workers,
+            "alignments_total": sum(w.get("alignments", 0) for w in workers.values()),
+            "cache_hits_total": sum(w.get("cache_hits", 0) for w in workers.values()),
+        }
+
+
+@dataclass
+class _ServerState:
+    """What the request handler needs (attached to the HTTP server)."""
+
+    service: ReproService
+    shutting_down: threading.Event = field(default_factory=threading.Event)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """JSON shim over :class:`ReproService`."""
+
+    #: HTTP/1.0 keeps streamed (close-delimited) bodies trivially correct.
+    protocol_version = "HTTP/1.0"
+    server_version = "repro-service"
+
+    @property
+    def svc(self) -> ReproService:
+        return self.server.state.service  # type: ignore[attr-defined]
+
+    def log_message(self, fmt: str, *args) -> None:  # quiet by default
+        if os.environ.get("REPRO_SERVICE_LOG"):
+            super().log_message(fmt, *args)
+
+    # -- plumbing --------------------------------------------------------
+
+    def _send_json(self, code: int, payload: dict, headers: dict | None = None) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str, headers: dict | None = None) -> None:
+        self._send_json(code, {"error": message}, headers)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise SpecError("request body required")
+        if length > 64 * 1024 * 1024:
+            raise SpecError("request body too large")
+        try:
+            return json.loads(self.rfile.read(length).decode("utf-8"))
+        except ValueError as exc:
+            raise SpecError(f"invalid JSON body: {exc}") from None
+
+    # -- routes ----------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        try:
+            if parts == ["jobs"]:
+                self._post_job()
+            elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                self._post_cancel(parts[1])
+            else:
+                self._error(404, f"no such endpoint: POST {url.path}")
+        except SpecError as exc:
+            self._error(400, str(exc))
+        except BacklogFull as exc:
+            self._error(
+                429, str(exc), headers={"Retry-After": str(exc.retry_after)}
+            )
+
+    def _post_job(self) -> None:
+        record, from_cache = self.svc.submit(self._read_body())
+        self._send_json(
+            200 if from_cache else 202,
+            {**record.to_dict(), "from_cache": from_cache},
+        )
+
+    def _post_cancel(self, job_id: str) -> None:
+        record = self.svc.cancel(job_id)
+        if record is None:
+            self._error(404, f"no such job: {job_id}")
+        else:
+            self._send_json(200, record.to_dict())
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        query = parse_qs(url.query)
+        if parts == ["healthz"]:
+            self._send_json(200, {"ok": True})
+        elif parts == ["stats"]:
+            self._send_json(200, self.svc.stats())
+        elif len(parts) == 2 and parts[0] == "jobs":
+            record = self.svc.status(parts[1])
+            if record is None:
+                self._error(404, f"no such job: {parts[1]}")
+            else:
+                self._send_json(200, record.to_dict())
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
+            self._get_events(parts[1], query)
+        elif len(parts) == 2 and parts[0] == "results":
+            payload = self.svc.result(parts[1])
+            if payload is None:
+                self._error(404, f"no cached result for: {parts[1]}")
+            else:
+                self._send_json(200, payload)
+        else:
+            self._error(404, f"no such endpoint: GET {url.path}")
+
+    def _get_events(self, job_id: str, query: dict) -> None:
+        store = self.svc.store
+        if store.get(job_id) is None:
+            self._error(404, f"no such job: {job_id}")
+            return
+        since = int((query.get("since") or ["0"])[0])
+        follow = (query.get("follow") or ["0"])[0] not in ("0", "", "false")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        offset = since
+        deadline = time.monotonic() + _FOLLOW_TIMEOUT
+        shutting_down = self.server.state.shutting_down  # type: ignore[attr-defined]
+        while True:
+            events = store.read_events(job_id, offset)
+            for event in events:
+                self.wfile.write(
+                    (json.dumps(event, sort_keys=True) + "\n").encode("utf-8")
+                )
+            if events:
+                offset += len(events)
+                self.wfile.flush()
+            if not follow:
+                break
+            record = store.get(job_id)
+            if record is None or record.terminal:
+                # Drain whatever the terminal transition appended last.
+                if not store.read_events(job_id, offset):
+                    break
+                continue
+            if shutting_down.is_set() or time.monotonic() > deadline:
+                break
+            # Tailing an append-only file has no wakeup to wait on; a
+            # short poll bounds added latency at ~100 ms per event.
+            time.sleep(_FOLLOW_POLL)  # repro-lint: allow[RPR010] bounded follow-mode tail poll, exits on terminal state/shutdown/deadline
+
+
+def serve(config: ServiceConfig) -> int:
+    """Run the full service (pool + HTTP) until SIGTERM/SIGINT; returns exit code."""
+    service = ReproService(config)
+    state = _ServerState(service=service)
+
+    pool: WorkerPool | None = None
+    if config.workers > 0:
+        pool = WorkerPool(
+            config.data_dir,
+            workers=config.workers,
+            poll_interval=config.poll_interval,
+            checkpoint_every=config.checkpoint_every,
+        )
+        requeued = pool.start()
+        if requeued:
+            print(f"recovered {len(requeued)} interrupted job(s)", flush=True)
+    else:
+        # No pool in this process (external workers): still requeue
+        # anything a dead pool left claimed.
+        recover(service.store, service.queue)
+
+    httpd = ThreadingHTTPServer((config.host, config.port), _Handler)
+    httpd.daemon_threads = True
+    httpd.state = state  # type: ignore[attr-defined]
+    host, port = httpd.server_address[:2]
+    print(
+        f"repro service listening on http://{host}:{port} "
+        f"(workers={config.workers}, queue_capacity={config.queue_capacity}, "
+        f"data={config.data_dir})",
+        flush=True,
+    )
+
+    exit_code = {"value": 0}
+
+    def _shutdown(_signum=None, _frame=None) -> None:
+        if state.shutting_down.is_set():
+            return
+        state.shutting_down.set()
+        # shutdown() must come from another thread than serve_forever's.
+        threading.Thread(target=httpd.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _shutdown)
+    signal.signal(signal.SIGINT, _shutdown)
+
+    try:
+        httpd.serve_forever(poll_interval=0.1)
+    finally:
+        httpd.server_close()
+        if pool is not None:
+            clean = pool.stop(graceful=True, timeout=30.0)
+            if not clean:
+                exit_code["value"] = 1
+            print(
+                "repro service stopped"
+                + ("" if clean else " (worker drain was not clean)"),
+                flush=True,
+            )
+        else:
+            print("repro service stopped", flush=True)
+    return exit_code["value"]

@@ -1,0 +1,499 @@
+"""The worker pool and the resumable job executor.
+
+Workers are separate OS processes (spawned, not forked — the server
+process carries HTTP threads) that share nothing with the server except
+the data directory: they claim jobs from the spool queue, execute them
+incrementally, and publish results into the content-addressed cache.
+
+Execution is *chunked*: the worker accepts ``checkpoint_every`` top
+alignments at a time, writing an atomic checkpoint
+(:mod:`repro.core.checkpoint`) and a progress event after every chunk.
+That one structure buys all three durability features:
+
+* **streaming progress** — each chunk appends a ``progress`` line that
+  ``GET /jobs/<id>/events`` tails;
+* **graceful drain** — on SIGTERM the worker finishes the current
+  chunk, checkpoints, releases the job back to the queue and exits;
+* **crash resume** — after SIGKILL the stranded claim is requeued by
+  :func:`recover` and the next worker restores the last checkpoint, so
+  only the chunk in flight is repaid.  Resumed runs return the same
+  alignments and repeat families as uninterrupted ones (the repo-wide
+  equivalence guarantee); only the work counters in ``stats`` differ.
+
+Before aligning anything, a worker probes the result cache: a duplicate
+of an already-finished job is answered with zero alignment work, which
+the per-worker counters published via the job store make auditable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable
+
+from ..core.api import RepeatFinder
+from ..core.checkpoint import load_checkpoint
+from ..core.result import RepeatResult
+from ..core.session import TopAlignmentSession
+from ..core.topalign import TopAlignmentState, find_top_alignments
+from ..scoring.blosum import blosum50, blosum62
+from ..scoring.exchange import match_mismatch
+from ..scoring.gaps import GapPenalties
+from ..scoring.pam import pam120, pam250
+from ..sequences.alphabet import alphabet_for
+from ..sequences.sequence import Sequence
+from .cache import ResultCache
+from .jobstore import JobRecord, JobStore
+from .protocol import JobSpec, JobState, result_to_dict
+from .queue import SpoolQueue
+
+__all__ = [
+    "WorkerPool",
+    "WorkerStats",
+    "build_finder",
+    "execute_job",
+    "open_stores",
+    "recover",
+    "worker_main",
+]
+
+#: Test/ops knob: extra seconds slept after each accepted chunk, so a
+#: run can be made arbitrarily slow without changing its results (used
+#: by the kill/resume tests to guarantee a mid-job signal lands).
+CHUNK_DELAY_ENV = "REPRO_SERVICE_CHUNK_DELAY"
+
+_NAMED_MATRICES = {
+    "blosum62": blosum62,
+    "blosum50": blosum50,
+    "pam250": pam250,
+    "pam120": pam120,
+}
+
+
+def open_stores(
+    data_dir: str | os.PathLike, *, capacity: int = 64, memory_items: int = 64
+) -> tuple[JobStore, SpoolQueue, ResultCache]:
+    """The three shared stores under one service data directory."""
+    root = os.fspath(data_dir)
+    store = JobStore(root)
+    queue = SpoolQueue(os.path.join(root, "spool"), capacity=capacity)
+    cache = ResultCache(os.path.join(root, "cache"), memory_items=memory_items)
+    return store, queue, cache
+
+
+def build_finder(spec: JobSpec) -> RepeatFinder:
+    """The :class:`RepeatFinder` a spec describes (matrix name resolved)."""
+    if spec.matrix is None:
+        exchange = None
+    elif spec.matrix == "simple":
+        exchange = match_mismatch(alphabet_for(spec.alphabet), 2.0, -1.0)
+    else:
+        exchange = _NAMED_MATRICES[spec.matrix]()
+    return RepeatFinder(
+        exchange=exchange,
+        gaps=GapPenalties(spec.gap_open, spec.gap_extend),
+        top_alignments=spec.top_alignments,
+        engine=spec.engine,
+        algorithm=spec.algorithm,
+        group=spec.group,
+        min_score=spec.min_score,
+        min_copy_length=spec.min_copy_length,
+        max_gap=spec.max_gap,
+        min_score_fraction=spec.min_score_fraction,
+    )
+
+
+@dataclass
+class WorkerStats:
+    """Counters one worker publishes through the job store."""
+
+    pid: int = 0
+    jobs_done: int = 0
+    jobs_failed: int = 0
+    jobs_cancelled: int = 0
+    jobs_suspended: int = 0
+    cache_hits: int = 0
+    alignments: int = 0
+    cells: int = 0
+    updated: float = 0.0
+
+
+def recover(store: JobStore, queue: SpoolQueue) -> list[str]:
+    """Requeue jobs stranded by dead workers (call before a pool starts).
+
+    Claimed spool markers go back to the queue and their records flip
+    ``running → queued``; checkpoints are kept, so the re-run resumes
+    instead of restarting.
+    """
+    requeued = queue.recover()
+    for job_id in requeued:
+        record = store.get(job_id)
+        if record is not None and not record.terminal:
+            store.update(job_id, state=JobState.QUEUED, worker="")
+            store.append_event(job_id, "requeued", reason="worker lost")
+    return requeued
+
+
+def _finish(
+    store: JobStore,
+    cache: ResultCache,
+    record: JobRecord,
+    spec: JobSpec,
+    result: RepeatResult,
+) -> None:
+    payload = result_to_dict(result, digest=record.digest, spec=spec)
+    cache.put(record.digest, payload)
+    store.update(
+        record.id,
+        state=JobState.DONE,
+        finished=time.time(),
+        found=len(result.top_alignments),
+        error="",
+    )
+    store.append_event(
+        record.id,
+        "done",
+        digest=record.digest,
+        found=len(result.top_alignments),
+        alignments=result.stats.alignments,
+    )
+    store.clear_checkpoint(record.id)
+    store.clear_cancel(record.id)
+
+
+def execute_job(
+    store: JobStore,
+    cache: ResultCache,
+    record: JobRecord,
+    *,
+    should_stop: Callable[[], bool] | None = None,
+    checkpoint_every: int = 1,
+    chunk_delay: float = 0.0,
+    stats: WorkerStats | None = None,
+) -> str:
+    """Run one claimed job to a terminal (or suspended) state.
+
+    Returns the outcome: ``"done"``, ``"failed"``, ``"cancelled"`` or
+    ``"suspended"`` (graceful stop — checkpointed, caller must release
+    the claim back to the queue).
+    """
+    should_stop = should_stop or (lambda: False)
+    stats = stats if stats is not None else WorkerStats()
+    job_id = record.id
+    try:
+        spec = JobSpec.from_dict(record.spec)
+    except ValueError as exc:
+        store.update(job_id, state=JobState.FAILED, finished=time.time(), error=str(exc))
+        store.append_event(job_id, "failed", error=str(exc))
+        return "failed"
+
+    # A duplicate of a finished job is served straight from the cache —
+    # zero alignment work, visible in the worker counters.
+    if cache.get(record.digest) is not None:
+        stats.cache_hits += 1
+        store.update(
+            job_id,
+            state=JobState.DONE,
+            finished=time.time(),
+            served_from_cache=True,
+            found=spec.top_alignments,
+        )
+        store.append_event(job_id, "cache-hit", digest=record.digest)
+        store.clear_checkpoint(job_id)
+        store.clear_cancel(job_id)
+        return "done"
+
+    if store.cancel_requested(job_id):
+        store.update(job_id, state=JobState.CANCELLED, finished=time.time())
+        store.append_event(job_id, "cancelled")
+        store.clear_checkpoint(job_id)
+        store.clear_cancel(job_id)
+        return "cancelled"
+
+    try:
+        finder = build_finder(spec)
+        sequence = Sequence(
+            spec.normalized_sequence(), spec.alphabet, id=spec.seq_id
+        )
+        if spec.algorithm == "old":
+            # The quartic baseline has no incremental state to
+            # checkpoint; it runs one-shot (identical results, §3).
+            result = finder.find(sequence)
+        else:
+            result = _run_incremental(
+                store,
+                finder,
+                sequence,
+                spec,
+                job_id,
+                should_stop=should_stop,
+                checkpoint_every=max(1, checkpoint_every),
+                chunk_delay=chunk_delay,
+            )
+            if result is None:
+                outcome = "cancelled" if store.cancel_requested(job_id) else "suspended"
+                if outcome == "cancelled":
+                    store.update(job_id, state=JobState.CANCELLED, finished=time.time())
+                    store.append_event(job_id, "cancelled")
+                    store.clear_checkpoint(job_id)
+                    store.clear_cancel(job_id)
+                else:
+                    refreshed = store.get(job_id)
+                    store.append_event(
+                        job_id,
+                        "suspended",
+                        found=refreshed.found if refreshed else 0,
+                    )
+                return outcome
+        stats.alignments += result.stats.alignments
+        stats.cells += result.stats.cells
+        _finish(store, cache, record, spec, result)
+    except Exception as exc:  # noqa: BLE001 - a job must never kill its worker
+        store.update(job_id, state=JobState.FAILED, finished=time.time(), error=str(exc))
+        store.append_event(job_id, "failed", error=str(exc))
+        store.clear_checkpoint(job_id)
+        stats.jobs_failed += 1
+        return "failed"
+    stats.jobs_done += 1
+    return "done"
+
+
+def _run_incremental(
+    store: JobStore,
+    finder: RepeatFinder,
+    sequence: Sequence,
+    spec: JobSpec,
+    job_id: str,
+    *,
+    should_stop: Callable[[], bool],
+    checkpoint_every: int,
+    chunk_delay: float,
+) -> RepeatResult | None:
+    """Chunked Figure 5 loop with a checkpoint after every chunk.
+
+    Returns ``None`` when interrupted (cancel / graceful stop) — the
+    checkpoint then holds everything accepted so far.
+    """
+    exchange = finder.resolve_exchange(sequence)
+    state: TopAlignmentState | None = None
+    ckpt = store.checkpoint_path(job_id)
+    if ckpt.exists():
+        try:
+            state = load_checkpoint(
+                ckpt, sequence, exchange, finder.gaps, engine=spec.engine
+            )
+            store.append_event(job_id, "resumed", found=state.n_found)
+        except (ValueError, OSError) as exc:
+            store.append_event(job_id, "checkpoint-invalid", error=str(exc))
+    if state is None:
+        state = TopAlignmentState(sequence, exchange, finder.gaps, engine=spec.engine)
+
+    # group == 1 keeps one live session (queue survives across chunks);
+    # the speculative batched driver rebuilds its heap per chunk, which
+    # costs a little repaid bookkeeping but no realignment work.
+    session = (
+        TopAlignmentSession.from_state(state, min_score=spec.min_score)
+        if spec.group == 1
+        else None
+    )
+    k = spec.top_alignments
+    exhausted = False
+    while state.n_found < k and not exhausted:
+        if store.cancel_requested(job_id) or should_stop():
+            store.save_job_checkpoint(job_id, state)
+            store.update(job_id, found=state.n_found)
+            return None
+        target = min(k, state.n_found + checkpoint_every)
+        if session is not None:
+            session.extend(target - state.n_found)
+            exhausted = session.exhausted
+        else:
+            find_top_alignments(
+                sequence,
+                target,
+                exchange,
+                finder.gaps,
+                state=state,
+                group=spec.group,
+                min_score=spec.min_score,
+            )
+            exhausted = state.n_found < target
+        store.save_job_checkpoint(job_id, state)
+        store.update(job_id, found=state.n_found)
+        store.append_event(
+            job_id, "progress", found=state.n_found, target=k, checkpointed=True
+        )
+        if chunk_delay > 0:
+            time.sleep(chunk_delay)
+
+    alignments = list(state.found)
+    repeats = finder.delineate(alignments, len(sequence))
+    return RepeatResult(top_alignments=alignments, repeats=repeats, stats=state.stats)
+
+
+def worker_main(
+    data_dir: str,
+    index: int = 0,
+    *,
+    poll_interval: float = 0.05,
+    checkpoint_every: int = 1,
+) -> int:
+    """One worker process: claim → execute → repeat until signalled.
+
+    SIGTERM/SIGINT request a graceful stop: the current chunk finishes,
+    the job is checkpointed and released back to the queue, the final
+    counters are published, and the process exits 0.
+    """
+    stop = {"flag": False}
+
+    def _request_stop(_signum, _frame) -> None:
+        stop["flag"] = True
+
+    signal.signal(signal.SIGTERM, _request_stop)
+    signal.signal(signal.SIGINT, _request_stop)
+
+    store, queue, cache = open_stores(data_dir, capacity=0)
+    tag = f"worker-{index}"
+    stats = WorkerStats(pid=os.getpid())
+    chunk_delay = float(os.environ.get(CHUNK_DELAY_ENV, "0") or 0)
+
+    def publish() -> None:
+        stats.updated = time.time()
+        store.write_worker_stats(tag, asdict(stats))
+
+    publish()
+    while not stop["flag"]:
+        job_id = queue.claim()
+        if job_id is None:
+            time.sleep(poll_interval)
+            continue
+        record = store.get(job_id)
+        if record is None or record.terminal:
+            queue.discard(job_id)
+            continue
+        store.update(
+            job_id,
+            state=JobState.RUNNING,
+            started=time.time(),
+            worker=tag,
+            attempts=record.attempts + 1,
+        )
+        store.append_event(job_id, "claimed", worker=tag, attempt=record.attempts + 1)
+        record = store.get(job_id)
+        outcome = execute_job(
+            store,
+            cache,
+            record,
+            should_stop=lambda: stop["flag"],
+            checkpoint_every=checkpoint_every,
+            chunk_delay=chunk_delay,
+            stats=stats,
+        )
+        if outcome == "suspended":
+            stats.jobs_suspended += 1
+            store.update(job_id, state=JobState.QUEUED, worker="")
+            queue.release(job_id)
+            store.append_event(job_id, "requeued", reason="worker draining")
+        else:
+            if outcome == "cancelled":
+                stats.jobs_cancelled += 1
+            queue.discard(job_id)
+        publish()
+    publish()
+    return 0
+
+
+def _worker_entry(data_dir: str, index: int, poll_interval: float, checkpoint_every: int) -> None:
+    raise SystemExit(
+        worker_main(
+            data_dir,
+            index,
+            poll_interval=poll_interval,
+            checkpoint_every=checkpoint_every,
+        )
+    )
+
+
+class WorkerPool:
+    """Spawned worker processes over one service data directory.
+
+    ``start`` first runs :func:`recover` (requeueing work stranded by a
+    previous pool), then spawns ``workers`` processes.  ``stop`` drains
+    gracefully by default: SIGTERM, join, escalate to SIGKILL only
+    after ``timeout`` — a killed worker loses at most its current
+    chunk, never the job.
+    """
+
+    def __init__(
+        self,
+        data_dir: str | os.PathLike,
+        *,
+        workers: int = 2,
+        poll_interval: float = 0.05,
+        checkpoint_every: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.data_dir = os.fspath(data_dir)
+        self.workers = workers
+        self.poll_interval = poll_interval
+        self.checkpoint_every = checkpoint_every
+        self._ctx = multiprocessing.get_context("spawn")
+        self._procs: list[multiprocessing.process.BaseProcess] = []
+
+    def start(self) -> list[str]:
+        """Recover stranded jobs, then spawn the workers; returns requeued ids."""
+        if self._procs:
+            raise RuntimeError("pool already started")
+        store, queue, _ = open_stores(self.data_dir, capacity=0)
+        requeued = recover(store, queue)
+        for index in range(self.workers):
+            proc = self._ctx.Process(
+                target=_worker_entry,
+                args=(
+                    self.data_dir,
+                    index,
+                    self.poll_interval,
+                    self.checkpoint_every,
+                ),
+                name=f"repro-worker-{index}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+        return requeued
+
+    @property
+    def processes(self) -> list[multiprocessing.process.BaseProcess]:
+        return list(self._procs)
+
+    def alive_count(self) -> int:
+        return sum(1 for p in self._procs if p.is_alive())
+
+    def stop(self, *, graceful: bool = True, timeout: float = 30.0) -> bool:
+        """Stop every worker; returns True when all exited cleanly."""
+        for proc in self._procs:
+            if proc.is_alive():
+                if graceful:
+                    proc.terminate()  # SIGTERM → drain to checkpoint
+                else:
+                    proc.kill()
+        deadline = time.monotonic() + timeout
+        clean = True
+        for proc in self._procs:
+            proc.join(max(0.1, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.kill()
+                proc.join(5.0)
+                clean = False
+            elif proc.exitcode != 0:
+                clean = False
+        self._procs = []
+        return clean
+
+    def join(self, timeout: float | None = None) -> None:
+        for proc in self._procs:
+            proc.join(timeout)

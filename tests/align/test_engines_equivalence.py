@@ -111,6 +111,29 @@ class TestLaneBatches:
     def test_empty_batch(self):
         assert LanesEngine().last_rows_batch([]) == []
 
+    def test_scratch_cache_is_bounded(self, dna_scoring):
+        """Cycling batch shapes must not pin one scratch block per shape."""
+        ex, gaps = dna_scoring
+        engine = LanesEngine(lanes=2, dtype="float64")
+        for group in range(1, engine._SCRATCH_CACHE_MAX + 5):
+            problems = [
+                AlignmentProblem(DNA.encode("ACGT"), DNA.encode("ACGT"), ex, gaps)
+                for _ in range(group)
+            ]
+            engine.last_rows_batch(problems)
+        assert len(engine._tls.cache) <= engine._SCRATCH_CACHE_MAX
+
+    def test_scratch_cache_reuses_recent_shape(self, dna_scoring):
+        ex, gaps = dna_scoring
+        engine = LanesEngine(lanes=4, dtype="float64")
+        problems = [
+            AlignmentProblem(DNA.encode("ACGT"), DNA.encode("ACGT"), ex, gaps)
+        ]
+        engine.last_rows_batch(problems)
+        scratch = next(iter(engine._tls.cache.values()))
+        engine.last_rows_batch(problems)
+        assert next(iter(engine._tls.cache.values())) is scratch
+
     def test_mismatched_gaps_rejected(self, dna_scoring):
         ex, _ = dna_scoring
         p1 = AlignmentProblem(DNA.encode("AC"), DNA.encode("AC"), ex, GapPenalties(2, 1))

@@ -435,3 +435,105 @@ def test_syntax_error_reported_not_raised(tmp_path):
     findings = lint_file(path)
     assert [d.rule for d in findings] == ["RPR000"]
     assert "syntax error" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# RPR010 — blocking calls in service request-handling paths
+# ---------------------------------------------------------------------------
+
+SLEEPING_HANDLER = """
+    import time
+    from http.server import BaseHTTPRequestHandler
+
+    class Api(BaseHTTPRequestHandler):
+        def do_GET(self):
+            time.sleep(5)
+"""
+
+
+def test_rpr010_flags_sleep_in_do_method(tmp_path):
+    path = _write(tmp_path, "service/bad_server.py", SLEEPING_HANDLER)
+    findings = [d for d in lint_file(path) if d.rule == "RPR010"]
+    assert len(findings) == 1
+    assert "time.sleep" in findings[0].message
+
+
+def test_rpr010_scoped_to_service_dir(tmp_path):
+    path = _write(tmp_path, "core/bad_server.py", SLEEPING_HANDLER)
+    assert "RPR010" not in _rules_hit(path)
+
+
+def test_rpr010_flags_every_method_of_a_handler_class(tmp_path):
+    path = _write(
+        tmp_path,
+        "service/helper.py",
+        """
+        from time import sleep
+
+        class Api(SomeRequestHandler):
+            def _stream(self):
+                sleep(0.1)
+        """,
+    )
+    assert "RPR010" in _rules_hit(path)
+
+
+def test_rpr010_flags_unbounded_queue_get(tmp_path):
+    path = _write(
+        tmp_path,
+        "service/consumer.py",
+        """
+        def handle_request(job_queue):
+            return job_queue.get()
+        """,
+    )
+    findings = [d for d in lint_file(path) if d.rule == "RPR010"]
+    assert len(findings) == 1
+    assert "Queue.get" in findings[0].message
+
+
+def test_rpr010_allows_bounded_queue_get(tmp_path):
+    path = _write(
+        tmp_path,
+        "service/consumer.py",
+        """
+        def handle_request(job_queue):
+            a = job_queue.get(timeout=1.0)
+            b = job_queue.get(block=False)
+            return a or b
+        """,
+    )
+    assert "RPR010" not in _rules_hit(path)
+
+
+def test_rpr010_ignores_non_handler_code(tmp_path):
+    path = _write(
+        tmp_path,
+        "service/worker_loop.py",
+        """
+        import time
+
+        def poll_forever(queue):
+            while True:
+                time.sleep(0.05)  # worker poll loop, not a request path
+
+        def lookup(mapping):
+            return mapping.get()
+        """,
+    )
+    assert "RPR010" not in _rules_hit(path)
+
+
+def test_rpr010_waivable_with_reason(tmp_path):
+    path = _write(
+        tmp_path,
+        "service/stream.py",
+        """
+        import time
+
+        class Api(BaseHTTPRequestHandler):
+            def do_GET(self):
+                time.sleep(0.1)  # repro-lint: allow[RPR010] bounded tail poll with deadline
+        """,
+    )
+    assert "RPR010" not in _rules_hit(path)

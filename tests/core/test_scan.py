@@ -1,7 +1,5 @@
 """Tests for database scanning."""
 
-import io
-
 import pytest
 
 from repro.core import DatabaseScanner, RepeatFinder, scan_fasta
@@ -66,6 +64,56 @@ class TestScanner:
         masked_score = scanner.scan([protein])[0].best_score
         raw_score = unmasked.scan([protein])[0].best_score
         assert masked_score < raw_score  # the poly-Q no longer dominates
+
+
+class _ExplodingFinder(RepeatFinder):
+    """Raises on sequences whose id starts with 'bad'."""
+
+    def find(self, sequence):
+        if sequence.id.startswith("bad"):
+            raise RuntimeError("boom on " + sequence.id)
+        return super().find(sequence)
+
+
+class TestPerRecordFailures:
+    def _records(self):
+        return [
+            Sequence(tandem_repeat_sequence("ATGCGT", 5).codes, DNA, id="tandem"),
+            Sequence(random_sequence(40, DNA, seed=3).codes, DNA, id="bad-one"),
+            Sequence(random_sequence(40, DNA, seed=4).codes, DNA, id="random"),
+        ]
+
+    def test_failure_does_not_abort_scan(self):
+        scanner = DatabaseScanner(finder=_ExplodingFinder(top_alignments=4))
+        reports = scanner.scan(self._records())
+        assert [r.id for r in reports] == ["tandem", "bad-one", "random"]
+        failed = {r.id: r.failed for r in reports}
+        assert failed == {"tandem": False, "bad-one": True, "random": False}
+
+    def test_failed_report_shape(self):
+        scanner = DatabaseScanner(finder=_ExplodingFinder(top_alignments=4))
+        rep = next(r for r in scanner.scan(self._records()) if r.failed)
+        assert rep.result is None
+        assert rep.error == "RuntimeError: boom on bad-one"
+        assert rep.length == 40
+        # Derived properties degrade gracefully instead of raising.
+        assert rep.best_score == 0.0
+        assert rep.repeat_fraction == 0.0
+        assert rep.n_families == 0
+        assert not rep.is_repetitive
+
+    def test_successful_report_has_no_error(self, mixed_records):
+        reports = DatabaseScanner(finder=RepeatFinder(top_alignments=4)).scan(
+            mixed_records
+        )
+        assert all(not r.failed and r.error is None for r in reports)
+
+    def test_rank_sorts_failures_last(self):
+        scanner = DatabaseScanner(finder=_ExplodingFinder(top_alignments=4))
+        ranked = scanner.rank(self._records())
+        assert ranked[-1].id == "bad-one"
+        assert ranked[-1].failed
+        assert ranked[0].id == "tandem"
 
 
 class TestEngineKnobs:

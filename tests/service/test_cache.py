@@ -1,0 +1,130 @@
+"""Content-addressed result cache: disk layer, memory LRU, atomicity."""
+
+import json
+
+import pytest
+
+from repro.service import ResultCache
+
+D1 = "a1" + "0" * 62
+D2 = "b2" + "0" * 62
+D3 = "c3" + "0" * 62
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache", memory_items=2)
+
+
+class TestDiskLayer:
+    def test_put_get_round_trip(self, cache):
+        payload = {"digest": D1, "top_alignments": [{"score": 4.0}]}
+        path = cache.put(D1, payload)
+        assert path.exists()
+        assert cache.get(D1) == payload
+
+    def test_sharded_layout(self, cache):
+        cache.put(D1, {"x": 1})
+        assert cache.path_for(D1).parent.name == D1[:2]
+        assert cache.entries() == 1
+
+    def test_miss_returns_none(self, cache):
+        assert cache.get(D1) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_rejects_non_hex_digest(self, cache):
+        with pytest.raises(ValueError):
+            cache.path_for("../../etc/passwd")
+        with pytest.raises(ValueError):
+            cache.path_for("zz" + "0" * 62)
+
+    def test_corrupt_entry_reads_as_miss_and_is_dropped(self, cache):
+        cache.put(D1, {"x": 1})
+        path = cache.path_for(D1)
+        path.write_text("{torn", encoding="utf-8")
+        fresh = ResultCache(cache.root, memory_items=2)  # cold memory layer
+        assert fresh.get(D1) is None
+        assert not path.exists()
+
+    def test_no_tmp_files_left_behind(self, cache, tmp_path):
+        cache.put(D1, {"x": 1})
+        assert not list((tmp_path / "cache").rglob("*.tmp"))
+
+    def test_shared_between_instances(self, cache):
+        cache.put(D1, {"x": 1})
+        other = ResultCache(cache.root)
+        assert other.get(D1) == {"x": 1}
+        assert other.stats()["hits_disk"] == 1
+
+
+class TestPrefixResolution:
+    def test_unique_prefix_resolves(self, cache):
+        cache.put(D1, {"x": 1})
+        assert cache.resolve(D1[:16]) == D1
+        assert cache.resolve(D1[:6]) == D1
+
+    def test_full_digest_resolves_to_itself(self, cache):
+        assert cache.resolve(D1) == D1
+
+    def test_ambiguous_prefix_returns_none(self, cache):
+        twin = D1[:16] + "f" * 48
+        cache.put(D1, {"x": 1})
+        cache.put(twin, {"x": 2})
+        assert cache.resolve(D1[:16]) is None
+        assert cache.resolve(D1[:17]) == D1
+
+    def test_short_or_malformed_prefix_returns_none(self, cache):
+        cache.put(D1, {"x": 1})
+        assert cache.resolve(D1[:5]) is None
+        assert cache.resolve("zzzzzz") is None
+        assert cache.resolve("") is None
+
+    def test_unknown_prefix_returns_none(self, cache):
+        assert cache.resolve("abcdef123456") is None
+
+
+class TestMemoryLRU:
+    def test_memory_hit_after_disk_hit(self, cache):
+        cache.put(D1, {"x": 1})
+        fresh = ResultCache(cache.root, memory_items=2)
+        fresh.get(D1)  # disk hit, now remembered
+        fresh.get(D1)
+        stats = fresh.stats()
+        assert stats["hits_disk"] == 1
+        assert stats["hits_memory"] == 1
+
+    def test_lru_evicts_oldest(self, cache):
+        for digest in (D1, D2, D3):
+            cache.put(digest, {"d": digest})
+        assert cache.stats()["memory_entries"] == 2
+        # D1 was evicted; serving it again must fall back to disk.
+        cache.get(D1)
+        assert cache.stats()["hits_disk"] == 1
+
+    def test_get_refreshes_recency(self, cache):
+        cache.put(D1, {"d": D1})
+        cache.put(D2, {"d": D2})
+        cache.get(D1)  # D1 becomes most-recent; D2 is now eviction victim
+        cache.put(D3, {"d": D3})
+        stats_before = cache.stats()["hits_disk"]
+        cache.get(D1)
+        assert cache.stats()["hits_disk"] == stats_before  # still in memory
+
+    def test_memory_disabled(self, tmp_path):
+        cache = ResultCache(tmp_path / "c0", memory_items=0)
+        cache.put(D1, {"x": 1})
+        assert cache.stats()["memory_entries"] == 0
+        assert cache.get(D1) == {"x": 1}  # disk still serves
+
+    def test_contains(self, cache):
+        assert D1 not in cache
+        cache.put(D1, {"x": 1})
+        assert D1 in cache
+
+
+class TestPayloadFidelity:
+    def test_bytes_on_disk_are_canonical_json(self, cache):
+        payload = {"b": 2, "a": [1, 2.5]}
+        cache.put(D1, payload)
+        text = cache.path_for(D1).read_text(encoding="utf-8")
+        assert text == json.dumps(payload, sort_keys=True, separators=(",", ":"))

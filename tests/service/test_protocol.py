@@ -1,0 +1,109 @@
+"""Job specs and content addressing."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.service import ALGORITHM_VERSION, JobSpec, SpecError, job_digest
+from repro.service.protocol import result_to_dict
+
+
+def _spec(**overrides):
+    payload = {"sequence": "ACDEFGHIKLMNPQRSTVWY" * 3}
+    payload.update(overrides)
+    return JobSpec(**payload)
+
+
+class TestSpecValidation:
+    def test_minimal_spec(self):
+        spec = _spec()
+        assert spec.alphabet == "protein"
+        assert spec.top_alignments == 20
+
+    def test_rejects_empty_sequence(self):
+        with pytest.raises(SpecError):
+            JobSpec(sequence="")
+
+    def test_rejects_bad_alphabet(self):
+        with pytest.raises(SpecError):
+            _spec(alphabet="klingon")
+
+    def test_rejects_unencodable_residue(self):
+        with pytest.raises(SpecError):
+            JobSpec(sequence="ACGTU", alphabet="dna")
+
+    def test_rejects_protein_matrix_on_dna(self):
+        with pytest.raises(SpecError):
+            JobSpec(sequence="ACGT" * 5, alphabet="dna", matrix="blosum62")
+
+    def test_rejects_group_on_old_algorithm(self):
+        with pytest.raises(SpecError):
+            _spec(algorithm="old", group=4)
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(SpecError, match="unknown"):
+            JobSpec.from_dict({"sequence": "ACDE" * 10, "jitter": 3})
+
+    def test_from_dict_requires_sequence(self):
+        with pytest.raises(SpecError, match="sequence"):
+            JobSpec.from_dict({"alphabet": "protein"})
+
+
+class TestDigest:
+    def test_stable_across_calls(self):
+        assert job_digest(_spec()) == job_digest(_spec())
+        assert len(job_digest(_spec())) == 64
+
+    def test_case_insensitive_sequence(self):
+        upper = _spec()
+        lower = JobSpec(sequence=upper.sequence.lower())
+        assert job_digest(upper) == job_digest(lower)
+
+    def test_execution_knobs_do_not_fragment_cache(self):
+        base = _spec()
+        for knob in (
+            {"engine": "lanes"},
+            {"group": 8},
+            {"priority": 5},
+            {"seq_id": "other-name"},
+        ):
+            assert job_digest(_spec(**knob)) == job_digest(base), knob
+
+    def test_result_affecting_knobs_change_digest(self):
+        base = _spec()
+        for knob in (
+            {"top_alignments": 7},
+            {"gap_open": 10.0},
+            {"gap_extend": 2.0},
+            {"matrix": "blosum50"},
+            {"min_score": 5.0},
+            {"max_gap": 3},
+            {"min_score_fraction": 0.5},
+            {"algorithm": "old"},
+        ):
+            assert job_digest(_spec(**knob)) != job_digest(base), knob
+
+    def test_digest_includes_algorithm_version(self):
+        assert _spec().digest_fields()["version"] == ALGORITHM_VERSION
+
+
+class TestResultPayload:
+    def test_round_trips_through_json(self):
+        from repro.core import RepeatFinder
+        from repro.sequences import pseudo_titin
+
+        spec = JobSpec(sequence=pseudo_titin(60, seed=2).text, top_alignments=3)
+        result = RepeatFinder(top_alignments=3).find(
+            pseudo_titin(60, seed=2)
+        )
+        payload = result_to_dict(result, digest=job_digest(spec), spec=spec)
+        # Every leaf must be a plain JSON type — no numpy scalars.
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["length"] == 60
+        assert len(payload["top_alignments"]) == len(result.top_alignments)
+        assert payload["stats"]["alignments"] == result.stats.alignments
+
+    def test_spec_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            _spec().sequence = "MUTATED"

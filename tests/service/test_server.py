@@ -1,0 +1,214 @@
+"""The HTTP JSON API, driven through the real client over a socket."""
+
+import threading
+from http.server import ThreadingHTTPServer
+
+import pytest
+
+from repro.sequences import pseudo_titin
+from repro.service import ClientBacklogFull, ServiceClient, ServiceError
+from repro.service.server import ReproService, ServiceConfig, _Handler, _ServerState
+from repro.service.workers import execute_job
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A live server on an ephemeral port, with no worker pool.
+
+    Jobs are executed inline via :func:`run_one`, which keeps every
+    lifecycle transition deterministic for assertions.
+    """
+    config = ServiceConfig(
+        data_dir=str(tmp_path / "data"), port=0, workers=0, queue_capacity=4
+    )
+    svc = ReproService(config)
+    httpd = ThreadingHTTPServer((config.host, 0), _Handler)
+    httpd.daemon_threads = True
+    httpd.state = _ServerState(service=svc)
+    thread = threading.Thread(
+        target=httpd.serve_forever, kwargs={"poll_interval": 0.02}, daemon=True
+    )
+    thread.start()
+    client = ServiceClient(f"http://127.0.0.1:{httpd.server_address[1]}", timeout=10)
+    try:
+        yield svc, client
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(5)
+
+
+def run_one(svc):
+    """Claim and execute the next queued job (an inline stand-in worker)."""
+    job_id = svc.queue.claim()
+    assert job_id is not None
+    outcome = execute_job(svc.store, svc.cache, svc.store.get(job_id))
+    svc.queue.discard(job_id)
+    return job_id, outcome
+
+
+def _spec(**overrides):
+    payload = {"sequence": pseudo_titin(60, seed=2).text, "top_alignments": 3}
+    payload.update(overrides)
+    return payload
+
+
+class TestBasics:
+    def test_healthz(self, service):
+        _, client = service
+        assert client.healthz() == {"ok": True}
+
+    def test_unknown_endpoint_404(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.code == 404
+
+    def test_missing_job_404(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("deadbeef00000000")
+        assert excinfo.value.code == 404
+
+
+class TestSubmission:
+    def test_submit_queues_job(self, service):
+        svc, client = service
+        record = client.submit(_spec())
+        assert record["state"] == "queued"
+        assert not record["from_cache"]
+        assert len(record["digest"]) == 64
+        assert client.status(record["id"])["state"] == "queued"
+        assert client.stats()["queue"]["depth"] == 1
+
+    def test_malformed_spec_400(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"sequence": "ACGT" * 5, "alphabet": "klingon"})
+        assert excinfo.value.code == 400
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"top_alignments": 3})
+        assert excinfo.value.code == 400
+
+    def test_backpressure_429_with_retry_after(self, service):
+        svc, client = service
+        for seed in range(4):
+            client.submit(_spec(sequence=pseudo_titin(60, seed=seed + 10).text))
+        with pytest.raises(ClientBacklogFull) as excinfo:
+            client.submit(_spec(sequence=pseudo_titin(60, seed=99).text))
+        assert excinfo.value.retry_after >= 1
+        # The rejected job left no orphan record behind.
+        assert svc.store.states()["queued"] == 4
+
+    def test_events_stream(self, service):
+        svc, client = service
+        record = client.submit(_spec())
+        run_one(svc)
+        events = list(client.events(record["id"]))
+        names = [e["event"] for e in events]
+        assert names[0] == "queued"
+        assert "progress" in names
+        assert names[-1] == "done"
+        since = len(events) - 1
+        assert [e["event"] for e in client.events(record["id"], since=since)] == ["done"]
+
+
+class TestResultsAndCache:
+    def test_result_by_digest_and_job_id(self, service):
+        svc, client = service
+        record = client.submit(_spec())
+        run_one(svc)
+        by_digest = client.result(record["digest"])
+        by_job = client.result(record["id"])
+        assert by_digest == by_job
+        assert len(by_digest["top_alignments"]) == 3
+        assert client.status(record["id"])["state"] == "done"
+
+    def test_result_by_digest_prefix(self, service):
+        """The truncated digest shown by ``repro submit`` is fetchable."""
+        svc, client = service
+        record = client.submit(_spec())
+        run_one(svc)
+        assert client.result(record["digest"][:16]) == client.result(record["digest"])
+
+    def test_result_404_before_completion(self, service):
+        _, client = service
+        record = client.submit(_spec())
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(record["digest"])
+        assert excinfo.value.code == 404
+
+    def test_duplicate_submission_is_born_done(self, service):
+        svc, client = service
+        first = client.submit(_spec())
+        run_one(svc)
+        duplicate = client.submit(_spec())
+        assert duplicate["from_cache"]
+        assert duplicate["state"] == "done"
+        assert duplicate["served_from_cache"]
+        assert duplicate["digest"] == first["digest"]
+        assert duplicate["id"] != first["id"]
+        # Born-done jobs never touch the queue.
+        assert client.stats()["queue"]["depth"] == 0
+        assert client.result(duplicate["id"]) == client.result(first["id"])
+
+    def test_execution_knobs_share_one_cache_entry(self, service):
+        svc, client = service
+        client.submit(_spec())
+        run_one(svc)
+        grouped = client.submit(_spec(engine="lanes", group=8, priority=3))
+        assert grouped["from_cache"]
+
+
+class TestCancel:
+    def test_cancel_queued_job_is_immediate(self, service):
+        svc, client = service
+        record = client.submit(_spec())
+        cancelled = client.cancel(record["id"])
+        assert cancelled["state"] == "cancelled"
+        assert client.stats()["queue"]["depth"] == 0
+
+    def test_cancel_terminal_job_is_noop(self, service):
+        svc, client = service
+        record = client.submit(_spec())
+        client.cancel(record["id"])
+        again = client.cancel(record["id"])
+        assert again["state"] == "cancelled"
+
+    def test_cancel_missing_job_404(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.cancel("deadbeef00000000")
+        assert excinfo.value.code == 404
+
+
+class TestFollowStreaming:
+    def test_follow_tails_until_terminal(self, service):
+        svc, client = service
+        record = client.submit(_spec())
+
+        def finish_later():
+            import time
+
+            time.sleep(0.3)
+            run_one(svc)
+
+        worker = threading.Thread(target=finish_later, daemon=True)
+        worker.start()
+        events = list(client.events(record["id"], follow=True))
+        worker.join(10)
+        names = [e["event"] for e in events]
+        assert names[0] == "queued"
+        assert names[-1] == "done"
+
+
+class TestStats:
+    def test_stats_shape(self, service):
+        svc, client = service
+        client.submit(_spec())
+        run_one(svc)
+        stats = client.stats()
+        assert stats["jobs"]["done"] == 1
+        assert stats["cache"]["disk_entries"] == 1
+        assert stats["queue"]["capacity"] == 4
+        assert "workers" in stats and "uptime" in stats
