@@ -73,13 +73,25 @@ def main() -> int:
     parser.add_argument("-k", "--top-alignments", type=int, default=K)
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the raw numbers as JSON (BENCH_batched.json)")
+    parser.add_argument("--emit-metrics", default=None, metavar="PATH",
+                        help="enable repro.obs and dump the registry snapshot "
+                             "+ trace trees as JSON after the run")
     args = parser.parse_args()
+    if args.emit_metrics:
+        from repro import obs
+
+        obs.enable()
     report = batched_report(args.length, args.top_alignments, GROUPS)
     print(batched_rows(report=report).render())
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2)
         print(f"wrote {args.out}")
+    if args.emit_metrics:
+        from repro import obs
+
+        obs.write_snapshot(args.emit_metrics)
+        print(f"wrote {args.emit_metrics}")
     return 0
 
 

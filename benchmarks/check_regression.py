@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Compare a fresh ``BENCH_batched.json`` against the checked-in baseline.
+
+The CI ``bench-gate`` job runs ``bench_batched.py`` with the same
+arguments the baseline was generated with, then calls this script::
+
+    python benchmarks/check_regression.py \
+        --current BENCH_batched.json \
+        --baseline benchmarks/BENCH_baseline.json
+
+Per ``(engine, group)`` row the gate fails when
+
+* ``cells_per_second`` drops more than the tolerance below baseline
+  (throughput regression), or
+* ``waste_ratio`` rises more than the tolerance above baseline
+  (speculation regression — absolute, the ratio is already in [0, 1]).
+
+The tolerance (default ±35 %) absorbs runner noise; override it with
+``--tolerance`` or the ``REPRO_BENCH_TOLERANCE`` environment variable.
+Faster-than-baseline rows never fail.  A markdown delta table goes to
+stdout and, when ``GITHUB_STEP_SUMMARY`` is set, to the job summary.
+
+Refresh the baseline (same machine class as CI, same arguments!) with::
+
+    python benchmarks/bench_batched.py --length 160 --top-alignments 6 \
+        --out benchmarks/BENCH_baseline.json
+"""
+
+import argparse
+import json
+import os
+import sys
+
+#: Fractional tolerance applied to both checks.
+DEFAULT_TOLERANCE = 0.35
+
+#: Keys that must match between the two reports for rows to be comparable.
+_COMPARABLE_KEYS = ("length", "k", "seed", "engine")
+
+
+def _rows_by_config(report: dict) -> dict[tuple, dict]:
+    return {(row["engine"], row["group"]): row for row in report["rows"]}
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> tuple[list[dict], list[str]]:
+    """Row-by-row deltas plus the list of failure messages (empty = pass)."""
+    failures: list[str] = []
+    for key in _COMPARABLE_KEYS:
+        if baseline.get(key) != current.get(key):
+            failures.append(
+                f"reports are not comparable: {key} differs "
+                f"(baseline {baseline.get(key)!r} vs current {current.get(key)!r})"
+            )
+    if failures:
+        return [], failures
+
+    base_rows = _rows_by_config(baseline)
+    curr_rows = _rows_by_config(current)
+    missing = sorted(set(base_rows) - set(curr_rows))
+    if missing:
+        failures.append(f"current report lost configurations: {missing}")
+
+    deltas: list[dict] = []
+    for config in sorted(base_rows):
+        if config not in curr_rows:
+            continue
+        base, curr = base_rows[config], curr_rows[config]
+        cps_base, cps_curr = base["cells_per_second"], curr["cells_per_second"]
+        cps_delta = (cps_curr - cps_base) / cps_base if cps_base > 0 else 0.0
+        waste_base, waste_curr = base["waste_ratio"], curr["waste_ratio"]
+        waste_delta = waste_curr - waste_base
+        row_fail = []
+        if cps_base > 0 and cps_curr < cps_base * (1.0 - tolerance):
+            row_fail.append(
+                f"{config[0]} G={config[1]}: cells_per_second "
+                f"{cps_curr:,.0f} is {-cps_delta:.0%} below baseline "
+                f"{cps_base:,.0f} (tolerance {tolerance:.0%})"
+            )
+        if waste_curr > waste_base + tolerance:
+            row_fail.append(
+                f"{config[0]} G={config[1]}: waste_ratio {waste_curr:.3f} "
+                f"exceeds baseline {waste_base:.3f} by more than {tolerance}"
+            )
+        failures.extend(row_fail)
+        deltas.append(
+            {
+                "engine": config[0],
+                "group": config[1],
+                "cells_per_second": cps_curr,
+                "baseline_cells_per_second": cps_base,
+                "cps_delta": cps_delta,
+                "waste_ratio": waste_curr,
+                "baseline_waste_ratio": waste_base,
+                "waste_delta": waste_delta,
+                "ok": not row_fail,
+            }
+        )
+    return deltas, failures
+
+
+def markdown_table(deltas: list[dict], failures: list[str], tolerance: float) -> str:
+    lines = [
+        f"### Bench gate — batched driver (tolerance ±{tolerance:.0%})",
+        "",
+        "| engine | G | cells/s | baseline | Δ | waste | baseline | status |",
+        "|---|---:|---:|---:|---:|---:|---:|---|",
+    ]
+    for d in deltas:
+        lines.append(
+            f"| {d['engine']} | {d['group']} | {d['cells_per_second']:,.0f} "
+            f"| {d['baseline_cells_per_second']:,.0f} | {d['cps_delta']:+.1%} "
+            f"| {d['waste_ratio']:.3f} | {d['baseline_waste_ratio']:.3f} "
+            f"| {'✅' if d['ok'] else '❌'} |"
+        )
+    if failures:
+        lines += ["", "**Failures:**", ""]
+        lines += [f"- {message}" for message in failures]
+    else:
+        lines += ["", "No regression beyond tolerance."]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True, help="fresh BENCH_batched.json")
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(os.path.dirname(__file__), "BENCH_baseline.json"),
+        help="checked-in baseline report",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE)),
+        help="allowed fractional regression (default %(default)s, "
+        "env REPRO_BENCH_TOLERANCE)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 < args.tolerance < 1.0:
+        parser.error("tolerance must be in (0, 1)")
+
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    with open(args.current, encoding="utf-8") as fh:
+        current = json.load(fh)
+
+    deltas, failures = compare(baseline, current, args.tolerance)
+    table = markdown_table(deltas, failures, args.tolerance)
+    print(table)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as fh:
+            fh.write(table)
+    if failures:
+        print(f"bench gate: FAIL ({len(failures)} regression(s))", file=sys.stderr)
+        return 1
+    print("bench gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

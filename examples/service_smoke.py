@@ -10,6 +10,9 @@ submits two jobs — the second a duplicate of the first — and asserts:
   move — zero realignment work;
 * the service result matches an in-process run of the same spec
   through the library bit-for-bit (top alignments and repeat families);
+* ``GET /metrics`` serves valid Prometheus text exposition covering
+  queue depth, cache hits and job latency (``--metrics-out`` saves the
+  parsed samples as a JSON artifact for CI);
 * SIGTERM shuts the service down cleanly (exit code 0, workers
   drained).
 
@@ -18,7 +21,9 @@ Exits non-zero on any failure, so CI can run it directly::
     python examples/service_smoke.py
 """
 
+import argparse
 import json
+import re
 import signal
 import subprocess
 import sys
@@ -73,7 +78,63 @@ def start_service(data_dir: str) -> tuple[subprocess.Popen, str]:
     raise RuntimeError("service never became healthy")
 
 
-def main() -> int:
+#: One Prometheus sample line: ``name{labels} value`` with optional labels.
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (?:[+-]?(?:Inf|NaN|[0-9.eE+-]+))$"
+)
+
+#: Families /metrics must cover (the ISSUE's acceptance list).
+_REQUIRED_FAMILIES = (
+    "repro_service_queue_depth",
+    "repro_service_cache_hits_total",
+    "repro_service_cache_misses_total",
+    "repro_service_job_seconds_bucket",
+    "repro_service_job_seconds_count",
+    "repro_service_workers_alive",
+    "repro_http_requests_total",
+)
+
+
+def check_metrics(url: str, metrics_out: str | None) -> None:
+    """Scrape /metrics, validate the exposition, optionally save a JSON artifact."""
+    with urllib.request.urlopen(f"{url}/metrics", timeout=10) as resp:
+        content_type = resp.headers.get("Content-Type", "")
+        text = resp.read().decode("utf-8")
+    assert content_type.startswith("text/plain"), content_type
+    assert "version=0.0.4" in content_type, content_type
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert _SAMPLE_RE.match(line), f"invalid exposition line: {line!r}"
+        family = line.split("{", 1)[0].split(" ", 1)[0]
+        samples[family] = float(line.rsplit(" ", 1)[1])
+    missing = [f for f in _REQUIRED_FAMILIES if f not in samples]
+    assert not missing, f"/metrics is missing families: {missing}"
+    assert samples["repro_service_workers_alive"] == 2, "expected 2 live workers"
+    assert samples["repro_service_job_seconds_count"] >= 1, (
+        "at least one computed job must land in the latency histogram"
+    )
+    print(f"metrics: {len(samples)} families, Prometheus exposition valid")
+    if metrics_out:
+        Path(metrics_out).write_text(
+            json.dumps({"content_type": content_type, "samples": samples}, indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+        print(f"metrics artifact written to {metrics_out}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the scraped /metrics samples to this JSON file",
+    )
+    args = parser.parse_args(argv)
     spec = {"sequence": SEQUENCE.text, "seq_id": SEQUENCE.id, "top_alignments": K}
     with tempfile.TemporaryDirectory(prefix="repro-service-smoke-") as tmp:
         proc, url = start_service(str(Path(tmp) / "data"))
@@ -114,6 +175,8 @@ def main() -> int:
             want_families = [tuple(r.copies) for r in expected.repeats]
             assert got_families == want_families, "repeat families diverged"
             print(f"results identical to the in-process library run ({K} alignments)")
+
+            check_metrics(url, args.metrics_out)
         finally:
             proc.send_signal(signal.SIGTERM)
             try:

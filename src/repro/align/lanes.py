@@ -41,9 +41,14 @@ from collections import OrderedDict
 
 import numpy as np
 
+from ..obs import get_registry
 from .base import AlignmentEngine, AlignmentProblem, register_engine
 
 __all__ = ["LanesEngine", "INT16_MAX"]
+
+#: Lane-occupancy histogram boundaries: group widths around the paper's
+#: SSE (4) and SSE2 (8) configurations.
+_OCCUPANCY_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0)
 
 #: Saturation ceiling of the int16 mode (signed short, as in SSE ``pmaxsw``).
 INT16_MAX = 32767
@@ -127,6 +132,36 @@ class LanesEngine(AlignmentEngine):
         # Scratch buffers are mutable shared state; keep them per-thread
         # so the threaded runner's workers never race on them.
         self._tls = threading.local()
+        # Cached (registry, hits, misses, occupancy) instrument handles;
+        # revalidated against the live registry each batch so tests that
+        # swap registries see fresh instruments.
+        self._obs_handles: tuple | None = None
+
+    def _metrics(self) -> tuple | None:
+        """Instrument handles when collection is on, else None."""
+        registry = get_registry()
+        if not registry.collecting:
+            return None
+        handles = self._obs_handles
+        if handles is None or handles[0] is not registry:
+            handles = (
+                registry,
+                registry.counter(
+                    "repro_scratch_hits_total",
+                    help="Lane-engine batches served from a cached scratch block",
+                ),
+                registry.counter(
+                    "repro_scratch_misses_total",
+                    help="Lane-engine batches that allocated a fresh scratch block",
+                ),
+                registry.histogram(
+                    "repro_lane_occupancy",
+                    buckets=_OCCUPANCY_BUCKETS,
+                    help="Problems per lockstep lane batch",
+                ),
+            )
+            self._obs_handles = handles
+        return handles
 
     def __repr__(self) -> str:
         return f"LanesEngine(lanes={self.lanes}, dtype={self.dtype!r})"
@@ -153,12 +188,17 @@ class LanesEngine(AlignmentEngine):
             self._tls.cache = cache
         key = (group, nsym, np.dtype(work).str)
         scratch = cache.get(key)
+        metrics = self._metrics()
         if scratch is None:
+            if metrics is not None:
+                metrics[2].inc()
             scratch = _LaneScratch(group, nsym, work)
             cache[key] = scratch
             while len(cache) > self._SCRATCH_CACHE_MAX:
                 cache.popitem(last=False)
         else:
+            if metrics is not None:
+                metrics[1].inc()
             cache.move_to_end(key)
         return scratch
 
@@ -173,6 +213,9 @@ class LanesEngine(AlignmentEngine):
         """
         if not problems:
             return []
+        metrics = self._metrics()
+        if metrics is not None:
+            metrics[3].observe(len(problems))
         gaps = problems[0].gaps
         exchange = problems[0].exchange
         for p in problems[1:]:

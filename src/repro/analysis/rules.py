@@ -16,6 +16,7 @@ Rule ids
 ``RPR007`` PYTHONPATH-unsafe absolute self-import inside the package
 ``RPR008`` O(n) list operation (``insert(0, ...)``, ``in``-on-list) in a loop
 ``RPR010`` blocking call in a ``repro.service`` request-handling path
+``RPR011`` wall-clock ``time.time()`` in an instrumented performance path
 """
 
 from __future__ import annotations
@@ -643,6 +644,73 @@ def rule_blocking_in_handler(tree: ast.Module, path: str) -> list[Diagnostic]:
     return findings
 
 
+# ---------------------------------------------------------------------------
+# RPR011 — wall-clock time.time() in instrumented performance paths
+
+
+#: Directories whose durations feed RunStats and the repro.obs
+#: histograms.  ``service`` is deliberately absent: job records carry
+#: genuine wall-clock epoch timestamps (created/started/finished).
+_MONOTONIC_DIRS = ("align", "core", "parallel", "bench", "obs", "benchmarks")
+
+
+def _time_time_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(module aliases of ``time``, direct names bound to ``time.time``)."""
+    modules: set[str] = set()
+    direct: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    modules.add(alias.asname or "time")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name == "time":
+                    direct.add(alias.asname or "time")
+    return modules, direct
+
+
+def rule_wall_clock_in_hot_path(tree: ast.Module, path: str) -> list[Diagnostic]:
+    """RPR011: ``time.time()`` where durations feed metrics.
+
+    Every duration in the instrumented paths (the drivers, the engines,
+    the bench harness, ``repro.obs`` itself) ends up in ``RunStats`` or
+    a latency histogram.  The wall clock can step backwards under NTP
+    and silently corrupt those numbers; ``time.perf_counter`` (or
+    ``time.monotonic``) cannot.  A genuine need for an epoch timestamp
+    in these paths carries a waiver:
+    ``# repro-lint: allow[RPR011] reason``.
+    """
+    if not _in_dir(path, *_MONOTONIC_DIRS) or _is_test_file(path):
+        return []
+    modules, direct = _time_time_aliases(tree)
+    findings: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_wall_clock = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "time"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in modules
+        ) or (isinstance(func, ast.Name) and func.id in direct)
+        if is_wall_clock:
+            findings.append(
+                Diagnostic(
+                    rule="RPR011",
+                    path=path,
+                    line=node.lineno,
+                    message="time.time() in an instrumented path: the wall "
+                    "clock can step backwards and corrupt durations; use "
+                    "time.perf_counter() (or waive with "
+                    "`# repro-lint: allow[RPR011] reason` for a genuine "
+                    "epoch timestamp)",
+                )
+            )
+    return findings
+
+
 #: Per-file rules, in reporting order.  Lock discipline (RPR003) and
 #: export consistency (RPR005) are registered by the linter driver.
 FILE_RULES: tuple[tuple[str, Rule], ...] = (
@@ -653,6 +721,7 @@ FILE_RULES: tuple[tuple[str, Rule], ...] = (
     ("RPR007", rule_absolute_self_import),
     ("RPR008", rule_quadratic_list_op),
     ("RPR010", rule_blocking_in_handler),
+    ("RPR011", rule_wall_clock_in_hot_path),
 )
 
 

@@ -107,6 +107,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the artifact's raw numbers as JSON (batched only)",
     )
+    bench.add_argument(
+        "--emit-metrics",
+        default=None,
+        metavar="PATH",
+        help="enable repro.obs collection and dump the registry snapshot "
+        "+ trace trees as JSON after the run",
+    )
 
     scan = sub.add_parser("scan", help="rank FASTA records by repeat content")
     scan.add_argument("fasta", nargs="?", default="-")
@@ -334,6 +341,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         table2_rows,
     )
 
+    if args.emit_metrics:
+        from . import obs
+
+        obs.enable()
+
     if args.artifact == "batched":
         kwargs = {}
         if args.length:
@@ -369,6 +381,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         for k, points in sorted(series.items()):
             row = "  ".join(f"P={p}:{s:.0f}" for p, s, _ in points)
             print(f"k={k:3d}  {row}")
+    if args.emit_metrics:
+        from . import obs
+
+        obs.write_snapshot(args.emit_metrics)
+        print(f"wrote {args.emit_metrics}")
     return 0
 
 

@@ -46,12 +46,18 @@ throughput.
 
 from __future__ import annotations
 
+from ..obs import get_registry
+from ..obs import span as obs_span
 from ..scoring.exchange import ExchangeMatrix
 from ..scoring.gaps import GapPenalties
 from ..sequences.sequence import Sequence
 from .result import RunStats, TopAlignment
 from .tasks import Task, TaskQueue
 from .topalign import TopAlignmentState
+
+#: Bucket boundaries for the driver-level batch-width histogram —
+#: powers-of-two lane groups up to the paper's SSE2 width and beyond.
+_BATCH_BUCKETS = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0)
 
 __all__ = ["BatchedTopAlignmentRunner", "find_top_alignments_batched"]
 
@@ -120,41 +126,62 @@ class BatchedTopAlignmentRunner:
         queue = TaskQueue(guard=checker.guard_task if checker is not None else None)
         for task in state.make_tasks():
             queue.insert(task)
+        registry = get_registry()
+        if registry.collecting:
+            heap_gauge = registry.gauge(
+                "repro_heap_depth",
+                help="Best-first task-heap size observed at the last acceptance",
+            )
+            batch_histogram = registry.histogram(
+                "repro_driver_batch_lanes",
+                buckets=_BATCH_BUCKETS,
+                help="Stale tasks realigned per speculative engine batch",
+            )
+        else:
+            heap_gauge = batch_histogram = None
         # Splits speculatively realigned at the current triangle version
         # whose fresh score has not yet fed an acceptance decision.
         pending: set[int] = set()
 
-        while state.n_found < self.k and queue:
-            head = queue.pop_highest()
-            if head.score <= self.min_score:
-                # Stale scores are upper bounds, so nothing in the queue
-                # can still beat min_score: the sequence is exhausted.
-                break
-            if head.is_current(state.n_found):
-                # The speculative realignment (if any) produced this
-                # acceptance — it was useful; every other pending lane
-                # is invalidated by the triangle growing underneath it.
-                pending.discard(head.r)
-                state.accept_task(head)
-                queue.insert(head)
-                state.stats.speculative_waste += len(pending)
-                pending.clear()
-                if checker is not None and checker.mode == "full":
-                    # Every queued upper bound must still dominate its
-                    # fresh score under the just-grown triangle.
-                    checker.verify_upper_bounds(queue.tasks())
-                continue
+        with obs_span(
+            "best_first", driver="batched", k=self.k, group=self.group, m=state.m
+        ):
+            while state.n_found < self.k and queue:
+                head = queue.pop_highest()
+                if head.score <= self.min_score:
+                    # Stale scores are upper bounds, so nothing in the queue
+                    # can still beat min_score: the sequence is exhausted.
+                    break
+                if head.is_current(state.n_found):
+                    # The speculative realignment (if any) produced this
+                    # acceptance — it was useful; every other pending lane
+                    # is invalidated by the triangle growing underneath it.
+                    pending.discard(head.r)
+                    with obs_span("accept", r=head.r, index=state.n_found):
+                        state.accept_task(head)
+                    queue.insert(head)
+                    state.stats.speculative_waste += len(pending)
+                    pending.clear()
+                    if heap_gauge is not None:
+                        heap_gauge.set(len(queue))
+                    if checker is not None and checker.mode == "full":
+                        # Every queued upper bound must still dominate its
+                        # fresh score under the just-grown triangle.
+                        checker.verify_upper_bounds(queue.tasks())
+                    continue
 
-            batch, blocked = self._gather_batch(head, queue)
-            for task in batch[1:]:
-                if task.r in state.bottom_rows:
-                    self.speculative_lanes += 1
-                    pending.add(task.r)
-            state.align_tasks_batch(batch)
-            for task in batch:
-                queue.insert(task)
-            if blocked is not None:
-                queue.insert(blocked)
+                batch, blocked = self._gather_batch(head, queue)
+                for task in batch[1:]:
+                    if task.r in state.bottom_rows:
+                        self.speculative_lanes += 1
+                        pending.add(task.r)
+                if batch_histogram is not None:
+                    batch_histogram.observe(len(batch))
+                state.align_tasks_batch(batch)
+                for task in batch:
+                    queue.insert(task)
+                if blocked is not None:
+                    queue.insert(blocked)
 
         return list(state.found), state.stats
 

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any
 
 __all__ = ["TopAlignment", "Repeat", "RunStats", "RepeatResult"]
 
@@ -82,39 +83,181 @@ class Repeat:
         return sum(e - s + 1 for s, e in self.copies) / len(self.copies)
 
 
-@dataclass
+#: RunStats counter field -> (global mirror metric, help text).  The
+#: mirror names are the public metric catalogue documented in README's
+#: "Observability" section.
+_STAT_MIRRORS: dict[str, tuple[str, str]] = {
+    "alignments": (
+        "repro_alignments_total",
+        "Bottom-row alignments computed by the engines (first passes and realignments)",
+    ),
+    "realignments": (
+        "repro_realignments_total",
+        "Alignments beyond the first per task (non-empty override-triangle history)",
+    ),
+    "cells": (
+        "repro_cells_total",
+        "Dynamic-programming matrix cells evaluated",
+    ),
+    "tracebacks": (
+        "repro_tracebacks_total",
+        "Full-matrix traceback recomputations (one per accepted top alignment)",
+    ),
+    "speculative_waste": (
+        "repro_speculative_waste_total",
+        "Speculative lane realignments invalidated before their score was consumed",
+    ),
+    "engine_seconds": (
+        "repro_engine_seconds_total",
+        "Monotonic seconds spent inside engine calls",
+    ),
+}
+
+
+def _stat_property(name: str) -> property:
+    """A RunStats counter: local per-run value + global registry mirror.
+
+    The getter reads the per-run instrument; the setter applies the
+    delta to it *and* forwards the same delta to the process-wide
+    registry counter when collection is enabled — so ``stats.cells +=
+    n`` is the single bookkeeping statement for both scopes (no
+    parallel tallies to drift apart).
+    """
+
+    def fget(self: "RunStats") -> Any:
+        return self._values[name]
+
+    def fset(self: "RunStats", value: Any) -> None:
+        mirrors = self._mirrors
+        if mirrors is not None:
+            delta = value - self._values[name]
+            if delta:
+                mirrors[name].inc(delta)
+        self._values[name] = value
+
+    return property(fget, fset, doc=f"Per-run {name.replace('_', ' ')} counter.")
+
+
 class RunStats:
     """Instrumentation of one top-alignment run.
 
     These counters back the §3/§5.1 claims: the realignment fraction
     (90–97 % avoided), speculation overhead (<0.70 % extra alignments
     for lane groups), and the cost model of the cluster simulator.
+
+    Since the :mod:`repro.obs` subsystem, RunStats is a *view* over
+    per-run instruments rather than a parallel bookkeeping path: each
+    counter assignment updates the run-local instrument and, when
+    process-wide metrics collection is enabled (the service,
+    ``--emit-metrics`` bench runs, ``REPRO_METRICS=1``), mirrors the
+    delta into the global registry counters named in
+    ``_STAT_MIRRORS``.  With collection disabled the mirror branch is
+    a single ``None`` check, keeping the hot path at its pre-obs cost.
     """
+
+    __slots__ = ("_values", "_mirrors", "realignments_per_top", "engine", "group")
+
+    #: Counter fields, in (legacy dataclass) declaration order — the
+    #: positional-argument order of ``__init__``.
+    _COUNTER_FIELDS = (
+        "alignments",
+        "realignments",
+        "cells",
+        "tracebacks",
+        "engine_seconds",
+        "speculative_waste",
+    )
+
+    def __init__(
+        self,
+        alignments: int = 0,
+        realignments: int = 0,
+        cells: int = 0,
+        tracebacks: int = 0,
+        realignments_per_top: list[int] | None = None,
+        engine_seconds: float = 0.0,
+        engine: str = "",
+        group: int = 1,
+        speculative_waste: int = 0,
+    ) -> None:
+        self._values: dict[str, Any] = {
+            "alignments": alignments,
+            "realignments": realignments,
+            "cells": cells,
+            "tracebacks": tracebacks,
+            "engine_seconds": engine_seconds,
+            "speculative_waste": speculative_waste,
+        }
+        #: Realignments performed between consecutive acceptances,
+        #: indexed by the top-alignment number being searched for.
+        self.realignments_per_top: list[int] = (
+            realignments_per_top if realignments_per_top is not None else []
+        )
+        #: Configuration tag of the engine that computed the alignments
+        #: (``AlignmentEngine.describe()``; "" until a state binds one).
+        self.engine = engine
+        #: Scheduling group width G (1 = strictly sequential best-first;
+        #: set by the speculative batched driver).
+        self.group = group
+        self._mirrors: dict[str, Any] | None = None
+        self._bind_mirrors()
+
+    def _bind_mirrors(self) -> None:
+        """Attach global registry counters (None while collection is off)."""
+        from ..obs import get_registry
+
+        registry = get_registry()
+        if registry.collecting:
+            self._mirrors = {
+                field_name: registry.counter(metric, help=help_text)
+                for field_name, (metric, help_text) in _STAT_MIRRORS.items()
+            }
+        else:
+            self._mirrors = None
 
     #: Bottom-row alignments computed by the engine (first passes and
     #: realignments; excludes traceback recomputations).
-    alignments: int = 0
+    alignments = _stat_property("alignments")
     #: Alignments beyond the first per task (i.e. with a non-empty
     #: override triangle history).
-    realignments: int = 0
+    realignments = _stat_property("realignments")
     #: Matrix cells evaluated across all alignments.
-    cells: int = 0
+    cells = _stat_property("cells")
     #: Full-matrix traceback recomputations (one per accepted alignment).
-    tracebacks: int = 0
-    #: Realignments performed between consecutive acceptances, indexed
-    #: by the top-alignment number being searched for.
-    realignments_per_top: list[int] = field(default_factory=list)
-    #: Wall-clock seconds spent in engine calls (approximate).
-    engine_seconds: float = 0.0
-    #: Configuration tag of the engine that computed the alignments
-    #: (``AlignmentEngine.describe()``; "" until a state binds one).
-    engine: str = ""
-    #: Scheduling group width G (1 = strictly sequential best-first;
-    #: set by the speculative batched driver).
-    group: int = 1
+    tracebacks = _stat_property("tracebacks")
+    #: Monotonic seconds spent in engine calls (approximate).
+    engine_seconds = _stat_property("engine_seconds")
     #: Speculative lane realignments invalidated by an acceptance before
     #: their fresh score was ever consumed (§5.1-style waste).
-    speculative_waste: int = 0
+    speculative_waste = _stat_property("speculative_waste")
+
+    # -- serialisation support (checkpoints, multiprocessing) -------------
+
+    def __getstate__(self) -> dict[str, Any]:
+        return {
+            **self._values,
+            "realignments_per_top": self.realignments_per_top,
+            "engine": self.engine,
+            "group": self.group,
+        }
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self._values = {name: state[name] for name in self._COUNTER_FIELDS}
+        self.realignments_per_top = state["realignments_per_top"]
+        self.engine = state["engine"]
+        self.group = state["group"]
+        # Rebind against the *receiving* process's registry: mirror
+        # instruments hold locks and must never cross a pickle boundary.
+        self._bind_mirrors()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RunStats):
+            return NotImplemented
+        return self.__getstate__() == other.__getstate__()
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v!r}" for k, v in self.__getstate__().items())
+        return f"RunStats({parts})"
 
     def realignment_fraction(self, m: int, k: int) -> float:
         """Realignments performed / realignments a full-rescan strategy

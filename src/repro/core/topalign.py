@@ -30,6 +30,8 @@ from ..align.base import AlignmentProblem, get_engine
 from ..align.matrix import full_matrix
 from ..align.profile import QueryProfile
 from ..align.traceback import traceback
+from ..obs import get_registry
+from ..obs import span as obs_span
 from ..scoring.exchange import ExchangeMatrix
 from ..scoring.gaps import GapPenalties
 from ..sequences.sequence import Sequence
@@ -295,21 +297,34 @@ def find_top_alignments(
     queue = TaskQueue(guard=checker.guard_task if checker is not None else None)
     for task in state.make_tasks():
         queue.insert(task)
+    registry = get_registry()
+    heap_gauge = (
+        registry.gauge(
+            "repro_heap_depth",
+            help="Best-first task-heap size observed at the last acceptance",
+        )
+        if registry.collecting
+        else None
+    )
 
-    while state.n_found < k and queue:
-        task = queue.pop_highest()
-        if task.score <= min_score:
-            # Stale scores are upper bounds, so nothing in the queue can
-            # still beat min_score: the sequence is exhausted.
-            break
-        if task.is_current(state.n_found):
-            state.accept_task(task)
-            if checker is not None and checker.mode == "full":
-                # Every queued upper bound must still dominate its fresh
-                # score under the just-grown triangle.
-                checker.verify_upper_bounds(queue.tasks())
-        else:
-            state.align_task(task)
-        queue.insert(task)
+    with obs_span("best_first", driver="sequential", k=k, m=state.m):
+        while state.n_found < k and queue:
+            task = queue.pop_highest()
+            if task.score <= min_score:
+                # Stale scores are upper bounds, so nothing in the queue can
+                # still beat min_score: the sequence is exhausted.
+                break
+            if task.is_current(state.n_found):
+                with obs_span("accept", r=task.r, index=state.n_found):
+                    state.accept_task(task)
+                if heap_gauge is not None:
+                    heap_gauge.set(len(queue))
+                if checker is not None and checker.mode == "full":
+                    # Every queued upper bound must still dominate its fresh
+                    # score under the just-grown triangle.
+                    checker.verify_upper_bounds(queue.tasks())
+            else:
+                state.align_task(task)
+            queue.insert(task)
 
     return list(state.found), state.stats

@@ -1,0 +1,71 @@
+"""Prometheus text-exposition rendering of a metrics registry.
+
+Implements the subset of the `text format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ the
+instruments need: ``# HELP`` / ``# TYPE`` headers, label escaping,
+histogram ``_bucket``/``_sum``/``_count`` series with a closing
+``+Inf`` bucket.  Stdlib only, like the rest of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .registry import Counter, Gauge, Histogram, MetricsRegistry, NullRegistry
+
+__all__ = ["CONTENT_TYPE", "render_prometheus"]
+
+#: The content type Prometheus scrapers expect for this format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _labels(items: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in items]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _number(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricsRegistry | NullRegistry) -> str:
+    """The registry's instruments as Prometheus text exposition."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+
+    for instrument in registry.instruments():
+        name = instrument.name
+        if name not in seen_headers:
+            seen_headers.add(name)
+            help_text = registry.help_for(name)
+            if help_text:
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
+            lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, (Counter, Gauge)):
+            lines.append(f"{name}{_labels(instrument.labels)} {_number(instrument.value)}")
+        elif isinstance(instrument, Histogram):
+            for bound, count in instrument.cumulative_buckets():
+                le = "+Inf" if math.isinf(bound) else _number(bound)
+                le_label = 'le="%s"' % le
+                lines.append(
+                    f"{name}_bucket{_labels(instrument.labels, le_label)} {count}"
+                )
+            lines.append(f"{name}_sum{_labels(instrument.labels)} {_number(instrument.sum)}")
+            lines.append(f"{name}_count{_labels(instrument.labels)} {instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

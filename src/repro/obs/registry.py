@@ -1,0 +1,393 @@
+"""Metrics registry: counters, gauges, histograms, monotonic timers.
+
+The paper's claims are quantitative — realignments avoided (§3),
+cells/second per engine tier (Table 2), speculation waste (§5) — so the
+runtime needs a first-class place to put those numbers instead of ad
+hoc attributes sprinkled per subsystem.  This module is that place: a
+stdlib-only, thread-safe registry of named instruments that both the
+service (``GET /metrics``) and the bench harness
+(``--emit-metrics``) can export.
+
+Design rules
+------------
+* **Cheap when off.**  Outside the service, collection defaults to a
+  shared :class:`NullRegistry` whose instruments are no-op singletons;
+  hot paths pay one attribute call, no locks, no allocation.  See
+  :mod:`repro.obs` for the ``REPRO_METRICS`` gating.
+* **Monotonic timers only.**  Durations come from
+  ``time.perf_counter`` — never ``time.time()``, whose wall clock can
+  step backwards under NTP and silently corrupt latency histograms
+  (lint rule RPR011 enforces this repo-wide).
+* **Fixed histogram buckets.**  Bucket boundaries are set at creation
+  and never change, so concurrent observers only ever increment — the
+  same single-writer-free discipline the override triangle uses.
+
+Instruments are identified by ``(name, sorted(labels))``; asking twice
+returns the same object, so call sites may re-request instead of
+caching handles (caching is still cheaper on the hottest paths).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_left
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Timer",
+]
+
+#: Default latency buckets (seconds): sub-millisecond engine calls up
+#: to multi-minute service jobs.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0,
+)
+
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, Any]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {dict(self.labels)}, value={self._value})"
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, heap size)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {dict(self.labels)}, value={self._value})"
+
+
+class Histogram:
+    """Cumulative-bucket histogram with fixed boundaries.
+
+    ``counts[i]`` is the number of observations ``<= bounds[i]``; one
+    implicit ``+Inf`` bucket at the end catches the rest, exactly the
+    Prometheus exposition model.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "_bucket_counts", "_sum", "_count", "_lock")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket boundary")
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram buckets must be sorted ascending")
+        if len(set(bounds)) != len(bounds):
+            raise ValueError("histogram buckets must be distinct")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # + the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._bucket_counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at ``+Inf``."""
+        with self._lock:
+            counts = list(self._bucket_counts)
+        total = 0
+        out: list[tuple[float, int]] = []
+        for bound, n in zip(self.bounds, counts):
+            total += n
+            out.append((bound, total))
+        out.append((float("inf"), total + counts[-1]))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Histogram({self.name!r}, {dict(self.labels)}, "
+            f"count={self._count}, sum={self._sum})"
+        )
+
+
+class Timer:
+    """Context manager observing an elapsed monotonic duration.
+
+    Uses ``time.perf_counter`` — the registry's only clock for
+    durations.  Reusable but not re-entrant (create one per ``with``).
+    """
+
+    __slots__ = ("_histogram", "_start", "elapsed")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._start = 0.0
+        #: Seconds measured by the most recent ``with`` block.
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self._histogram.observe(self.elapsed)
+
+
+class MetricsRegistry:
+    """Thread-safe collection of named instruments.
+
+    One registry usually lives per process (see
+    :func:`repro.obs.get_registry`); scrape-style exporters build
+    short-lived ones and fill them from durable stores.
+    """
+
+    #: Real registries collect; the null registry reports False so hot
+    #: paths can skip optional bookkeeping entirely.
+    collecting = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, str, LabelItems], Any] = {}
+        self._help: dict[str, str] = {}
+
+    # -- instrument factories ---------------------------------------------
+
+    def _get(self, kind: str, name: str, labels: dict, factory) -> Any:
+        key = (kind, name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._instruments.get(key)
+                if instrument is None:
+                    instrument = factory(name, key[2])
+                    self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        if help:
+            self._help.setdefault(name, help)
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        if help:
+            self._help.setdefault(name, help)
+        return self._get("gauge", name, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        help: str = "",
+        **labels: Any,
+    ) -> Histogram:
+        if help:
+            self._help.setdefault(name, help)
+        return self._get(
+            "histogram",
+            name,
+            labels,
+            lambda n, lk: Histogram(n, lk, buckets=buckets),
+        )
+
+    def timer(
+        self,
+        name: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        help: str = "",
+        **labels: Any,
+    ) -> Timer:
+        """A fresh monotonic timer observing into ``name``'s histogram."""
+        return Timer(self.histogram(name, buckets=buckets, help=help, **labels))
+
+    # -- introspection -----------------------------------------------------
+
+    def help_for(self, name: str) -> str:
+        return self._help.get(name, "")
+
+    def instruments(self) -> Iterator[Any]:
+        """Every live instrument, sorted by (name, labels) for stable output."""
+        with self._lock:
+            items = sorted(self._instruments.items(), key=lambda kv: kv[0][1:])
+        for _, instrument in items:
+            yield instrument
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready dump of every instrument (the ``--emit-metrics`` payload)."""
+        out: dict[str, Any] = {}
+        for instrument in self.instruments():
+            entry: dict[str, Any] = {
+                "kind": instrument.kind,
+                "labels": dict(instrument.labels),
+            }
+            if isinstance(instrument, Histogram):
+                entry["count"] = instrument.count
+                entry["sum"] = instrument.sum
+                entry["buckets"] = [
+                    {"le": "+Inf" if bound == float("inf") else bound, "count": n}
+                    for bound, n in instrument.cumulative_buckets()
+                ]
+            else:
+                entry["value"] = instrument.value
+            out.setdefault(instrument.name, []).append(entry)
+        return out
+
+
+class _NullInstrument:
+    """Shared do-nothing stand-in for every instrument kind."""
+
+    __slots__ = ()
+
+    name = ""
+    labels: LabelItems = ()
+    kind = "null"
+    value = 0.0
+    count = 0
+    sum = 0.0
+    bounds: tuple[float, ...] = ()
+    elapsed = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        return []
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL = _NullInstrument()
+
+
+class NullRegistry:
+    """The off switch: every factory returns one shared no-op instrument.
+
+    Keeping the API identical means instrumented code never branches on
+    "is observability on?" — it just calls; the only difference is that
+    the call does nothing.  ``collecting`` lets the few places with
+    per-iteration bookkeeping (heap-depth gauges, span trees) skip even
+    that call.
+    """
+
+    collecting = False
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> _NullInstrument:
+        return _NULL
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> _NullInstrument:
+        return _NULL
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        help: str = "",
+        **labels: Any,
+    ) -> _NullInstrument:
+        return _NULL
+
+    def timer(
+        self,
+        name: str,
+        buckets: Sequence[float] = LATENCY_BUCKETS,
+        help: str = "",
+        **labels: Any,
+    ) -> _NullInstrument:
+        return _NULL
+
+    def help_for(self, name: str) -> str:
+        return ""
+
+    def instruments(self) -> Iterator[Any]:
+        return iter(())
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}

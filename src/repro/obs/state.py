@@ -1,0 +1,147 @@
+"""Process-wide observability state: the registry/tracer pair + gating.
+
+One registry + tracer pair backs every instrumented path (the
+best-first drivers, the lane engines, the service).  Collection is
+**off by default**: hot paths talk to a shared no-op registry unless
+
+* the process opted in programmatically (:func:`enable` — the service
+  and ``--emit-metrics`` bench runs do this), or
+* the environment opted in (``REPRO_METRICS=1``).
+
+``REPRO_METRICS=0`` force-disables collection even where the code asks
+for it, which is how the timing-sensitive tier-1 tests and benchmark
+baselines guarantee a zero-overhead hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+from .registry import MetricsRegistry, NullRegistry
+from .tracing import Tracer
+
+__all__ = [
+    "METRICS_ENV",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "get_tracer",
+    "reset",
+    "set_registry",
+    "span",
+    "write_snapshot",
+]
+
+#: Environment switch: "1"/"true"/"on" opt in, "0"/"false"/"off" force
+#: out (overriding programmatic :func:`enable`), unset defers to code.
+METRICS_ENV = "REPRO_METRICS"
+
+_TRUTHY = {"1", "true", "on", "yes"}
+_FALSY = {"0", "false", "off", "no"}
+
+_lock = threading.Lock()
+_registry: MetricsRegistry | NullRegistry | None = None
+_tracer: Tracer | None = None
+_null_registry = NullRegistry()
+_null_tracer = Tracer(enabled=False)
+
+
+def _env_state() -> bool | None:
+    """True/False when the environment decides, None when code decides."""
+    raw = os.environ.get(METRICS_ENV, "").strip().lower()
+    if raw in _TRUTHY:
+        return True
+    if raw in _FALSY and raw:
+        return False
+    return None
+
+
+def enabled() -> bool:
+    """Whether the process-wide registry is currently collecting."""
+    return get_registry().collecting
+
+
+def get_registry() -> MetricsRegistry | NullRegistry:
+    """The process-wide registry (no-op unless enabled)."""
+    global _registry
+    registry = _registry
+    if registry is None:
+        with _lock:
+            registry = _registry
+            if registry is None:
+                registry = (
+                    MetricsRegistry() if _env_state() is True else _null_registry
+                )
+                _registry = registry
+    return registry
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (enabled iff the registry collects)."""
+    global _tracer
+    tracer = _tracer
+    if tracer is None:
+        tracer = Tracer() if get_registry().collecting else _null_tracer
+        _tracer = tracer
+    return tracer
+
+
+def span(name: str, **attrs):
+    """Open a span on the process-wide tracer (no-op when disabled)."""
+    return get_tracer().span(name, **attrs)
+
+
+def enable() -> bool:
+    """Opt this process into collection (service / ``--emit-metrics``).
+
+    Returns True when collection is now on; ``REPRO_METRICS=0`` wins
+    and keeps it off.
+    """
+    global _registry, _tracer
+    if _env_state() is False:
+        return enabled()
+    with _lock:
+        if _registry is None or not _registry.collecting:
+            _registry = MetricsRegistry()
+            _tracer = Tracer()
+    return True
+
+
+def disable() -> None:
+    """Turn collection off (instruments created so far stop aggregating)."""
+    global _registry, _tracer
+    with _lock:
+        _registry = _null_registry
+        _tracer = _null_tracer
+
+
+def set_registry(registry: MetricsRegistry | NullRegistry) -> None:
+    """Install a specific registry (tests, exporters)."""
+    global _registry, _tracer
+    with _lock:
+        _registry = registry
+        _tracer = Tracer() if registry.collecting else _null_tracer
+
+
+def reset() -> None:
+    """Forget the process-wide registry/tracer (re-resolved on next use)."""
+    global _registry, _tracer
+    with _lock:
+        _registry = None
+        _tracer = None
+
+
+def write_snapshot(path: str) -> dict:
+    """Dump the process registry + trace trees as JSON (``--emit-metrics``)."""
+    payload = {
+        "collecting": enabled(),
+        "metrics": get_registry().snapshot(),
+        "traces": get_tracer().export(),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload

@@ -1,0 +1,152 @@
+"""Lightweight tracing spans that nest and export as JSON trace trees.
+
+A span measures one phase of work on one thread::
+
+    with span("realign", split=r):
+        ...engine call...
+
+Spans opened while another span is active on the same thread become its
+children, so a run exports as a tree — exactly the "where did the wall
+time go" view the paper's Figure 8 timelines give for the cluster, but
+for a single process.  Durations come from ``time.perf_counter``
+(monotonic; RPR011 territory), start offsets are relative to the
+tracer's epoch so trees from one process line up.
+
+The tracer mirrors the registry's on/off discipline: a disabled tracer
+hands out one shared no-op span, costing hot paths a single method
+call.  Completed root trees are kept in a bounded deque — tracing is a
+diagnostic stream, not an unbounded log.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any
+
+__all__ = ["Span", "Tracer"]
+
+#: Upper bound on retained completed root spans per tracer.
+MAX_ROOTS = 256
+
+
+class Span:
+    """One timed phase; children are spans opened while it is active."""
+
+    __slots__ = ("name", "attrs", "start", "duration", "children", "_tracer", "_root")
+
+    def __init__(self, name: str, attrs: dict[str, Any], tracer: "Tracer") -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.duration = 0.0
+        self.children: list[Span] = []
+        self._tracer = tracer
+        self._root = False
+
+    def __enter__(self) -> "Span":
+        self.start = time.perf_counter() - self._tracer.epoch
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.duration = (time.perf_counter() - self._tracer.epoch) - self.start
+        self._tracer._pop(self)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready tree rooted at this span."""
+        node: dict[str, Any] = {
+            "name": self.name,
+            "start": round(self.start, 9),
+            "duration": round(self.duration, 9),
+        }
+        if self.attrs:
+            node["attrs"] = self.attrs
+        if self.children:
+            node["children"] = [c.to_dict() for c in self.children]
+        return node
+
+
+class _NullSpan:
+    """Shared span that measures nothing (tracer disabled)."""
+
+    __slots__ = ()
+
+    name = ""
+    attrs: dict[str, Any] = {}
+    start = 0.0
+    duration = 0.0
+    children: list[Span] = []
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+    def to_dict(self) -> dict[str, Any]:
+        return {}
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Per-thread span stacks + a bounded store of finished root trees."""
+
+    def __init__(self, *, enabled: bool = True, max_roots: int = MAX_ROOTS) -> None:
+        self.enabled = enabled
+        self.epoch = time.perf_counter()
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._roots: deque[Span] = deque(maxlen=max_roots)
+
+    # -- recording ---------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span | _NullSpan:
+        """Open a (context-manager) span; no-op when the tracer is off."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return Span(name, attrs, self)
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            span._root = True
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        # Tolerate mispaired exits instead of corrupting the tree.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if span._root:
+            with self._lock:
+                self._roots.append(span)
+
+    # -- export ------------------------------------------------------------
+
+    def roots(self) -> list[Span]:
+        """Completed root spans, oldest first."""
+        with self._lock:
+            return list(self._roots)
+
+    def export(self) -> list[dict[str, Any]]:
+        """JSON-ready trace trees for every completed root span."""
+        return [root.to_dict() for root in self.roots()]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()

@@ -35,6 +35,7 @@ from __future__ import annotations
 import threading
 import time
 
+from ..obs import span as obs_span
 from ..scoring.exchange import ExchangeMatrix
 from ..scoring.gaps import GapPenalties
 from ..sequences.sequence import Sequence
@@ -87,10 +88,13 @@ class ThreadedTopAlignmentRunner:
             threading.Thread(target=self._worker, name=f"repro-worker-{i}")
             for i in range(self.n_threads)
         ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        with obs_span(
+            "best_first", driver="shared", k=self.k, threads=self.n_threads
+        ):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
         if self._error is not None:
             raise self._error
         return list(self.state.found), self.state.stats

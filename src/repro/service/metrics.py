@@ -1,0 +1,136 @@
+"""Prometheus exporter for the service (``GET /metrics``).
+
+The worker pool runs **spawned processes**, so the server's in-process
+registry never sees worker-side counters.  The durable stores do: the
+job store carries per-worker counter files and every job record's
+lifecycle timestamps, the spool queue its depth, the result cache its
+hit/miss tallies.  Each scrape therefore builds a *fresh* short-lived
+:class:`~repro.obs.registry.MetricsRegistry` from those stores — the
+same read-through discipline ``RunStats`` uses, applied at process
+granularity — and appends the server process's own registry (HTTP
+request counters) on the way out.  Store-derived families use the
+``repro_service_*`` / ``repro_worker_*`` prefixes and the process
+registry uses ``repro_http_*``, so the two renderings never collide.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from ..obs import LATENCY_BUCKETS, MetricsRegistry, get_registry, render_prometheus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .server import ReproService
+
+__all__ = ["build_service_registry", "render_service_metrics"]
+
+#: WorkerStats counters republished per worker tag.
+_WORKER_COUNTERS = (
+    ("jobs_done", "Jobs this worker ran to completion"),
+    ("jobs_failed", "Jobs this worker failed"),
+    ("jobs_cancelled", "Jobs this worker observed cancelled mid-run"),
+    ("jobs_suspended", "Jobs this worker drained to a checkpoint"),
+    ("cache_hits", "Jobs this worker served from the result cache"),
+    ("alignments", "Bottom-row alignments this worker computed"),
+    ("cells", "Matrix cells this worker evaluated"),
+)
+
+
+def build_service_registry(
+    service: "ReproService", *, workers_alive: int | None = None
+) -> MetricsRegistry:
+    """A scrape-time registry filled from the service's durable stores."""
+    registry = MetricsRegistry()
+
+    registry.gauge(
+        "repro_service_uptime_seconds", help="Seconds since the service started"
+    ).set(time.time() - service.started)
+
+    # -- queue -----------------------------------------------------------
+    registry.gauge(
+        "repro_service_queue_depth", help="Jobs waiting in the spool queue"
+    ).set(service.queue.depth())
+    registry.gauge(
+        "repro_service_queue_in_flight", help="Jobs claimed by workers right now"
+    ).set(service.queue.in_flight())
+    registry.gauge(
+        "repro_service_queue_capacity",
+        help="Backlog bound above which submissions shed load (0 = unbounded)",
+    ).set(service.queue.capacity)
+
+    # -- result cache ----------------------------------------------------
+    cache_stats = service.cache.stats()
+    hits = registry.counter(
+        "repro_service_cache_hits_total",
+        help="Result-cache hits by tier",
+        tier="memory",
+    )
+    hits.inc(cache_stats["hits_memory"])
+    registry.counter("repro_service_cache_hits_total", tier="disk").inc(
+        cache_stats["hits_disk"]
+    )
+    registry.counter(
+        "repro_service_cache_misses_total", help="Result-cache misses"
+    ).inc(cache_stats["misses"])
+    registry.counter(
+        "repro_service_cache_stores_total", help="Result payloads written to the cache"
+    ).inc(cache_stats["stores"])
+    registry.gauge(
+        "repro_service_cache_memory_entries", help="Payloads in the in-memory LRU front"
+    ).set(cache_stats["memory_entries"])
+    registry.gauge(
+        "repro_service_cache_disk_entries", help="Digests stored on disk"
+    ).set(service.cache.entries())
+
+    # -- jobs ------------------------------------------------------------
+    for state, count in sorted(service.store.states().items()):
+        registry.gauge(
+            "repro_service_jobs", help="Job records by lifecycle state", state=state
+        ).set(count)
+    latency = registry.histogram(
+        "repro_service_job_seconds",
+        buckets=LATENCY_BUCKETS,
+        help="Submission-to-terminal latency of computed (non-cache-born) jobs",
+    )
+    attempts = registry.counter(
+        "repro_service_job_attempts_total", help="Worker claims across all jobs"
+    )
+    retries = registry.counter(
+        "repro_service_job_retries_total",
+        help="Re-claims beyond each job's first attempt (worker restarts/requeues)",
+    )
+    for job_id in service.store.list_ids():
+        record = service.store.get(job_id)
+        if record is None:
+            continue
+        attempts.inc(record.attempts)
+        retries.inc(max(0, record.attempts - 1))
+        if record.terminal and not record.served_from_cache and record.finished > 0:
+            latency.observe(max(0.0, record.finished - record.created))
+
+    # -- workers ---------------------------------------------------------
+    if workers_alive is not None:
+        registry.gauge(
+            "repro_service_workers_alive", help="Live worker processes in this pool"
+        ).set(workers_alive)
+    for tag, stats in sorted(service.store.worker_stats().items()):
+        for key, help_text in _WORKER_COUNTERS:
+            registry.counter(
+                f"repro_worker_{key}_total", help=help_text, worker=tag
+            ).inc(stats.get(key, 0))
+
+    return registry
+
+
+def render_service_metrics(
+    service: "ReproService", *, workers_alive: int | None = None
+) -> str:
+    """Full ``/metrics`` body: store-derived families + the process registry."""
+    text = render_prometheus(
+        build_service_registry(service, workers_alive=workers_alive)
+    )
+    process = get_registry()
+    if process.collecting:
+        text += render_prometheus(process)
+    return text

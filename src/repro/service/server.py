@@ -41,7 +41,9 @@ from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from .. import obs
 from .jobstore import JobRecord
+from .metrics import render_service_metrics
 from .protocol import JobSpec, JobState, SpecError, job_digest
 from .queue import BacklogFull
 from .workers import WorkerPool, open_stores, recover
@@ -77,6 +79,10 @@ class ReproService:
 
     def __init__(self, config: ServiceConfig) -> None:
         self.config = config
+        # The service is the always-on consumer of repro.obs: turn the
+        # process registry on so HTTP counters (and any in-process
+        # alignment work) land on /metrics.  REPRO_METRICS=0 still wins.
+        obs.enable()
         self.store, self.queue, self.cache = open_stores(
             config.data_dir,
             capacity=config.queue_capacity,
@@ -174,6 +180,9 @@ class _ServerState:
 
     service: ReproService
     shutting_down: threading.Event = field(default_factory=threading.Event)
+    #: The in-process worker pool, when this server owns one — lets
+    #: ``/metrics`` report live worker processes.
+    pool: WorkerPool | None = None
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -206,6 +215,35 @@ class _Handler(BaseHTTPRequestHandler):
     def _error(self, code: int, message: str, headers: dict | None = None) -> None:
         self._send_json(code, {"error": message}, headers)
 
+    def _send_text(self, code: int, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    #: Route families that get their own ``endpoint`` label value; any
+    #: other path is folded into "other" so stray URLs cannot mint an
+    #: unbounded label set.
+    _KNOWN_ENDPOINTS = frozenset(
+        {"jobs", "results", "stats", "healthz", "metrics"}
+    )
+
+    def _count_request(self, parts: list[str]) -> None:
+        registry = obs.get_registry()
+        if not registry.collecting:
+            return
+        endpoint = parts[0] if parts else "/"
+        if endpoint not in self._KNOWN_ENDPOINTS and endpoint != "/":
+            endpoint = "other"
+        registry.counter(
+            "repro_http_requests_total",
+            help="HTTP requests by method and endpoint family",
+            method=self.command,
+            endpoint=endpoint,
+        ).inc()
+
     def _read_body(self) -> dict:
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
@@ -222,6 +260,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
+        self._count_request(parts)
         try:
             if parts == ["jobs"]:
                 self._post_job()
@@ -254,10 +293,21 @@ class _Handler(BaseHTTPRequestHandler):
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
         query = parse_qs(url.query)
+        self._count_request(parts)
         if parts == ["healthz"]:
             self._send_json(200, {"ok": True})
         elif parts == ["stats"]:
             self._send_json(200, self.svc.stats())
+        elif parts == ["metrics"]:
+            pool = self.server.state.pool  # type: ignore[attr-defined]
+            self._send_text(
+                200,
+                render_service_metrics(
+                    self.svc,
+                    workers_alive=pool.alive_count() if pool is not None else None,
+                ),
+                obs.CONTENT_TYPE,
+            )
         elif len(parts) == 2 and parts[0] == "jobs":
             record = self.svc.status(parts[1])
             if record is None:
@@ -326,6 +376,7 @@ def serve(config: ServiceConfig) -> int:
             checkpoint_every=config.checkpoint_every,
         )
         requeued = pool.start()
+        state.pool = pool
         if requeued:
             print(f"recovered {len(requeued)} interrupted job(s)", flush=True)
     else:

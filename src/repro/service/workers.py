@@ -36,6 +36,7 @@ from typing import Callable
 
 from ..core.api import RepeatFinder
 from ..core.checkpoint import load_checkpoint
+from ..obs import span as obs_span
 from ..core.result import RepeatResult
 from ..core.session import TopAlignmentSession
 from ..core.topalign import TopAlignmentState, find_top_alignments
@@ -218,21 +219,24 @@ def execute_job(
         sequence = Sequence(
             spec.normalized_sequence(), spec.alphabet, id=spec.seq_id
         )
-        if spec.algorithm == "old":
-            # The quartic baseline has no incremental state to
-            # checkpoint; it runs one-shot (identical results, §3).
-            result = finder.find(sequence)
-        else:
-            result = _run_incremental(
-                store,
-                finder,
-                sequence,
-                spec,
-                job_id,
-                should_stop=should_stop,
-                checkpoint_every=max(1, checkpoint_every),
-                chunk_delay=chunk_delay,
-            )
+        with obs_span(
+            "execute_job", job=job_id, algorithm=spec.algorithm, k=spec.top_alignments
+        ):
+            if spec.algorithm == "old":
+                # The quartic baseline has no incremental state to
+                # checkpoint; it runs one-shot (identical results, §3).
+                result = finder.find(sequence)
+            else:
+                result = _run_incremental(
+                    store,
+                    finder,
+                    sequence,
+                    spec,
+                    job_id,
+                    should_stop=should_stop,
+                    checkpoint_every=max(1, checkpoint_every),
+                    chunk_delay=chunk_delay,
+                )
             if result is None:
                 outcome = "cancelled" if store.cancel_requested(job_id) else "suspended"
                 if outcome == "cancelled":
@@ -307,20 +311,21 @@ def _run_incremental(
             store.update(job_id, found=state.n_found)
             return None
         target = min(k, state.n_found + checkpoint_every)
-        if session is not None:
-            session.extend(target - state.n_found)
-            exhausted = session.exhausted
-        else:
-            find_top_alignments(
-                sequence,
-                target,
-                exchange,
-                finder.gaps,
-                state=state,
-                group=spec.group,
-                min_score=spec.min_score,
-            )
-            exhausted = state.n_found < target
+        with obs_span("chunk", job=job_id, target=target):
+            if session is not None:
+                session.extend(target - state.n_found)
+                exhausted = session.exhausted
+            else:
+                find_top_alignments(
+                    sequence,
+                    target,
+                    exchange,
+                    finder.gaps,
+                    state=state,
+                    group=spec.group,
+                    min_score=spec.min_score,
+                )
+                exhausted = state.n_found < target
         store.save_job_checkpoint(job_id, state)
         store.update(job_id, found=state.n_found)
         store.append_event(

@@ -537,3 +537,81 @@ def test_rpr010_waivable_with_reason(tmp_path):
         """,
     )
     assert "RPR010" not in _rules_hit(path)
+
+
+# ---------------------------------------------------------------------------
+# RPR011 — wall-clock time.time() in instrumented performance paths
+
+
+def test_rpr011_flags_wall_clock_in_core(tmp_path):
+    path = _write(
+        tmp_path,
+        "core/timing.py",
+        """
+        import time
+
+        def measure(fn):
+            start = time.time()
+            fn()
+            return time.time() - start
+        """,
+    )
+    assert "RPR011" in _rules_hit(path)
+
+
+def test_rpr011_quiet_on_perf_counter(tmp_path):
+    path = _write(
+        tmp_path,
+        "core/timing.py",
+        """
+        import time
+
+        def measure(fn):
+            start = time.perf_counter()
+            fn()
+            return time.perf_counter() - start
+        """,
+    )
+    assert "RPR011" not in _rules_hit(path)
+
+
+def test_rpr011_flags_from_import_alias(tmp_path):
+    path = _write(
+        tmp_path,
+        "align/clock.py",
+        """
+        from time import time as now
+
+        def stamp():
+            return now()
+        """,
+    )
+    assert "RPR011" in _rules_hit(path)
+
+
+def test_rpr011_scoped_outside_instrumented_dirs(tmp_path):
+    path = _write(
+        tmp_path,
+        "service/jobstore.py",
+        """
+        import time
+
+        def created_at():
+            return time.time()  # epoch timestamp on the job record
+        """,
+    )
+    assert "RPR011" not in _rules_hit(path)
+
+
+def test_rpr011_waivable_with_reason(tmp_path):
+    path = _write(
+        tmp_path,
+        "bench/report.py",
+        """
+        import time
+
+        def report_header():
+            return time.time()  # repro-lint: allow[RPR011] epoch stamp in the report header
+        """,
+    )
+    assert "RPR011" not in _rules_hit(path)

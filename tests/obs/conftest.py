@@ -1,0 +1,21 @@
+"""Isolation for process-global observability state.
+
+``repro.obs`` holds one registry/tracer pair per process; every test in
+this package gets a clean pair and a neutral ``REPRO_METRICS``
+environment, and leaves collection off for whoever runs next.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def obs_isolation(monkeypatch):
+    monkeypatch.delenv(obs.METRICS_ENV, raising=False)
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,114 @@
+"""``GET /metrics`` over a real socket: valid exposition, live numbers."""
+
+from __future__ import annotations
+
+import threading
+import urllib.request
+from http.server import ThreadingHTTPServer
+
+import pytest
+
+from repro.obs import CONTENT_TYPE
+from repro.sequences import pseudo_titin
+from repro.service.server import ReproService, ServiceConfig, _Handler, _ServerState
+from repro.service.workers import execute_job
+
+from .test_prometheus import SAMPLE_RE
+
+
+@pytest.fixture()
+def service(tmp_path):
+    """A live server on an ephemeral port, jobs executed inline."""
+    config = ServiceConfig(
+        data_dir=str(tmp_path / "data"), port=0, workers=0, queue_capacity=4
+    )
+    svc = ReproService(config)
+    httpd = ThreadingHTTPServer((config.host, 0), _Handler)
+    httpd.daemon_threads = True
+    httpd.state = _ServerState(service=svc)
+    thread = threading.Thread(
+        target=httpd.serve_forever, kwargs={"poll_interval": 0.02}, daemon=True
+    )
+    thread.start()
+    url = f"http://127.0.0.1:{httpd.server_address[1]}"
+    try:
+        yield svc, url
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(5)
+
+
+def _scrape(url):
+    with urllib.request.urlopen(f"{url}/metrics", timeout=10) as resp:
+        return resp.headers.get("Content-Type"), resp.read().decode("utf-8")
+
+
+def _run_one(svc):
+    job_id = svc.queue.claim()
+    assert job_id is not None
+    execute_job(svc.store, svc.cache, svc.store.get(job_id))
+    svc.queue.discard(job_id)
+
+
+def _submit(svc):
+    spec = {"sequence": pseudo_titin(60, seed=2).text, "top_alignments": 3}
+    return svc.submit(spec)
+
+
+def _parse(text):
+    """{series (name+labels): value}, asserting every line is valid."""
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        assert SAMPLE_RE.match(line), f"invalid exposition line: {line!r}"
+        key, value = line.rsplit(" ", 1)
+        samples[key] = float(value)
+    return samples
+
+
+def test_metrics_is_valid_prometheus_text(service):
+    _, url = service
+    content_type, text = _scrape(url)
+    assert content_type == CONTENT_TYPE
+    samples = _parse(text)
+    assert samples["repro_service_queue_depth"] == 0
+    assert "repro_service_uptime_seconds" in samples
+    assert samples["repro_service_queue_capacity"] == 4
+    assert 'repro_service_jobs{state="queued"}' in samples
+
+
+def test_metrics_reflect_queue_and_job_lifecycle(service):
+    svc, url = service
+    _submit(svc)
+    samples = _parse(_scrape(url)[1])
+    assert samples["repro_service_queue_depth"] == 1
+    assert samples['repro_service_jobs{state="queued"}'] == 1
+
+    _run_one(svc)
+    samples = _parse(_scrape(url)[1])
+    assert samples["repro_service_queue_depth"] == 0
+    assert samples['repro_service_jobs{state="done"}'] == 1
+    assert samples["repro_service_job_seconds_count"] == 1
+    assert samples["repro_service_job_seconds_sum"] >= 0.0
+    assert samples['repro_service_cache_hits_total{tier="memory"}'] == 0
+
+    # A duplicate submission is born from the cache: a hit, no new job time.
+    _, from_cache = _submit(svc)
+    assert from_cache
+    samples = _parse(_scrape(url)[1])
+    hits = (
+        samples['repro_service_cache_hits_total{tier="memory"}']
+        + samples['repro_service_cache_hits_total{tier="disk"}']
+    )
+    assert hits >= 1
+    assert samples["repro_service_job_seconds_count"] == 1
+
+
+def test_metrics_count_http_requests_by_endpoint(service):
+    _, url = service
+    _scrape(url)
+    samples = _parse(_scrape(url)[1])
+    key = 'repro_http_requests_total{endpoint="metrics",method="GET"}'
+    assert samples[key] >= 2

@@ -1,0 +1,85 @@
+"""Text-exposition rendering: headers, labels, histogram series, escaping."""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs import CONTENT_TYPE, MetricsRegistry, NullRegistry, render_prometheus
+
+#: One exposition sample line: name{labels} value.
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (?:[+-]?(?:Inf|NaN|[0-9.eE+-]+))$"
+)
+
+
+def _samples(text: str) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line.startswith("#"):
+            out[line.rsplit(" ", 1)[0]] = float(line.rsplit(" ", 1)[1])
+    return out
+
+
+def test_content_type_is_prometheus_text_004():
+    assert "version=0.0.4" in CONTENT_TYPE
+
+
+def test_counter_and_gauge_render_with_headers():
+    registry = MetricsRegistry()
+    registry.counter("repro_jobs_total", help="Jobs seen").inc(3)
+    registry.gauge("repro_queue_depth").set(2)
+    text = render_prometheus(registry)
+    assert "# HELP repro_jobs_total Jobs seen" in text
+    assert "# TYPE repro_jobs_total counter" in text
+    assert "# TYPE repro_queue_depth gauge" in text
+    assert _samples(text)["repro_jobs_total"] == 3.0
+    assert _samples(text)["repro_queue_depth"] == 2.0
+
+
+def test_every_sample_line_is_valid_exposition():
+    registry = MetricsRegistry()
+    registry.counter("repro_hits_total", tier="memory").inc()
+    registry.gauge("repro_depth").set(1.5)
+    registry.histogram("repro_lat_seconds", buckets=(0.1, 1.0)).observe(0.5)
+    for line in render_prometheus(registry).splitlines():
+        if line.startswith("#"):
+            continue
+        assert SAMPLE_RE.match(line), f"invalid exposition line: {line!r}"
+
+
+def test_histogram_series_end_with_inf_bucket_sum_count():
+    registry = MetricsRegistry()
+    h = registry.histogram("repro_lat_seconds", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(5.0)
+    samples = _samples(render_prometheus(registry))
+    assert samples['repro_lat_seconds_bucket{le="0.1"}'] == 1
+    assert samples['repro_lat_seconds_bucket{le="1"}'] == 1
+    assert samples['repro_lat_seconds_bucket{le="+Inf"}'] == 2
+    assert samples["repro_lat_seconds_count"] == 2
+    assert samples["repro_lat_seconds_sum"] == 5.05
+
+
+def test_labels_sorted_and_escaped():
+    registry = MetricsRegistry()
+    registry.counter("repro_x_total", b='say "hi"\n', a="back\\slash").inc()
+    (line,) = [
+        l for l in render_prometheus(registry).splitlines() if not l.startswith("#")
+    ]
+    assert line == (
+        'repro_x_total{a="back\\\\slash",b="say \\"hi\\"\\n"} 1'
+    )
+
+
+def test_one_header_per_family_across_label_sets():
+    registry = MetricsRegistry()
+    registry.counter("repro_x_total", engine="lanes").inc()
+    registry.counter("repro_x_total", engine="vector").inc()
+    text = render_prometheus(registry)
+    assert text.count("# TYPE repro_x_total counter") == 1
+
+
+def test_null_registry_renders_empty():
+    assert render_prometheus(NullRegistry()) == ""

@@ -1,0 +1,197 @@
+"""Registry + instrument correctness: identity, bucketing, thread safety."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.obs import LATENCY_BUCKETS, MetricsRegistry, NullRegistry
+from repro.obs.registry import _NULL
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        counter = MetricsRegistry().counter("repro_things_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("repro_things_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_concurrent_increments_from_threads(self):
+        """No lost updates: N threads x M incs lands on exactly N*M."""
+        counter = MetricsRegistry().counter("repro_races_total")
+        n_threads, n_incs = 8, 5000
+
+        def spin():
+            for _ in range(n_incs):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * n_incs
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("repro_depth")
+        gauge.set(7)
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value == 9.0
+
+
+class TestHistogram:
+    def test_boundary_values_use_le_semantics(self):
+        """A value exactly on a bound lands in that bucket (le=bound)."""
+        h = MetricsRegistry().histogram("repro_h", buckets=(1.0, 2.0, 5.0))
+        for value in (1.0, 1.5, 5.0, 7.0):
+            h.observe(value)
+        assert h.cumulative_buckets() == [
+            (1.0, 1),
+            (2.0, 2),
+            (5.0, 3),
+            (float("inf"), 4),
+        ]
+        assert h.count == 4
+        assert h.sum == pytest.approx(14.5)
+
+    def test_cumulative_counts_are_monotone(self):
+        h = MetricsRegistry().histogram("repro_h", buckets=LATENCY_BUCKETS)
+        for value in (0.0005, 0.02, 0.02, 3.0, 400.0):
+            h.observe(value)
+        counts = [n for _, n in h.cumulative_buckets()]
+        assert counts == sorted(counts)
+        assert counts[-1] == 5
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("repro_h", buckets=(2.0, 1.0))
+
+    def test_duplicate_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("repro_h", buckets=(1.0, 1.0))
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("repro_h", buckets=())
+
+
+class TestTimer:
+    def test_observes_elapsed_into_histogram(self):
+        registry = MetricsRegistry()
+        with registry.timer("repro_phase_seconds") as timer:
+            pass
+        histogram = registry.histogram("repro_phase_seconds")
+        assert histogram.count == 1
+        assert timer.elapsed >= 0.0
+        assert histogram.sum == pytest.approx(timer.elapsed)
+
+
+class TestRegistry:
+    def test_same_name_and_labels_return_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", engine="lanes")
+        b = registry.counter("repro_x_total", engine="lanes")
+        c = registry.counter("repro_x_total", engine="vector")
+        assert a is b
+        assert a is not c
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("repro_x_total", a="1", b="2")
+        b = registry.counter("repro_x_total", b="2", a="1")
+        assert a is b
+
+    def test_help_recorded_once(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total", help="first wins")
+        registry.counter("repro_x_total", help="ignored")
+        assert registry.help_for("repro_x_total") == "first wins"
+
+    def test_instruments_sorted_for_stable_output(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_b_total")
+        registry.counter("repro_a_total")
+        names = [i.name for i in registry.instruments()]
+        assert names == sorted(names)
+
+    def test_snapshot_shapes(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_x_total").inc(3)
+        registry.histogram("repro_h", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["repro_x_total"][0]["value"] == 3.0
+        entry = snap["repro_h"][0]
+        assert entry["count"] == 1
+        assert entry["buckets"][-1]["le"] == "+Inf"
+        assert entry["buckets"][-1]["count"] == 1
+
+
+class TestNullRegistry:
+    def test_not_collecting(self):
+        assert NullRegistry().collecting is False
+        assert MetricsRegistry.collecting is True
+
+    def test_every_factory_returns_shared_noop(self):
+        registry = NullRegistry()
+        assert registry.counter("a") is _NULL
+        assert registry.gauge("b") is _NULL
+        assert registry.histogram("c") is _NULL
+        assert registry.timer("d") is _NULL
+
+    def test_noop_instrument_absorbs_everything(self):
+        null = NullRegistry().counter("a")
+        null.inc()
+        null.dec()
+        null.set(5)
+        null.observe(1.0)
+        with null:
+            pass
+        assert null.value == 0.0
+        assert NullRegistry().snapshot() == {}
+
+
+class TestRunStatsMirrors:
+    def test_stats_mirror_into_registry_when_collecting(self):
+        from repro import obs
+        from repro.core.result import RunStats
+
+        registry = MetricsRegistry()
+        obs.set_registry(registry)
+        stats = RunStats()
+        stats.cells += 100
+        stats.alignments += 2
+        assert registry.counter("repro_cells_total").value == 100
+        assert registry.counter("repro_alignments_total").value == 2
+
+    def test_stats_do_not_register_anything_when_off(self):
+        from repro import obs
+        from repro.core.result import RunStats
+
+        obs.disable()
+        stats = RunStats()
+        stats.cells += 100
+        assert stats.cells == 100
+        assert obs.get_registry().snapshot() == {}
+
+    def test_pickle_roundtrip_rebinds_mirrors(self):
+        from repro import obs
+        from repro.core.result import RunStats
+
+        registry = MetricsRegistry()
+        obs.set_registry(registry)
+        stats = RunStats()
+        stats.cells += 50
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone == stats
+        clone.cells += 1
+        assert registry.counter("repro_cells_total").value == 51

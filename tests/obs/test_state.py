@@ -1,0 +1,96 @@
+"""Process-wide gating: REPRO_METRICS semantics, enable/disable, snapshots."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+
+
+class TestEnvGating:
+    def test_off_by_default(self):
+        assert not obs.enabled()
+        assert obs.get_registry().collecting is False
+
+    def test_env_opt_in(self, monkeypatch):
+        monkeypatch.setenv(obs.METRICS_ENV, "1")
+        obs.reset()
+        assert obs.enabled()
+        assert obs.get_registry().collecting is True
+
+    def test_env_force_off_beats_programmatic_enable(self, monkeypatch):
+        monkeypatch.setenv(obs.METRICS_ENV, "0")
+        obs.reset()
+        obs.enable()
+        assert not obs.enabled()
+
+    def test_programmatic_enable_when_env_unset(self):
+        obs.enable()
+        assert obs.enabled()
+        obs.disable()
+        assert not obs.enabled()
+
+    def test_tracer_follows_registry(self):
+        assert obs.get_tracer().enabled is False
+        obs.reset()
+        obs.enable()
+        assert obs.get_tracer().enabled is True
+
+
+class TestNoOpOverhead:
+    def test_disabled_hot_path_allocates_nothing(self):
+        """With collection off, instrumented code touches only shared
+        no-op singletons — nothing registers, nothing aggregates."""
+        registry = obs.get_registry()
+        assert registry.collecting is False
+        counter = registry.counter("repro_cells_total")
+        for _ in range(1000):
+            counter.inc()
+            with obs.span("best_first", k=4):
+                pass
+        assert registry.snapshot() == {}
+        assert obs.get_tracer().export() == []
+
+    def test_disabled_span_is_shared_singleton(self):
+        assert obs.span("a") is obs.span("b")
+
+
+class TestSpanHelper:
+    def test_span_records_on_process_tracer_when_enabled(self):
+        obs.enable()
+        with obs.span("phase", step=1):
+            pass
+        (tree,) = obs.get_tracer().export()
+        assert tree["name"] == "phase"
+        assert tree["attrs"] == {"step": 1}
+
+
+class TestSetRegistry:
+    def test_set_registry_installs_and_switches_tracer(self):
+        registry = obs.MetricsRegistry()
+        obs.set_registry(registry)
+        assert obs.get_registry() is registry
+        assert obs.get_tracer().enabled is True
+        obs.set_registry(obs.NullRegistry())
+        assert obs.get_tracer().enabled is False
+
+
+class TestWriteSnapshot:
+    def test_write_snapshot_round_trips_through_json(self, tmp_path):
+        obs.enable()
+        obs.get_registry().counter("repro_cells_total").inc(42)
+        with obs.span("best_first", driver="batched"):
+            pass
+        out = tmp_path / "metrics.json"
+        payload = obs.write_snapshot(str(out))
+        on_disk = json.loads(out.read_text())
+        assert on_disk == payload
+        assert on_disk["collecting"] is True
+        assert on_disk["metrics"]["repro_cells_total"][0]["value"] == 42
+        assert on_disk["traces"][0]["name"] == "best_first"
+
+    def test_write_snapshot_when_disabled_is_empty_but_valid(self, tmp_path):
+        out = tmp_path / "metrics.json"
+        payload = obs.write_snapshot(str(out))
+        assert payload == {"collecting": False, "metrics": {}, "traces": []}
+        assert json.loads(out.read_text()) == payload

@@ -1,0 +1,106 @@
+"""Span nesting, JSON-tree export, bounded retention, no-op mode."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import Tracer
+from repro.obs.tracing import _NULL_SPAN
+
+
+class TestNesting:
+    def test_spans_nest_into_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer", k=4):
+            with tracer.span("inner_a"):
+                pass
+            with tracer.span("inner_b"):
+                with tracer.span("leaf"):
+                    pass
+        roots = tracer.roots()
+        assert [r.name for r in roots] == ["outer"]
+        outer = roots[0]
+        assert [c.name for c in outer.children] == ["inner_a", "inner_b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_sequential_roots_stay_separate(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [r.name for r in tracer.roots()] == ["first", "second"]
+
+    def test_threads_get_independent_stacks(self):
+        """A span on another thread must not nest under this thread's."""
+        tracer = Tracer()
+        started = threading.Event()
+        release = threading.Event()
+
+        def other():
+            with tracer.span("worker"):
+                started.set()
+                release.wait(timeout=5)
+
+        thread = threading.Thread(target=other)
+        with tracer.span("main"):
+            thread.start()
+            assert started.wait(timeout=5)
+            release.set()
+            thread.join(5)
+        names = sorted(r.name for r in tracer.roots())
+        assert names == ["main", "worker"]
+        main = next(r for r in tracer.roots() if r.name == "main")
+        assert main.children == []
+
+
+class TestExport:
+    def test_export_is_json_ready_tree(self):
+        tracer = Tracer()
+        with tracer.span("best_first", driver="batched", k=4):
+            with tracer.span("accept", r=3):
+                pass
+        (tree,) = tracer.export()
+        assert tree["name"] == "best_first"
+        assert tree["attrs"] == {"driver": "batched", "k": 4}
+        (child,) = tree["children"]
+        assert child["name"] == "accept"
+        assert child["duration"] >= 0.0
+        assert child["start"] >= tree["start"]
+
+    def test_durations_are_nonnegative_and_contained(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        (outer,) = tracer.roots()
+        inner = outer.children[0]
+        assert 0.0 <= inner.duration <= outer.duration
+
+    def test_clear_drops_roots(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.export() == []
+
+
+class TestBounds:
+    def test_root_retention_is_bounded(self):
+        tracer = Tracer(max_roots=4)
+        for i in range(10):
+            with tracer.span(f"run_{i}"):
+                pass
+        names = [r.name for r in tracer.roots()]
+        assert names == ["run_6", "run_7", "run_8", "run_9"]
+
+
+class TestDisabled:
+    def test_disabled_tracer_hands_out_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", k=1)
+        assert span is _NULL_SPAN
+        with span:
+            pass
+        assert tracer.roots() == []
+        assert span.to_dict() == {}
