@@ -37,6 +37,41 @@ DEFAULT_TOLERANCE = 0.35
 #: Keys that must match between the two reports for rows to be comparable.
 _COMPARABLE_KEYS = ("length", "k", "seed", "engine")
 
+#: Metric-family prefixes the gate must never fail on: operational
+#: families (HTTP traffic, queue depth, cluster node/lease churn) vary
+#: run to run by design and say nothing about alignment throughput.
+IGNORED_METRIC_PREFIXES = (
+    "repro_cluster_",
+    "repro_http_",
+    "repro_service_",
+    "repro_worker_",
+)
+
+
+def check_metrics_snapshot(snapshot: dict) -> tuple[dict, list[str]]:
+    """Validate an ``--emit-metrics`` snapshot; returns (summary, failures).
+
+    Families matching :data:`IGNORED_METRIC_PREFIXES` are counted but
+    excluded from gating; the only hard requirement is that the run
+    actually collected perf instrumentation.
+    """
+    failures: list[str] = []
+    if not snapshot.get("collecting", False):
+        failures.append(
+            "metrics snapshot taken with collection disabled "
+            "(was the workload run with --emit-metrics?)"
+        )
+    families = snapshot.get("metrics", {})
+    ignored = sorted(
+        name
+        for name in families
+        if any(name.startswith(prefix) for prefix in IGNORED_METRIC_PREFIXES)
+    )
+    gated = sorted(set(families) - set(ignored))
+    if not failures and not gated:
+        failures.append("metrics snapshot holds no perf families to gate on")
+    return {"gated": gated, "ignored": ignored}, failures
+
 
 def _rows_by_config(report: dict) -> dict[tuple, dict]:
     return {(row["engine"], row["group"]): row for row in report["rows"]}
@@ -129,6 +164,13 @@ def main(argv: list[str] | None = None) -> int:
         help="checked-in baseline report",
     )
     parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="optional --emit-metrics snapshot; validated, with "
+        "operational families (repro_cluster_* etc.) ignored",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE)),
@@ -145,6 +187,15 @@ def main(argv: list[str] | None = None) -> int:
         current = json.load(fh)
 
     deltas, failures = compare(baseline, current, args.tolerance)
+    if args.metrics:
+        with open(args.metrics, encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+        summary, metric_failures = check_metrics_snapshot(snapshot)
+        failures.extend(metric_failures)
+        print(
+            f"metrics snapshot: {len(summary['gated'])} perf families gated, "
+            f"{len(summary['ignored'])} operational families ignored"
+        )
     table = markdown_table(deltas, failures, args.tolerance)
     print(table)
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")

@@ -49,6 +49,7 @@ RULE_DOC: dict[str, str] = {
     "RPR008": "O(n) list.insert(0,..)/in-on-list in a loop",
     "RPR010": "blocking call (time.sleep / unbounded Queue.get) in a service request-handling path",
     "RPR011": "wall-clock time.time() in an instrumented path (use time.perf_counter)",
+    "RPR012": "raw socket / unbounded recv/accept outside cluster/transport.py",
 }
 
 

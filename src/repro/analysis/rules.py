@@ -17,6 +17,7 @@ Rule ids
 ``RPR008`` O(n) list operation (``insert(0, ...)``, ``in``-on-list) in a loop
 ``RPR010`` blocking call in a ``repro.service`` request-handling path
 ``RPR011`` wall-clock ``time.time()`` in an instrumented performance path
+``RPR012`` raw socket / unbounded ``recv``/``accept`` outside ``cluster/transport``
 """
 
 from __future__ import annotations
@@ -711,6 +712,87 @@ def rule_wall_clock_in_hot_path(tree: ast.Module, path: str) -> list[Diagnostic]
     return findings
 
 
+# ---------------------------------------------------------------------------
+# RPR012 — socket discipline in the cluster package
+# ---------------------------------------------------------------------------
+
+#: The one module allowed to touch raw sockets (it wraps them in
+#: timeout-carrying Channel/Listener objects).
+_TRANSPORT_MODULE = "transport.py"
+
+#: Socket methods that block forever unless a timeout bounds them.
+_BLOCKING_SOCKET_METHODS = frozenset({"recv", "recvfrom", "recv_into", "accept"})
+
+
+def _socket_aliases(tree: ast.Module) -> set[str]:
+    """Module aliases bound to the stdlib ``socket`` module."""
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "socket":
+                    aliases.add(alias.asname or "socket")
+    return aliases
+
+
+def rule_socket_discipline(tree: ast.Module, path: str) -> list[Diagnostic]:
+    """RPR012: raw sockets / unbounded blocking calls outside the transport.
+
+    A distributed run that hangs silently is worse than one that fails
+    loudly: a node blocked forever in ``recv`` holds a lease until the
+    deadline reaper steals it back, hiding the real fault.  All raw
+    socket handling in ``repro.cluster`` therefore lives in
+    ``transport.py``, whose Channel/Listener/connect wrappers carry
+    explicit timeouts; every other cluster module must (a) never
+    construct sockets directly and (b) pass ``timeout=`` to each
+    ``recv``/``accept`` call.  Intentional exceptions carry a waiver:
+    ``# repro-lint: allow[RPR012] reason``.
+    """
+    if not _in_dir(path, "cluster") or _is_test_file(path):
+        return []
+    if Path(path).name == _TRANSPORT_MODULE:
+        return []
+    socket_aliases = _socket_aliases(tree)
+    findings: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if (
+            isinstance(func.value, ast.Name)
+            and func.value.id in socket_aliases
+            and func.attr in ("socket", "create_connection", "create_server")
+        ):
+            findings.append(
+                Diagnostic(
+                    rule="RPR012",
+                    path=path,
+                    line=node.lineno,
+                    message=f"socket.{func.attr}(...) outside the transport "
+                    "layer; construct connections through "
+                    "repro.cluster.transport (Channel/Listener/connect), "
+                    "whose sockets carry explicit timeouts",
+                )
+            )
+        elif func.attr in _BLOCKING_SOCKET_METHODS and not any(
+            kw.arg == "timeout" for kw in node.keywords
+        ):
+            findings.append(
+                Diagnostic(
+                    rule="RPR012",
+                    path=path,
+                    line=node.lineno,
+                    message=f".{func.attr}(...) without an explicit timeout= "
+                    "outside the transport layer can hang a node forever; "
+                    "pass timeout= (or waive with "
+                    "`# repro-lint: allow[RPR012] reason`)",
+                )
+            )
+    return findings
+
+
 #: Per-file rules, in reporting order.  Lock discipline (RPR003) and
 #: export consistency (RPR005) are registered by the linter driver.
 FILE_RULES: tuple[tuple[str, Rule], ...] = (
@@ -722,6 +804,7 @@ FILE_RULES: tuple[tuple[str, Rule], ...] = (
     ("RPR008", rule_quadratic_list_op),
     ("RPR010", rule_blocking_in_handler),
     ("RPR011", rule_wall_clock_in_hot_path),
+    ("RPR012", rule_socket_discipline),
 )
 
 

@@ -206,6 +206,58 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="top alignments accepted between checkpoints",
     )
+    serve.add_argument(
+        "--cluster-port",
+        type=int,
+        default=None,
+        help="also run a cluster coordinator on this port (0 = ephemeral); "
+        "jobs route cluster-wide while worker nodes are alive",
+    )
+
+    cluster = sub.add_parser(
+        "cluster", help="multi-node sharded execution (coordinator / node / scan)"
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    coord = cluster_sub.add_parser(
+        "coordinator", help="run a standalone cluster coordinator"
+    )
+    coord.add_argument("--host", default="127.0.0.1")
+    coord.add_argument("--port", type=int, default=9410, help="0 = ephemeral")
+    coord.add_argument(
+        "--scan-shard-size", type=int, default=4, help="records per scan shard"
+    )
+    coord.add_argument(
+        "--lease-seconds", type=float, default=60.0, help="shard lease deadline"
+    )
+    coord.add_argument(
+        "--node-timeout", type=float, default=6.0, help="heartbeat staleness bound"
+    )
+
+    node = cluster_sub.add_parser("node", help="run a worker node agent")
+    node.add_argument(
+        "--join", required=True, metavar="HOST:PORT", help="coordinator address"
+    )
+    node.add_argument("--node-id", default="", help="default: hostname-pid")
+    node.add_argument(
+        "--max-shards", type=int, default=0, help="exit after N shards (0 = unbounded)"
+    )
+
+    cscan = cluster_sub.add_parser(
+        "scan", help="rank FASTA records by repeat content, sharded over a cluster"
+    )
+    cscan.add_argument("fasta", nargs="?", default="-")
+    cscan.add_argument(
+        "--join", required=True, metavar="HOST:PORT", help="coordinator address"
+    )
+    cscan.add_argument("-k", "--top-alignments", type=int, default=10)
+    cscan.add_argument(
+        "--alphabet", default="protein", choices=["protein", "dna", "rna"]
+    )
+    cscan.add_argument("--mask", action="store_true", help="mask low-complexity tracts")
+    cscan.add_argument("--min-length", type=int, default=10)
+    cscan.add_argument("--engine", default="vector")
+    cscan.add_argument("--timeout", type=float, default=600.0)
 
     submit = sub.add_parser("submit", help="submit FASTA records to a service")
     submit.add_argument("fasta", nargs="?", default="-", help="FASTA path or '-' for stdin")
@@ -581,8 +633,95 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         queue_capacity=args.queue_capacity,
         checkpoint_every=args.checkpoint_every,
+        cluster_port=args.cluster_port,
     )
     return serve(config)
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    if args.cluster_command == "coordinator":
+        return _cluster_coordinator(args)
+    if args.cluster_command == "node":
+        from .cluster.node import node_main
+
+        return node_main(
+            args.join, node_id=args.node_id, max_shards=args.max_shards
+        )
+    return _cluster_scan(args)
+
+
+def _cluster_coordinator(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from .cluster.coordinator import Coordinator, CoordinatorConfig
+
+    coordinator = Coordinator(
+        CoordinatorConfig(
+            host=args.host,
+            port=args.port,
+            scan_shard_size=args.scan_shard_size,
+            lease_seconds=args.lease_seconds,
+            node_timeout=args.node_timeout,
+        )
+    ).start()
+    print(
+        f"repro cluster coordinator listening on {coordinator.address}", flush=True
+    )
+    done = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: done.set())
+    signal.signal(signal.SIGINT, lambda *_: done.set())
+    done.wait()
+    coordinator.stop()
+    print("repro cluster coordinator stopped", flush=True)
+    return 0
+
+
+def _cluster_scan(args: argparse.Namespace) -> int:
+    from .cluster.client import ClusterClient, ClusterError
+    from .service.protocol import JobSpec
+
+    host, _sep, port = args.join.rpartition(":")
+    if not host or not port.isdigit():
+        raise SystemExit(f"--join expects host:port, got {args.join!r}")
+    alphabet = alphabet_for(args.alphabet)
+    source = sys.stdin if args.fasta == "-" else args.fasta
+    records = read_fasta(source, alphabet)
+    if not records:
+        raise SystemExit("no FASTA records found")
+    spec = JobSpec(
+        sequence="AA",
+        alphabet=args.alphabet,
+        top_alignments=args.top_alignments,
+        engine=args.engine,
+    )
+    payload = [{"id": rec.id, "sequence": rec.text} for rec in records]
+    options = {"mask": args.mask, "min_length": args.min_length}
+    try:
+        with ClusterClient(host, int(port)) as client:
+            reports = client.scan(spec, payload, options, timeout=args.timeout)
+    except (ClusterError, ConnectionError, TimeoutError) as exc:
+        print(f"cluster scan failed: {exc}", file=sys.stderr)
+        return 1
+    ranked = sorted(
+        reports,
+        key=lambda r: (r["result"] is None, -r["best_score"], r["id"]),
+    )
+    print(f"{'rank':>4}  {'id':<24} {'len':>6} {'best':>7} {'families':>8} {'repeat%':>8}")
+    for rank, rep in enumerate(ranked, 1):
+        if rep["result"] is None:
+            print(f"{rank:>4}  {rep['id'][:24]:<24} {rep['length']:>6} FAILED: {rep['error']}")
+            continue
+        print(
+            f"{rank:>4}  {rep['id'][:24]:<24} {rep['length']:>6} "
+            f"{rep['best_score']:>7g} {rep['n_families']:>8} "
+            f"{rep['repeat_fraction']:>8.1%}"
+        )
+    failures = sum(1 for rep in reports if rep["result"] is None)
+    if failures:
+        print(f"{failures} of {len(reports)} record(s) failed", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _render_result_summary(payload: dict) -> str:
@@ -717,6 +856,7 @@ def main(argv: Seq[str] | None = None) -> int:
         "engines": _cmd_engines,
         "lint": _cmd_lint,
         "serve": _cmd_serve,
+        "cluster": _cmd_cluster,
         "submit": _cmd_submit,
         "status": _cmd_status,
         "fetch": _cmd_fetch,

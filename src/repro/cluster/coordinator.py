@@ -1,0 +1,498 @@
+"""The cluster coordinator: node registry + lease scheduler over TCP.
+
+One coordinator federates any number of worker nodes behind a single
+address.  Its moving parts:
+
+* an **accept loop** handing each connection (node or client) to a
+  dedicated handler thread — connections are long-lived, one per peer;
+* the **node registry** (:mod:`repro.cluster.registry`), fed by
+  heartbeats and connection state.  A SIGKILLed node is detected on
+  the *fast path* — its TCP connection drops and the handler thread
+  releases its leases immediately — with stale-heartbeat expiry as the
+  slow-path backstop;
+* per-job **lease schedulers** (:mod:`repro.cluster.shards`), polled
+  by nodes: a ``ready`` frame returns a lease, a ``wait`` hint, or a
+  ``shutdown``.  Leases that expire or belong to dead nodes go back to
+  pending, so no shard is ever lost with a node;
+* a **monitor thread** driving heartbeat expiry, lease deadlines and
+  the registered/alive gauges;
+* a private, always-collecting :class:`~repro.obs.MetricsRegistry`
+  holding the ``repro_cluster_*`` families — independent of the
+  process-wide ``REPRO_METRICS`` gate because a coordinator without
+  visibility into its nodes is not operable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core.result import RepeatResult
+from ..obs import LATENCY_BUCKETS, MetricsRegistry
+from ..obs.prometheus import render_prometheus
+from ..service.protocol import JobSpec
+from . import protocol
+from .execution import finish_from_rows, merge_scan_reports, scan_spec_dict
+from .registry import NodeRegistry
+from .shards import Shard, ShardScheduler, merge_shard_results, plan_record_shards, plan_row_shards
+from .transport import Channel, FrameError, Listener
+
+__all__ = ["ClusterJob", "Coordinator", "CoordinatorConfig"]
+
+#: Shard latency buckets: sub-second toy shards up to multi-minute scans.
+SHARD_BUCKETS = LATENCY_BUCKETS
+
+
+@dataclass
+class CoordinatorConfig:
+    """Tuning knobs of one coordinator."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral (the listener reports the real port)
+    heartbeat_interval: float = 1.0  # what nodes are told to send
+    node_timeout: float = 6.0  # stale-heartbeat expiry (slow path)
+    lease_seconds: float = 60.0
+    scan_shard_size: int = 4  # records per scan shard
+    rows_shards_per_node: int = 2  # rows shards per alive node
+    max_attempts: int = 4
+    backoff_base: float = 0.25
+    backoff_cap: float = 10.0
+    max_duplicates: int = 2
+    monitor_interval: float = 0.25
+    wait_hint: float = 0.2  # how long an idle node should sleep
+
+
+class ClusterJob:
+    """One cluster-wide job: a shard scheduler plus completion state."""
+
+    def __init__(self, job_id: str, kind: str, scheduler: ShardScheduler,
+                 n_shards: int, spec: JobSpec) -> None:
+        self.job_id = job_id
+        self.kind = kind  # "scan" | "rows"
+        self.scheduler = scheduler
+        self.n_shards = n_shards
+        self.spec = spec
+        self.created = time.time()
+        self.done = threading.Event()
+        self.state = "running"
+        self.error: str | None = None
+        self.result: Any = None  # scan: merged report dicts
+
+    def status(self) -> dict[str, Any]:
+        stats = self.scheduler.stats()
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "state": self.state,
+            "error": self.error,
+            "shards": stats["shards"],
+            "shards_done": stats["done"],
+            "in_flight": stats["in_flight"],
+            "scheduler": stats,
+        }
+
+
+class Coordinator:
+    """Accepts nodes and clients; schedules shards; survives node death."""
+
+    def __init__(self, config: CoordinatorConfig | None = None) -> None:
+        self.config = config or CoordinatorConfig()
+        self._listener = Listener(self.config.host, self.config.port)
+        self.registry = NodeRegistry()
+        self.metrics = MetricsRegistry()
+        self._jobs_lock = threading.Lock()
+        self._jobs: dict[str, ClusterJob] = {}
+        self._job_seq = 0
+        self._stopping = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self.started = time.time()
+        # Pre-create the families so /metrics shows them at zero.
+        self._g_registered = self.metrics.gauge(
+            "repro_cluster_nodes_registered",
+            help="Worker nodes that ever joined this coordinator",
+        )
+        self._g_alive = self.metrics.gauge(
+            "repro_cluster_nodes_alive", help="Worker nodes currently alive"
+        )
+        self._c_issued = self.metrics.counter(
+            "repro_cluster_leases_issued_total", help="Shard leases handed out"
+        )
+        self._c_expired = self.metrics.counter(
+            "repro_cluster_leases_expired_total",
+            help="Leases that passed their deadline and were reassigned",
+        )
+        self._c_stolen = self.metrics.counter(
+            "repro_cluster_leases_stolen_total",
+            help="Duplicate leases issued to idle nodes (work stealing)",
+        )
+        self._c_released = self.metrics.counter(
+            "repro_cluster_leases_released_total",
+            help="Leases released because their node died",
+        )
+        self._h_shard = self.metrics.histogram(
+            "repro_cluster_shard_seconds",
+            buckets=SHARD_BUCKETS,
+            help="Node-reported shard execution latency",
+        )
+        self.metrics.counter(
+            "repro_cluster_results_total",
+            help="Shard results received, by status",
+            status="ok",
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def address(self) -> str:
+        return self._listener.address
+
+    @property
+    def port(self) -> int:
+        return self._listener.port
+
+    def start(self) -> "Coordinator":
+        if self._threads:
+            return self  # already running
+        accept = threading.Thread(
+            target=self._accept_loop, name="cluster-accept", daemon=True
+        )
+        monitor = threading.Thread(
+            target=self._monitor_loop, name="cluster-monitor", daemon=True
+        )
+        accept.start()
+        monitor.start()
+        self._threads = [accept, monitor]
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        self._stopping.set()
+        self._listener.close()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        with self._jobs_lock:
+            for job in self._jobs.values():
+                if job.state == "running":
+                    job.state = "failed"
+                    job.error = "coordinator stopped"
+                    job.done.set()
+
+    def __enter__(self) -> "Coordinator":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- job submission --------------------------------------------------
+
+    def submit_scan(
+        self, spec: JobSpec, records: list[dict[str, str]],
+        options: dict[str, Any] | None = None,
+    ) -> ClusterJob:
+        """Shard a database scan over the cluster; returns the live job."""
+        if not records:
+            raise ValueError("a scan needs at least one record")
+        spec_payload = scan_spec_dict(spec)
+        ranges = plan_record_shards(len(records), self.config.scan_shard_size)
+        shards = [
+            Shard(
+                shard_id=i,
+                payload=protocol.scan_shard(
+                    i, spec_payload, records[start:stop], start, options
+                ),
+            )
+            for i, (start, stop) in enumerate(ranges)
+        ]
+        return self._register_job("scan", shards, spec)
+
+    def submit_rows_job(self, spec: JobSpec) -> ClusterJob:
+        """Shard one large single-sequence job's first pass over the cluster."""
+        m = len(spec.normalized_sequence())
+        n_shards = max(1, self.registry.alive_count()) * self.config.rows_shards_per_node
+        ranges = plan_row_shards(m, n_shards)
+        spec_payload = spec.to_dict()
+        shards = [
+            Shard(
+                shard_id=i,
+                payload=protocol.rows_shard(i, spec_payload, r_start, r_stop),
+            )
+            for i, (r_start, r_stop) in enumerate(ranges)
+        ]
+        return self._register_job("rows", shards, spec)
+
+    def _register_job(self, kind: str, shards: list[Shard], spec: JobSpec) -> ClusterJob:
+        scheduler = ShardScheduler(
+            shards,
+            lease_seconds=self.config.lease_seconds,
+            max_attempts=self.config.max_attempts,
+            backoff_base=self.config.backoff_base,
+            backoff_cap=self.config.backoff_cap,
+            max_duplicates=self.config.max_duplicates,
+        )
+        with self._jobs_lock:
+            self._job_seq += 1
+            job_id = f"cj-{self._job_seq:06d}"
+            job = ClusterJob(job_id, kind, scheduler, len(shards), spec)
+            self._jobs[job_id] = job
+        return job
+
+    def wait(self, job: ClusterJob, timeout: float | None = None) -> ClusterJob:
+        """Block until ``job`` reaches a terminal state."""
+        if not job.done.wait(timeout):
+            raise TimeoutError(f"cluster job {job.job_id} still running")
+        return job
+
+    def execute_job_spec(self, spec: JobSpec, timeout: float | None = None) -> RepeatResult:
+        """Run one single-sequence job cluster-wide, bit-identical to local.
+
+        The nodes compute the version-0 bottom rows; the coordinator
+        finishes the best-first loop locally (it is cheap relative to
+        the first pass, which dominates §3's cost model).
+        """
+        job = self.wait(self.submit_rows_job(spec), timeout)
+        if job.state != "done":
+            raise RuntimeError(f"cluster job {job.job_id} failed: {job.error}")
+        shard_results = merge_shard_results(job.scheduler.results(), job.n_shards)
+        rows: dict[int, np.ndarray] = {}
+        for shard in shard_results:
+            for r, row in shard["rows"]:
+                rows[int(r)] = np.asarray(row)
+        return finish_from_rows(spec, rows)
+
+    def get_job(self, job_id: str) -> ClusterJob | None:
+        with self._jobs_lock:
+            return self._jobs.get(job_id)
+
+    # -- accept / per-connection handlers --------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                channel = self._listener.accept(timeout=0.5)
+            except TimeoutError:
+                continue
+            except OSError:
+                return  # listener closed by stop()
+            threading.Thread(
+                target=self._serve_connection,
+                args=(channel,),
+                name=f"cluster-conn-{channel.peername()}",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, channel: Channel) -> None:
+        try:
+            hello = channel.recv(timeout=10.0)
+        except (FrameError, TimeoutError, OSError):
+            channel.close()
+            return
+        if not isinstance(hello, dict) or hello.get("kind") != protocol.HELLO:
+            channel.close()
+            return
+        role = hello.get("role", "node")
+        try:
+            if role == "node":
+                self._serve_node(channel, hello)
+            else:
+                self._serve_client(channel)
+        finally:
+            channel.close()
+
+    def _serve_node(self, channel: Channel, hello: dict) -> None:
+        node_id = str(hello.get("node_id") or f"node-{channel.peername()}")
+        self.registry.register(
+            node_id,
+            address=channel.peername(),
+            pid=int(hello.get("pid", 0)),
+            meta={"capacity": hello.get("capacity", 1)},
+        )
+        self._refresh_node_gauges()
+        channel.send({
+            "kind": protocol.WELCOME,
+            "node_id": node_id,
+            "heartbeat_interval": self.config.heartbeat_interval,
+        })
+        try:
+            while not self._stopping.is_set():
+                frame = channel.recv(timeout=3600.0)
+                kind = frame.get("kind")
+                if kind == protocol.READY:
+                    channel.send(self._lease_for(node_id))
+                elif kind == protocol.HEARTBEAT:
+                    self.registry.heartbeat(node_id)
+                elif kind == protocol.RESULT:
+                    self._handle_result(node_id, frame)
+                else:
+                    channel.send({
+                        "kind": protocol.ERROR,
+                        "error": f"unexpected frame kind {kind!r} from a node",
+                    })
+        except (FrameError, TimeoutError, OSError):
+            pass  # connection gone — the fast failover path below
+        self._node_lost(node_id)
+
+    def _serve_client(self, channel: Channel) -> None:
+        channel.send({"kind": protocol.WELCOME, "role": "client"})
+        while not self._stopping.is_set():
+            try:
+                frame = channel.recv(timeout=3600.0)
+            except (FrameError, TimeoutError, OSError):
+                return
+            try:
+                channel.send(self._client_response(frame))
+            except (FrameError, OSError):
+                return
+
+    def _client_response(self, frame: dict) -> dict:
+        kind = frame.get("kind")
+        try:
+            if kind == protocol.SUBMIT_SCAN:
+                spec = JobSpec.from_dict(frame["spec"])
+                job = self.submit_scan(
+                    spec, frame["records"], frame.get("options")
+                )
+                return {
+                    "kind": protocol.OK,
+                    "job_id": job.job_id,
+                    "n_shards": job.n_shards,
+                }
+            if kind == protocol.JOB_STATUS:
+                job = self.get_job(frame["job_id"])
+                if job is None:
+                    return {"kind": protocol.ERROR, "error": "no such job"}
+                status = job.status()
+                if job.state == "done" and job.kind == "scan":
+                    status["reports"] = job.result
+                return {"kind": protocol.OK, "status": status}
+            if kind == protocol.STATS:
+                return {"kind": protocol.OK, "stats": self.stats()}
+            if kind == protocol.METRICS:
+                return {"kind": protocol.OK, "text": self.render_metrics()}
+            return {"kind": protocol.ERROR, "error": f"unknown request {kind!r}"}
+        except (KeyError, ValueError, TypeError) as exc:
+            return {"kind": protocol.ERROR, "error": str(exc)}
+
+    # -- scheduling ------------------------------------------------------
+
+    def _lease_for(self, node_id: str) -> dict:
+        if self._stopping.is_set():
+            return {"kind": protocol.SHUTDOWN}
+        now = time.monotonic()
+        with self._jobs_lock:
+            jobs = [j for j in self._jobs.values() if j.state == "running"]
+        for job in jobs:
+            lease = job.scheduler.next_lease(node_id, now)
+            if lease is not None:
+                self._c_issued.inc()
+                if lease.stolen:
+                    self._c_stolen.inc()
+                return {
+                    "kind": protocol.LEASE,
+                    "job_id": job.job_id,
+                    "lease_id": lease.lease_id,
+                    "attempt": lease.attempt,
+                    "shard": lease.shard.payload,
+                }
+        return {"kind": protocol.WAIT, "delay": self.config.wait_hint}
+
+    def _handle_result(self, node_id: str, frame: dict) -> None:
+        job = self.get_job(str(frame.get("job_id", "")))
+        if job is None:
+            return
+        lease_id = int(frame.get("lease_id", -1))
+        elapsed = float(frame.get("elapsed", 0.0))
+        if frame.get("ok"):
+            won = job.scheduler.complete(lease_id, frame.get("value"))
+            if won:
+                self._h_shard.observe(elapsed)
+                self.metrics.counter(
+                    "repro_cluster_results_total", status="ok"
+                ).inc()
+                self.registry.record_shard(
+                    node_id, records=int(frame.get("records", 0))
+                )
+                if job.scheduler.done:
+                    self._finalize(job)
+            else:
+                self.metrics.counter(
+                    "repro_cluster_results_total", status="duplicate"
+                ).inc()
+        else:
+            self.metrics.counter(
+                "repro_cluster_results_total", status="error"
+            ).inc()
+            self.registry.record_shard(node_id, failed=True)
+            retrying = job.scheduler.fail(
+                lease_id, str(frame.get("error", "shard failed")), time.monotonic()
+            )
+            if not retrying:
+                job.state = "failed"
+                job.error = job.scheduler.failure
+                job.done.set()
+
+    def _finalize(self, job: ClusterJob) -> None:
+        if job.done.is_set():
+            return
+        if job.kind == "scan":
+            shard_results = merge_shard_results(
+                job.scheduler.results(), job.n_shards
+            )
+            job.result = merge_scan_reports(shard_results)
+        # rows jobs: the waiting execute_job_spec() call does the finish —
+        # handler threads must never run a best-first loop.
+        job.state = "done"
+        job.done.set()
+
+    # -- failover --------------------------------------------------------
+
+    def _node_lost(self, node_id: str) -> None:
+        if self.registry.mark_dead(node_id):
+            self._release_node_leases(node_id)
+        self._refresh_node_gauges()
+
+    def _release_node_leases(self, node_id: str) -> None:
+        with self._jobs_lock:
+            jobs = [j for j in self._jobs.values() if j.state == "running"]
+        for job in jobs:
+            released = job.scheduler.release_node(node_id)
+            if released:
+                self._c_released.inc(len(released))
+
+    def _monitor_loop(self) -> None:
+        while not self._stopping.is_set():
+            for node_id in self.registry.expire(self.config.node_timeout):
+                self._release_node_leases(node_id)
+            now = time.monotonic()
+            with self._jobs_lock:
+                jobs = [j for j in self._jobs.values() if j.state == "running"]
+            for job in jobs:
+                expired = job.scheduler.expire(now)
+                if expired:
+                    self._c_expired.inc(len(expired))
+            self._refresh_node_gauges()
+            self._stopping.wait(self.config.monitor_interval)
+
+    def _refresh_node_gauges(self) -> None:
+        self._g_registered.set(self.registry.registered_count())
+        self._g_alive.set(self.registry.alive_count())
+
+    # -- introspection ---------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        with self._jobs_lock:
+            jobs = {job_id: job.status() for job_id, job in self._jobs.items()}
+        return {
+            "address": self.address,
+            "uptime": time.time() - self.started,
+            "nodes_registered": self.registry.registered_count(),
+            "nodes_alive": self.registry.alive_count(),
+            "nodes": self.registry.snapshot(),
+            "jobs": jobs,
+        }
+
+    def render_metrics(self) -> str:
+        self._refresh_node_gauges()
+        return render_prometheus(self.metrics)

@@ -1,0 +1,172 @@
+"""Shard execution (node side) and job completion (coordinator side).
+
+Bit-identity is the contract of this module, in both shard kinds:
+
+``scan`` shards
+    Records of a database scan are searched independently, so a node
+    running :class:`~repro.core.scan.DatabaseScanner` over its record
+    slice produces exactly the reports the single-node scanner would
+    have produced for those records.  Concatenating shard reports in
+    shard order therefore reproduces the full single-node scan — the
+    equivalence the acceptance tests assert byte-for-byte.
+
+``rows`` shards
+    In :func:`~repro.core.topalign.find_top_alignments`, every task
+    starts at ``score = +inf``, so each split is aligned once under the
+    *empty* (version-0) override triangle before anything is accepted.
+    Those version-0 bottom rows are embarrassingly parallel; nodes
+    compute them with the same engine call the sequential loop makes
+    and ship them back bit-exact (dtype + raw bytes).
+    :func:`finish_from_rows` then seeds a fresh state with the rows —
+    tasks carry ``score = row.max(), aligned_with = 0``, precisely the
+    state the sequential loop reaches after its first pass — and runs
+    the identical best-first loop, so the acceptance order, alignments
+    and families match the single-node run exactly.  Work counters
+    legitimately differ (the checkpoint-resume contract).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.result import RepeatResult
+from ..core.scan import DatabaseScanner
+from ..core.tasks import Task, TaskQueue
+from ..core.topalign import TopAlignmentState
+from ..sequences.sequence import Sequence
+from ..service.protocol import JobSpec
+from ..service.workers import build_finder
+from .protocol import report_to_dict
+
+__all__ = [
+    "finish_from_rows",
+    "merge_scan_reports",
+    "run_rows_shard",
+    "run_scan_shard",
+    "scan_spec_dict",
+]
+
+#: Placeholder sequence for scan specs: :func:`build_finder` only reads
+#: scoring/search knobs, but :class:`JobSpec` validation requires one.
+SCAN_PLACEHOLDER = "AA"
+
+
+def scan_spec_dict(spec: JobSpec) -> dict[str, Any]:
+    """A :class:`JobSpec` dict reusable across every record of a scan."""
+    payload = spec.to_dict()
+    payload["sequence"] = SCAN_PLACEHOLDER
+    payload["seq_id"] = ""
+    return payload
+
+
+def _scanner_for(payload: dict[str, Any]) -> DatabaseScanner:
+    spec = JobSpec.from_dict(payload["spec"])
+    options = payload.get("options") or {}
+    return DatabaseScanner(
+        finder=build_finder(spec),
+        mask=bool(options.get("mask", False)),
+        mask_window=int(options.get("mask_window", 12)),
+        mask_threshold=float(options.get("mask_threshold", 1.5)),
+        min_length=int(options.get("min_length", 10)),
+    )
+
+
+def run_scan_shard(payload: dict[str, Any]) -> dict[str, Any]:
+    """Execute one ``scan`` shard; returns the wire-ready result.
+
+    ``reports`` holds one dict per scanned record, in record order
+    (records below the scanner's ``min_length`` are skipped, exactly as
+    the single-node scanner skips them).
+    """
+    spec = JobSpec.from_dict(payload["spec"])
+    scanner = _scanner_for(payload)
+    sequences = [
+        Sequence(rec["sequence"].upper(), spec.alphabet, id=rec.get("id", ""))
+        for rec in payload["records"]
+    ]
+    reports = scanner.scan(sequences)
+    return {
+        "shard_id": payload["shard_id"],
+        "first_index": payload["first_index"],
+        "n_records": len(payload["records"]),
+        "reports": [report_to_dict(report) for report in reports],
+    }
+
+
+def run_rows_shard(payload: dict[str, Any]) -> dict[str, Any]:
+    """Execute one ``rows`` shard: version-0 bottom rows for a split range.
+
+    Uses the same state/engine construction and the same
+    ``engine.last_row(problem_for(r))`` call the sequential first pass
+    makes, so each row is bit-identical to the one the single-node loop
+    would have cached.
+    """
+    spec = JobSpec.from_dict(payload["spec"])
+    finder = build_finder(spec)
+    sequence = Sequence(spec.normalized_sequence(), spec.alphabet, id=spec.seq_id)
+    exchange = finder.resolve_exchange(sequence)
+    state = TopAlignmentState(sequence, exchange, finder.gaps, engine=spec.engine)
+    rows = []
+    for r in range(int(payload["r_start"]), int(payload["r_stop"])):
+        row = state.engine.last_row(state.problem_for(r))
+        rows.append((int(r), np.asarray(row)))
+    return {"shard_id": payload["shard_id"], "rows": rows}
+
+
+def merge_scan_reports(shard_results: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Concatenate shard reports in shard order (the full scan's output)."""
+    merged: list[dict[str, Any]] = []
+    for shard in shard_results:
+        merged.extend(shard["reports"])
+    return merged
+
+
+def finish_from_rows(
+    spec: JobSpec, rows: dict[int, np.ndarray]
+) -> RepeatResult:
+    """Finish a sharded single-sequence job from its version-0 rows.
+
+    Seeds a fresh :class:`TopAlignmentState` with the node-computed
+    bottom rows and runs the best-first loop of
+    :func:`~repro.core.topalign.find_top_alignments` verbatim.  Seeding
+    is sound because in the sequential loop every task (score ``+inf``)
+    is aligned exactly once at triangle version 0 before the first
+    acceptance: a task with ``score = row.max(), aligned_with = 0`` and
+    its row cached in ``bottom_rows`` is byte-for-byte the state those
+    first alignments leave behind, so the deterministic ``(score, -r)``
+    heap replays the identical acceptance order.
+    """
+    finder = build_finder(spec)
+    sequence = Sequence(spec.normalized_sequence(), spec.alphabet, id=spec.seq_id)
+    exchange = finder.resolve_exchange(sequence)
+    state = TopAlignmentState(sequence, exchange, finder.gaps, engine=spec.engine)
+    missing = [r for r in range(1, state.m) if r not in rows]
+    if missing:
+        raise ValueError(f"missing version-0 rows for split(s) {missing[:8]}")
+
+    checker = state.invariants
+    queue = TaskQueue(guard=checker.guard_task if checker is not None else None)
+    for r in range(1, state.m):
+        row = np.asarray(rows[r], dtype=np.float64)
+        state.bottom_rows.put(r, row)
+        queue.insert(Task(r, score=float(row.max()), aligned_with=0))
+    state.stats.alignments += state.m - 1  # the rows the nodes computed
+
+    k = spec.top_alignments
+    while state.n_found < k and queue:
+        task = queue.pop_highest()
+        if task.score <= spec.min_score:
+            break
+        if task.is_current(state.n_found):
+            state.accept_task(task)
+        else:
+            state.align_task(task)
+        queue.insert(task)
+
+    alignments = list(state.found)
+    repeats = finder.delineate(alignments, len(sequence))
+    return RepeatResult(
+        top_alignments=alignments, repeats=repeats, stats=state.stats
+    )

@@ -1,0 +1,159 @@
+"""Control-plane protocol of the cluster (coordinator ⇄ node / client).
+
+Every frame is a JSON object with a ``kind`` field, carried over the
+:mod:`repro.cluster.transport` framing.  Nodes *pull*: a node sends
+``ready`` whenever it has a free slot and the coordinator answers with
+exactly one of ``lease`` / ``wait`` / ``shutdown``.  ``heartbeat`` and
+``result`` frames are one-way (no response), which keeps the node's
+request/response loop trivially race-free while a background thread
+heartbeats over the same channel.
+
+Shards
+------
+A shard is the unit of leased work, one of two kinds:
+
+``scan``
+    a contiguous slice of a multi-record database scan — each record
+    is searched independently, so any partition of the records merges
+    back bit-identically (the :class:`~repro.core.scan.DatabaseScanner`
+    equivalence the acceptance tests assert);
+``rows``
+    a contiguous range of split points ``r`` of one large sequence —
+    the version-0 bottom rows of §3's first pass, which dominate the
+    new algorithm's work.  The coordinator seeds a
+    :class:`~repro.core.topalign.TopAlignmentState` with the returned
+    rows and finishes the best-first loop locally, reproducing the
+    sequential acceptance order exactly.
+
+Results are serialized with shortest-repr floats (plain ``json``), so
+two payloads compare equal iff the underlying results are
+bit-identical — the same discipline :mod:`repro.service.protocol`
+uses for the content-addressed cache.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.result import RepeatResult
+from ..core.scan import SequenceReport
+
+__all__ = [
+    "HELLO",
+    "WELCOME",
+    "HEARTBEAT",
+    "READY",
+    "LEASE",
+    "WAIT",
+    "SHUTDOWN",
+    "RESULT",
+    "SUBMIT_SCAN",
+    "JOB_STATUS",
+    "STATS",
+    "METRICS",
+    "ERROR",
+    "OK",
+    "ProtocolError",
+    "report_to_dict",
+    "result_to_dict",
+    "scan_shard",
+    "rows_shard",
+]
+
+# node / client -> coordinator
+HELLO = "hello"
+HEARTBEAT = "heartbeat"
+READY = "ready"
+RESULT = "result"
+SUBMIT_SCAN = "submit_scan"
+JOB_STATUS = "job_status"
+STATS = "stats"
+METRICS = "metrics"
+
+# coordinator -> node / client
+WELCOME = "welcome"
+LEASE = "lease"
+WAIT = "wait"
+SHUTDOWN = "shutdown"
+ERROR = "error"
+OK = "ok"
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent a frame the protocol does not allow here."""
+
+
+def scan_shard(shard_id: int, spec: dict[str, Any], records: list[dict[str, str]],
+               first_index: int, options: dict[str, Any] | None = None
+               ) -> dict[str, Any]:
+    """A ``scan`` shard: search ``records`` under the finder ``spec``.
+
+    ``first_index`` is the offset of ``records[0]`` in the full record
+    list, so merged reports come back in submission order.  ``options``
+    carries the :class:`~repro.core.scan.DatabaseScanner` knobs (mask,
+    mask_window, mask_threshold, min_length).
+    """
+    return {
+        "kind": "scan",
+        "shard_id": shard_id,
+        "spec": spec,
+        "records": records,
+        "first_index": first_index,
+        "options": dict(options or {}),
+    }
+
+
+def rows_shard(shard_id: int, spec: dict[str, Any], r_start: int, r_stop: int
+               ) -> dict[str, Any]:
+    """A ``rows`` shard: version-0 bottom rows for ``r in [r_start, r_stop)``."""
+    return {
+        "kind": "rows",
+        "shard_id": shard_id,
+        "spec": spec,
+        "r_start": r_start,
+        "r_stop": r_stop,
+    }
+
+
+def result_to_dict(result: RepeatResult) -> dict[str, Any]:
+    """Canonical JSON form of a :class:`RepeatResult` (stats excluded).
+
+    Work counters are deliberately left out: sharded and local runs
+    must produce bit-identical *alignments and families*, while their
+    counters legitimately differ (the same contract checkpoint resume
+    documents).
+    """
+    return {
+        "top_alignments": [
+            {
+                "index": int(a.index),
+                "r": int(a.r),
+                "score": float(a.score),
+                "pairs": [[int(i), int(j)] for i, j in a.pairs],
+            }
+            for a in result.top_alignments
+        ],
+        "repeats": [
+            {
+                "family": int(rep.family),
+                "copies": [[int(s), int(e)] for s, e in rep.copies],
+                "columns": int(rep.columns),
+                "n_copies": int(rep.n_copies),
+                "unit_length": float(rep.unit_length),
+            }
+            for rep in result.repeats
+        ],
+    }
+
+
+def report_to_dict(report: SequenceReport) -> dict[str, Any]:
+    """Canonical JSON form of one scanned record's report."""
+    return {
+        "id": report.id,
+        "length": int(report.length),
+        "error": report.error,
+        "result": None if report.result is None else result_to_dict(report.result),
+        "best_score": float(report.best_score),
+        "n_families": int(report.n_families),
+        "repeat_fraction": float(report.repeat_fraction),
+    }

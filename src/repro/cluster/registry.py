@@ -1,0 +1,139 @@
+"""The coordinator's node registry.
+
+Tracks every worker node that ever joined: address, capacity, liveness
+(driven by heartbeats and connection state) and work counters.  A node
+is **alive** while its heartbeat is fresh and its connection is open;
+a node whose heartbeat goes stale — or whose TCP connection drops, the
+fast path a SIGKILL takes — is marked dead and its leases are returned
+to the scheduler by the coordinator.  Dead nodes stay in the registry
+(registered ≥ alive) so ``/stats`` keeps a record of churn.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["NodeInfo", "NodeRegistry"]
+
+
+@dataclass
+class NodeInfo:
+    """One worker node as the coordinator sees it."""
+
+    node_id: str
+    address: str = ""
+    pid: int = 0
+    registered_at: float = 0.0  # epoch, for operators
+    last_seen: float = 0.0  # monotonic, for liveness decisions
+    alive: bool = True
+    shards_done: int = 0
+    shards_failed: int = 0
+    records_scanned: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "node_id": self.node_id,
+            "address": self.address,
+            "pid": self.pid,
+            "registered_at": self.registered_at,
+            "alive": self.alive,
+            "shards_done": self.shards_done,
+            "shards_failed": self.shards_failed,
+            "records_scanned": self.records_scanned,
+        }
+
+
+class NodeRegistry:
+    """Thread-safe registry of worker nodes keyed by node id."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._nodes: dict[str, NodeInfo] = {}
+
+    def register(self, node_id: str, *, address: str = "", pid: int = 0,
+                 meta: dict | None = None) -> NodeInfo:
+        """Add (or resurrect) a node; returns its record."""
+        with self._lock:
+            info = self._nodes.get(node_id)
+            if info is None:
+                info = NodeInfo(node_id=node_id, registered_at=time.time())
+                self._nodes[node_id] = info
+            info.address = address or info.address
+            info.pid = pid or info.pid
+            info.alive = True
+            info.last_seen = time.monotonic()
+            if meta:
+                info.meta.update(meta)
+            return info
+
+    def heartbeat(self, node_id: str) -> bool:
+        """Refresh liveness; False when the node was never registered."""
+        with self._lock:
+            info = self._nodes.get(node_id)
+            if info is None:
+                return False
+            info.alive = True
+            info.last_seen = time.monotonic()
+            return True
+
+    def mark_dead(self, node_id: str) -> bool:
+        """Flag a node dead (connection drop); True if it was alive."""
+        with self._lock:
+            info = self._nodes.get(node_id)
+            if info is None or not info.alive:
+                return False
+            info.alive = False
+            return True
+
+    def record_shard(self, node_id: str, *, failed: bool = False,
+                     records: int = 0) -> None:
+        """Bump a node's work counters after a shard result."""
+        with self._lock:
+            info = self._nodes.get(node_id)
+            if info is None:
+                return
+            if failed:
+                info.shards_failed += 1
+            else:
+                info.shards_done += 1
+                info.records_scanned += records
+            info.last_seen = time.monotonic()
+
+    def expire(self, timeout: float) -> list[str]:
+        """Mark nodes with stale heartbeats dead; returns the newly dead."""
+        now = time.monotonic()
+        newly_dead: list[str] = []
+        with self._lock:
+            for info in self._nodes.values():
+                if info.alive and now - info.last_seen > timeout:
+                    info.alive = False
+                    newly_dead.append(info.node_id)
+        return newly_dead
+
+    def get(self, node_id: str) -> NodeInfo | None:
+        with self._lock:
+            return self._nodes.get(node_id)
+
+    def is_alive(self, node_id: str) -> bool:
+        with self._lock:
+            info = self._nodes.get(node_id)
+            return info is not None and info.alive
+
+    def alive_count(self) -> int:
+        with self._lock:
+            return sum(1 for info in self._nodes.values() if info.alive)
+
+    def registered_count(self) -> int:
+        with self._lock:
+            return len(self._nodes)
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-node state for ``/stats`` (sorted by node id)."""
+        with self._lock:
+            return {
+                node_id: info.to_dict()
+                for node_id, info in sorted(self._nodes.items())
+            }

@@ -3,17 +3,24 @@
 Stdlib-only, mirroring the server's endpoints one method each.  HTTP
 errors surface as :class:`ServiceError` (with the server's JSON error
 message when present); a ``429`` becomes :class:`ClientBacklogFull`
-carrying the server's ``Retry-After`` hint so callers can implement
-polite retry loops.
+carrying the server's ``Retry-After`` hint.
+
+``submit`` honors that hint: shed submissions are retried with
+jittered exponential backoff — ``Retry-After`` is the floor of each
+delay, the exponential curve the ceiling, jitter desynchronizes a
+herd of clients hammering one coordinator — up to a bounded number of
+attempts, after which :class:`ClientBacklogFull` propagates.  Only 429
+retries; any other error is not load shedding and fails fast.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 __all__ = ["ServiceError", "ClientBacklogFull", "ServiceClient"]
 
@@ -36,11 +43,33 @@ class ClientBacklogFull(ServiceError):
 
 
 class ServiceClient:
-    """Thin JSON client bound to one service base URL."""
+    """Thin JSON client bound to one service base URL.
 
-    def __init__(self, base_url: str = "http://127.0.0.1:8765", *, timeout: float = 30.0) -> None:
+    ``submit_attempts``/``backoff_base``/``backoff_cap`` tune the 429
+    retry loop; ``rng`` and ``sleep`` are injectable so tests can pin
+    the jitter and skip real waiting.
+    """
+
+    def __init__(
+        self,
+        base_url: str = "http://127.0.0.1:8765",
+        *,
+        timeout: float = 30.0,
+        submit_attempts: int = 4,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 30.0,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        if submit_attempts < 1:
+            raise ValueError("submit_attempts must be >= 1")
+        self.submit_attempts = submit_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._rng = rng or random.Random()
+        self._sleep = sleep
 
     # -- plumbing --------------------------------------------------------
 
@@ -81,8 +110,27 @@ class ServiceClient:
         return self._request("GET", "/stats")
 
     def submit(self, spec: dict[str, Any]) -> dict[str, Any]:
-        """POST /jobs; the returned record includes ``from_cache``."""
-        return self._request("POST", "/jobs", spec)
+        """POST /jobs; the returned record includes ``from_cache``.
+
+        Retries shed (429) submissions with jittered exponential
+        backoff, honoring the server's ``Retry-After`` as the minimum
+        delay; after ``submit_attempts`` tries the final
+        :class:`ClientBacklogFull` propagates.
+        """
+        for attempt in range(self.submit_attempts):
+            try:
+                return self._request("POST", "/jobs", spec)
+            except ClientBacklogFull as exc:
+                if attempt + 1 >= self.submit_attempts:
+                    raise
+                self._sleep(self._backoff_delay(attempt, exc.retry_after))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _backoff_delay(self, attempt: int, retry_after: int) -> float:
+        """Delay before retry ``attempt + 1`` (jittered, Retry-After floor)."""
+        ceiling = min(self.backoff_cap, self.backoff_base * (2**attempt))
+        jittered = ceiling * (0.5 + 0.5 * self._rng.random())
+        return max(float(retry_after), jittered)
 
     def status(self, job_id: str) -> dict[str, Any]:
         return self._request("GET", f"/jobs/{job_id}")

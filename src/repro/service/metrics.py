@@ -126,11 +126,20 @@ def build_service_registry(
 def render_service_metrics(
     service: "ReproService", *, workers_alive: int | None = None
 ) -> str:
-    """Full ``/metrics`` body: store-derived families + the process registry."""
+    """Full ``/metrics`` body: store-derived families + the process registry.
+
+    With a cluster coordinator attached, its ``repro_cluster_*``
+    families (node gauges, lease counters, shard latency) are appended
+    from the coordinator's private always-on registry — a third prefix,
+    so none of the renderings collide.
+    """
     text = render_prometheus(
         build_service_registry(service, workers_alive=workers_alive)
     )
     process = get_registry()
     if process.collecting:
         text += render_prometheus(process)
+    coordinator = getattr(service, "coordinator", None)
+    if coordinator is not None:
+        text += coordinator.render_metrics()
     return text

@@ -46,7 +46,7 @@ from .jobstore import JobRecord
 from .metrics import render_service_metrics
 from .protocol import JobSpec, JobState, SpecError, job_digest
 from .queue import BacklogFull
-from .workers import WorkerPool, open_stores, recover
+from .workers import WorkerPool, _finish, open_stores, recover
 
 __all__ = ["ServiceConfig", "ReproService", "serve"]
 
@@ -68,6 +68,10 @@ class ServiceConfig:
     checkpoint_every: int = 1
     poll_interval: float = 0.05
     cache_memory_items: int = 64
+    #: When set, ``serve`` also runs a cluster coordinator on this port
+    #: (0 = ephemeral) and routes jobs cluster-wide while worker nodes
+    #: are alive.  ``None`` disables clustering entirely.
+    cluster_port: int | None = None
 
 
 class ReproService:
@@ -75,9 +79,18 @@ class ReproService:
 
     The HTTP handler below is a thin JSON shim over these methods, so
     tests (and the smoke script) can also drive the service in-process.
+
+    With a cluster coordinator attached, submissions are routed
+    cluster-wide whenever at least one worker node is alive: the nodes
+    compute the job's first-pass bottom rows, the coordinator finishes
+    the best-first loop, and the result lands in the same
+    content-addressed cache local workers fill — bit-identical by the
+    :mod:`repro.cluster.execution` contract.  With no live nodes the
+    job falls back to the local spool queue, so attaching a coordinator
+    never makes a service less available.
     """
 
-    def __init__(self, config: ServiceConfig) -> None:
+    def __init__(self, config: ServiceConfig, coordinator=None) -> None:
         self.config = config
         # The service is the always-on consumer of repro.obs: turn the
         # process registry on so HTTP counters (and any in-process
@@ -90,6 +103,12 @@ class ReproService:
         )
         self._admission = threading.Lock()
         self.started = time.time()
+        #: An optional :class:`repro.cluster.Coordinator` (duck-typed to
+        #: avoid a hard import; the cluster package imports service).
+        self.coordinator = coordinator
+
+    def attach_coordinator(self, coordinator) -> None:
+        self.coordinator = coordinator
 
     # -- operations ------------------------------------------------------
 
@@ -111,6 +130,19 @@ class ReproService:
             self.store.put(record)
             self.store.append_event(record.id, "cache-hit", digest=digest)
             return record, True
+        if self.coordinator is not None and self.coordinator.registry.alive_count() > 0:
+            record = self.store.new_job(spec.to_dict(), digest, spec.priority)
+            self.store.append_event(
+                record.id, "queued", digest=digest, priority=spec.priority,
+                route="cluster",
+            )
+            threading.Thread(
+                target=self._run_cluster_job,
+                args=(record.id, spec),
+                name=f"cluster-job-{record.id}",
+                daemon=True,
+            ).start()
+            return record, False
         with self._admission:
             record = self.store.new_job(spec.to_dict(), digest, spec.priority)
             try:
@@ -122,6 +154,31 @@ class ReproService:
             record.id, "queued", digest=digest, priority=spec.priority
         )
         return record, False
+
+    def _run_cluster_job(self, job_id: str, spec: JobSpec) -> None:
+        """Drive one cluster-routed job to a terminal state."""
+        record = self.store.get(job_id)
+        if record is None:
+            return
+        self.store.update(
+            job_id,
+            state=JobState.RUNNING,
+            started=time.time(),
+            worker="cluster",
+            attempts=record.attempts + 1,
+        )
+        self.store.append_event(job_id, "claimed", worker="cluster")
+        try:
+            result = self.coordinator.execute_job_spec(spec)
+        except Exception as exc:  # noqa: BLE001 - job failure, not server failure
+            self.store.update(
+                job_id, state=JobState.FAILED, finished=time.time(), error=str(exc)
+            )
+            self.store.append_event(job_id, "failed", error=str(exc))
+            return
+        record = self.store.get(job_id)
+        if record is not None:
+            _finish(self.store, self.cache, record, spec, result)
 
     def status(self, job_id: str) -> JobRecord | None:
         return self.store.get(job_id)
@@ -159,7 +216,7 @@ class ReproService:
 
     def stats(self) -> dict:
         workers = self.store.worker_stats()
-        return {
+        stats = {
             "uptime": time.time() - self.started,
             "queue": {
                 "depth": self.queue.depth(),
@@ -172,6 +229,9 @@ class ReproService:
             "alignments_total": sum(w.get("alignments", 0) for w in workers.values()),
             "cache_hits_total": sum(w.get("cache_hits", 0) for w in workers.values()),
         }
+        if self.coordinator is not None:
+            stats["cluster"] = self.coordinator.stats()
+        return stats
 
 
 @dataclass
@@ -367,6 +427,21 @@ def serve(config: ServiceConfig) -> int:
     service = ReproService(config)
     state = _ServerState(service=service)
 
+    coordinator = None
+    if config.cluster_port is not None:
+        # Deferred import: repro.cluster imports repro.service, so the
+        # dependency must only ever point one way at module-import time.
+        from ..cluster.coordinator import Coordinator, CoordinatorConfig
+
+        coordinator = Coordinator(
+            CoordinatorConfig(host=config.host, port=config.cluster_port)
+        ).start()
+        service.attach_coordinator(coordinator)
+        print(
+            f"repro cluster coordinator listening on {coordinator.address}",
+            flush=True,
+        )
+
     pool: WorkerPool | None = None
     if config.workers > 0:
         pool = WorkerPool(
@@ -411,6 +486,8 @@ def serve(config: ServiceConfig) -> int:
         httpd.serve_forever(poll_interval=0.1)
     finally:
         httpd.server_close()
+        if coordinator is not None:
+            coordinator.stop()
         if pool is not None:
             clean = pool.stop(graceful=True, timeout=30.0)
             if not clean:

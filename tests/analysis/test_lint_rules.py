@@ -615,3 +615,79 @@ def test_rpr011_waivable_with_reason(tmp_path):
         """,
     )
     assert "RPR011" not in _rules_hit(path)
+
+
+# ---------------------------------------------------------------------------
+# RPR012 — socket discipline in the cluster package
+# ---------------------------------------------------------------------------
+
+RAW_SOCKET_NODE = """
+    import socket
+
+    def dial(host, port):
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.connect((host, port))
+        return sock
+"""
+
+UNBOUNDED_RECV = """
+    def pump(channel, listener):
+        conn, addr = listener.accept()
+        return channel.recv()
+"""
+
+
+def test_rpr012_flags_seeded_raw_socket(tmp_path):
+    path = _write(tmp_path, "cluster/bad_dial.py", RAW_SOCKET_NODE)
+    findings = [d for d in lint_file(path) if d.rule == "RPR012"]
+    assert len(findings) == 1
+    assert "transport" in findings[0].message
+
+
+def test_rpr012_flags_seeded_unbounded_recv_and_accept(tmp_path):
+    path = _write(tmp_path, "cluster/bad_pump.py", UNBOUNDED_RECV)
+    findings = [d for d in lint_file(path) if d.rule == "RPR012"]
+    assert len(findings) == 2
+    assert {".accept", ".recv"} <= {d.message.split("(")[0] for d in findings}
+
+
+def test_rpr012_quiet_when_timeout_passed(tmp_path):
+    path = _write(
+        tmp_path,
+        "cluster/good_pump.py",
+        """
+        def pump(channel, listener):
+            conn = listener.accept(timeout=0.5)
+            return channel.recv(timeout=30.0)
+        """,
+    )
+    assert "RPR012" not in _rules_hit(path)
+
+
+def test_rpr012_exempts_the_transport_module(tmp_path):
+    path = _write(tmp_path, "cluster/transport.py", RAW_SOCKET_NODE)
+    assert "RPR012" not in _rules_hit(path)
+
+
+def test_rpr012_scoped_to_cluster_dir(tmp_path):
+    path = _write(tmp_path, "service/raw_dial.py", RAW_SOCKET_NODE)
+    assert "RPR012" not in _rules_hit(path)
+
+
+def test_rpr012_skips_test_files(tmp_path):
+    path = _write(tmp_path, "cluster/test_dial.py", RAW_SOCKET_NODE)
+    assert "RPR012" not in _rules_hit(path)
+
+
+def test_rpr012_waivable_with_reason(tmp_path):
+    path = _write(
+        tmp_path,
+        "cluster/probe.py",
+        """
+        import socket
+
+        def probe(host):
+            return socket.create_connection((host, 9410), timeout=1.0)  # repro-lint: allow[RPR012] liveness probe bypasses the channel layer
+        """,
+    )
+    assert "RPR012" not in _rules_hit(path)

@@ -1,0 +1,1 @@
+"""Tests for repro.cluster — transport, registry, scheduler, end-to-end."""

@@ -1,0 +1,64 @@
+"""Node registry: registration, heartbeats, expiry, resurrection."""
+
+from repro.cluster.registry import NodeRegistry
+
+
+def test_register_and_snapshot():
+    registry = NodeRegistry()
+    registry.register("n1", address="127.0.0.1:5001", pid=100)
+    registry.register("n2", address="127.0.0.1:5002", pid=200)
+    snapshot = registry.snapshot()
+    assert sorted(snapshot) == ["n1", "n2"]
+    assert snapshot["n1"]["address"] == "127.0.0.1:5001"
+    assert snapshot["n1"]["alive"] is True
+    assert registry.alive_count() == 2
+    assert registry.registered_count() == 2
+
+
+def test_heartbeat_only_for_known_nodes():
+    registry = NodeRegistry()
+    registry.register("n1")
+    assert registry.heartbeat("n1") is True
+    assert registry.heartbeat("ghost") is False
+
+
+def test_mark_dead_is_idempotent_and_counts_down():
+    registry = NodeRegistry()
+    registry.register("n1")
+    assert registry.mark_dead("n1") is True  # was alive
+    assert registry.mark_dead("n1") is False  # already dead
+    assert registry.alive_count() == 0
+    assert registry.registered_count() == 1
+    assert registry.is_alive("n1") is False
+
+
+def test_reregistration_resurrects_a_dead_node():
+    registry = NodeRegistry()
+    registry.register("n1", pid=100)
+    registry.mark_dead("n1")
+    registry.register("n1", pid=101)  # the node restarted
+    assert registry.is_alive("n1")
+    assert registry.get("n1").pid == 101
+
+
+def test_expire_reports_each_death_once():
+    registry = NodeRegistry()
+    registry.register("n1")
+    registry.register("n2")
+    registry.heartbeat("n1")
+    # A huge timeout keeps both alive; a zero timeout reaps both, once.
+    assert registry.expire(3600.0) == []
+    newly_dead = registry.expire(0.0)
+    assert sorted(newly_dead) == ["n1", "n2"]
+    assert registry.expire(0.0) == []  # already dead: not re-reported
+
+
+def test_record_shard_accumulates_counters():
+    registry = NodeRegistry()
+    registry.register("n1")
+    registry.record_shard("n1", records=4)
+    registry.record_shard("n1", failed=True)
+    info = registry.get("n1")
+    assert info.shards_done == 1
+    assert info.shards_failed == 1
+    assert info.records_scanned == 4

@@ -1,0 +1,57 @@
+"""§4.3's master/slave protocol, unchanged, over real TCP sockets.
+
+:class:`SocketWorld` mirrors ``parallel.msgpass.World``'s
+``start/comm/shutdown`` contract, so :class:`MasterRunner` and
+``slave_main`` — written for multiprocessing queues — must run over
+loopback sockets and produce the exact sequential top alignments.
+"""
+
+import pytest
+
+from repro.cluster.transport import SocketWorld
+from repro.core import find_top_alignments
+from repro.core.topalign import TopAlignmentState
+from repro.parallel.master import MasterRunner
+from repro.parallel.slave import SlaveConfig, slave_main
+
+
+def _key(alignments):
+    return [(a.index, a.r, a.score, a.pairs) for a in alignments]
+
+
+def _run_distributed_over_sockets(sequence, k, exchange, gaps, n_slaves=2):
+    state = TopAlignmentState(sequence, exchange, gaps, engine="vector")
+    config = SlaveConfig(
+        codes=sequence.codes.tobytes(),
+        m=len(sequence),
+        exchange=exchange,
+        gaps=gaps,
+        engine="vector",
+        n_threads=1,
+    )
+    with SocketWorld(n_slaves + 1) as world:
+        world.start(slave_main, config)
+        runner = MasterRunner(world.comm, state, k, slave_capacity=1)
+        return runner.run()
+
+
+def test_master_slave_over_sockets_matches_sequential(tandem_dna, dna_scoring):
+    exchange, gaps = dna_scoring
+    expected, _ = find_top_alignments(tandem_dna, 3, exchange, gaps)
+    got, stats = _run_distributed_over_sockets(tandem_dna, 3, exchange, gaps)
+    assert _key(got) == _key(expected)
+    assert stats.tracebacks == len(got)
+
+
+def test_protein_over_sockets(small_repeat_protein, protein_scoring):
+    exchange, gaps = protein_scoring
+    expected, _ = find_top_alignments(small_repeat_protein, 4, exchange, gaps)
+    got, _ = _run_distributed_over_sockets(
+        small_repeat_protein, 4, exchange, gaps
+    )
+    assert _key(got) == _key(expected)
+
+
+def test_world_size_validated():
+    with pytest.raises(ValueError):
+        SocketWorld(0)

@@ -1,0 +1,128 @@
+"""The client's 429 retry loop, against a stub shedding server."""
+
+import json
+import random
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import pytest
+
+from repro.service import ClientBacklogFull, ServiceClient, ServiceError
+
+
+class _SheddingHandler(BaseHTTPRequestHandler):
+    """Replies 429 (with Retry-After) until ``shed_count`` runs out."""
+
+    def do_POST(self):  # noqa: N802 - BaseHTTPRequestHandler casing
+        state = self.server.state
+        state["hits"] += 1
+        length = int(self.headers.get("Content-Length", 0))
+        self.rfile.read(length)
+        if state["hits"] <= state["shed_count"]:
+            body = json.dumps({"error": "backlog full"}).encode()
+            self.send_response(state.get("code", 429))
+            self.send_header("Retry-After", str(state["retry_after"]))
+        else:
+            body = json.dumps({"id": "j1", "state": "queued"}).encode()
+            self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):  # quiet
+        pass
+
+
+@pytest.fixture()
+def shedding_server():
+    httpd = ThreadingHTTPServer(("127.0.0.1", 0), _SheddingHandler)
+    httpd.state = {"hits": 0, "shed_count": 0, "retry_after": 1}
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield httpd, f"http://127.0.0.1:{httpd.server_address[1]}"
+    finally:
+        httpd.shutdown()
+        httpd.server_close()
+        thread.join(5)
+
+
+def _client(url, **kwargs):
+    kwargs.setdefault("rng", random.Random(7))
+    kwargs.setdefault("sleep", lambda _s: None)
+    return ServiceClient(url, timeout=10, **kwargs)
+
+
+def test_submit_retries_through_shedding(shedding_server):
+    httpd, url = shedding_server
+    httpd.state.update(shed_count=2)
+    sleeps = []
+    client = _client(url, submit_attempts=4, sleep=sleeps.append)
+    record = client.submit({"sequence": "ACDC"})
+    assert record["id"] == "j1"
+    assert httpd.state["hits"] == 3  # two sheds + the success
+    assert len(sleeps) == 2
+
+
+def test_retry_after_is_the_delay_floor(shedding_server):
+    httpd, url = shedding_server
+    httpd.state.update(shed_count=1, retry_after=5)
+    sleeps = []
+    # Tiny backoff curve: the server's Retry-After must win.
+    client = _client(url, backoff_base=0.01, backoff_cap=0.01, sleep=sleeps.append)
+    client.submit({"sequence": "ACDC"})
+    assert sleeps == [5.0]
+
+
+def test_jittered_exponential_when_retry_after_is_small(shedding_server):
+    httpd, url = shedding_server
+    httpd.state.update(shed_count=3, retry_after=0)
+    sleeps = []
+    client = _client(
+        url,
+        submit_attempts=4,
+        backoff_base=1.0,
+        backoff_cap=16.0,
+        rng=random.Random(0),
+        sleep=sleeps.append,
+    )
+    client.submit({"sequence": "ACDC"})
+    assert len(sleeps) == 3
+    for attempt, delay in enumerate(sleeps):
+        ceiling = 1.0 * 2**attempt
+        assert 0.5 * ceiling <= delay <= ceiling  # jitter in [ceil/2, ceil]
+
+
+def test_attempts_are_bounded(shedding_server):
+    httpd, url = shedding_server
+    httpd.state.update(shed_count=100)
+    client = _client(url, submit_attempts=3)
+    with pytest.raises(ClientBacklogFull) as excinfo:
+        client.submit({"sequence": "ACDC"})
+    assert excinfo.value.retry_after == 1
+    assert httpd.state["hits"] == 3  # bounded: no infinite hammering
+
+
+def test_non_429_errors_fail_fast(shedding_server):
+    httpd, url = shedding_server
+    httpd.state.update(shed_count=100, code=400)
+    client = _client(url, submit_attempts=5)
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit({"sequence": "ACDC"})
+    assert excinfo.value.code == 400
+    assert httpd.state["hits"] == 1  # no retry: it is not load shedding
+
+
+def test_single_attempt_means_no_retry(shedding_server):
+    httpd, url = shedding_server
+    httpd.state.update(shed_count=1)
+    client = _client(url, submit_attempts=1)
+    with pytest.raises(ClientBacklogFull):
+        client.submit({"sequence": "ACDC"})
+    assert httpd.state["hits"] == 1
+
+
+def test_submit_attempts_validated():
+    with pytest.raises(ValueError):
+        ServiceClient(submit_attempts=0)
