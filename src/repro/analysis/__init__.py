@@ -17,6 +17,7 @@ the paper section each check guards.
 """
 
 from .diagnostics import Diagnostic, Severity
+from .graph import ModuleFacts, ProgramGraph, extract_module_facts
 from .invariants import (
     ENV_FLAG,
     InvariantChecker,
@@ -27,13 +28,26 @@ from .invariants import (
     invariant_mode,
     validate_shadow_rows,
 )
-from .linter import active_rules, collect_files, lint_file, lint_paths, main
+from .linter import (
+    AnalysisResult,
+    active_rules,
+    analyze_paths,
+    collect_files,
+    lint_file,
+    lint_paths,
+    main,
+)
 
 __all__ = [
     "Diagnostic",
     "Severity",
+    "ModuleFacts",
+    "ProgramGraph",
+    "extract_module_facts",
     "lint_file",
     "lint_paths",
+    "analyze_paths",
+    "AnalysisResult",
     "collect_files",
     "active_rules",
     "main",

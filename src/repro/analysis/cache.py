@@ -1,0 +1,102 @@
+"""Incremental facts cache for the whole-program linter.
+
+Per-module facts and per-file findings are keyed by a SHA-256 of the
+file *content* plus the engine version salt, stored as small JSON blobs
+under ``.repro-lint-cache/``.  A warm run therefore re-parses only
+changed files; the interprocedural rules always re-run over the (cheap,
+already-extracted) facts of every module, which is what makes the cache
+sound under cross-module edits: a changed producer invalidates its own
+facts, and every consumer's findings are recomputed from facts each run.
+
+``__init__.py`` findings are never cached: the RPR005 export checker
+reads *sibling* files, so an ``__init__``'s findings can change without
+its own content changing.
+
+The cache directory is safe to delete at any time and safe to share
+through CI cache actions (entries are content-addressed; collisions
+mean identical content).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from .graph import FACTS_VERSION
+
+__all__ = ["DEFAULT_CACHE_DIR", "LintCache", "content_digest"]
+
+#: Default cache location, relative to the working directory (CI caches
+#: this path explicitly).
+DEFAULT_CACHE_DIR = ".repro-lint-cache"
+
+
+def content_digest(content: bytes, path: str = "") -> str:
+    """Content-addressed cache key: engine version salt + path + bytes.
+
+    The path participates because cached facts embed it (two identical
+    files at different locations are different modules).
+    """
+    h = hashlib.sha256()
+    h.update(FACTS_VERSION.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(path.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(content)
+    return h.hexdigest()
+
+
+class LintCache:
+    """A content-addressed store of per-file analysis payloads."""
+
+    def __init__(self, directory: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _path_for(self, digest: str) -> Path:
+        return self.directory / digest[:2] / f"{digest}.json"
+
+    def load(self, digest: str) -> dict[str, Any] | None:
+        """The cached payload for ``digest``, or None."""
+        path = self._path_for(digest)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if payload.get("version") != FACTS_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def store(self, digest: str, payload: dict[str, Any]) -> None:
+        """Atomically persist ``payload`` under ``digest``.
+
+        Failures are swallowed: a read-only checkout must still lint.
+        """
+        path = self._path_for(digest)
+        record = dict(payload, version=FACTS_VERSION)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(record, fh, separators=(",", ":"))
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass

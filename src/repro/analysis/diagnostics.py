@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 __all__ = [
     "Severity",
     "Diagnostic",
+    "diagnostic_from_dict",
     "Waivers",
     "parse_waivers",
     "HOLDS_LOCK_MARK",
@@ -68,10 +69,37 @@ class Diagnostic:
     line: int
     message: str
     severity: Severity = Severity.ERROR
+    #: Interprocedural findings carry the call chain that reaches the
+    #: defect (``module:qualname`` node ids); empty for per-file rules.
+    trace: tuple[str, ...] = ()
 
     def render(self) -> str:
         """GCC-style one-liner (clickable ``path:line`` in most UIs)."""
         return f"{self.path}:{self.line}: {self.severity} [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict:
+        data = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.trace:
+            data["trace"] = list(self.trace)
+        return data
+
+
+def diagnostic_from_dict(data: dict) -> Diagnostic:
+    """Inverse of :meth:`Diagnostic.to_dict` (used by the facts cache)."""
+    return Diagnostic(
+        rule=data["rule"],
+        path=data["path"],
+        line=data["line"],
+        message=data["message"],
+        severity=Severity(data.get("severity", "error")),
+        trace=tuple(data.get("trace", ())),
+    )
 
 
 @dataclass

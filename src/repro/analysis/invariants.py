@@ -62,11 +62,22 @@ _FULL = {"full", "2", "all"}
 
 
 class InvariantViolation(AssertionError):
-    """A checked algorithmic invariant does not hold."""
+    """A checked algorithmic invariant does not hold.
+
+    Violations cross process boundaries (a worker's shard run, a
+    cluster node's lease) and must survive a pickle round-trip, hence
+    the explicit ``__reduce__``: the default ``BaseException`` protocol
+    replays ``cls(*self.args)``, which does not match this two-argument
+    constructor.
+    """
 
     def __init__(self, invariant: str, message: str) -> None:
         super().__init__(f"[{invariant}] {message}")
         self.invariant = invariant
+        self.detail = message
+
+    def __reduce__(self):
+        return (type(self), (self.invariant, self.detail))
 
 
 def invariant_mode() -> str | None:

@@ -1,8 +1,25 @@
 """The ``repro lint`` driver.
 
-Collects Python files, parses each once, dispatches every registered
-rule (per-file AST rules, the RPR003 lock-discipline detector and the
-RPR005 export checker), applies waiver comments, and renders findings.
+Two analysis layers share one driver:
+
+* **per-file rules** — each file is parsed once and dispatched through
+  the registered AST rules (RPR001..RPR012, including the RPR003
+  lock-discipline detector and the RPR005 export checker);
+* **whole-program rules** — the same parse also feeds
+  :func:`repro.analysis.graph.extract_module_facts`; the resulting
+  facts build a :class:`~repro.analysis.graph.ProgramGraph` over which
+  the interprocedural rules RPR013..RPR016 run
+  (:mod:`repro.analysis.interproc`).
+
+Per-module facts and per-file findings are cached by content SHA in
+``.repro-lint-cache/`` (:mod:`repro.analysis.cache`), so a warm run
+re-parses only changed files; the interprocedural rules re-run over the
+cached facts every time, which keeps cross-module findings sound.
+
+Extra driver modes: ``--format sarif`` (GitHub code scanning),
+``--graph callers|callees|locks <symbol>`` (interactive call/lock-graph
+queries), ``--changed`` (git-diff files plus reverse import
+dependencies), ``--stats`` (machine-readable timing/size JSON).
 
 Exit status: 0 when no unsuppressed error-severity findings remain,
 1 otherwise, 2 on usage errors — so CI can run
@@ -14,29 +31,46 @@ from __future__ import annotations
 import argparse
 import ast
 import json
+import subprocess
 import sys
+import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Sequence
 
-from .diagnostics import Diagnostic, parse_waivers
+from .cache import DEFAULT_CACHE_DIR, LintCache, content_digest
+from .diagnostics import Diagnostic, diagnostic_from_dict, parse_waivers
 from .exports import check_exports
+from .graph import ModuleFacts, ProgramGraph, extract_module_facts
+from .interproc import run_interproc_rules
 from .locks import check_lock_discipline
 from .rules import FILE_RULES
 
-__all__ = ["collect_files", "lint_file", "lint_paths", "active_rules", "main"]
+__all__ = [
+    "collect_files",
+    "lint_file",
+    "lint_paths",
+    "analyze_paths",
+    "AnalysisResult",
+    "active_rules",
+    "main",
+]
 
-#: Directories never worth linting.
+#: Directories never worth linting.  ``fixtures`` holds the analysis
+#: test corpus of *deliberately* broken mini-packages.
 _SKIP_DIRS = {
     ".git",
     "__pycache__",
     ".hypothesis",
     ".pytest_cache",
     ".benchmarks",
+    ".repro-lint-cache",
     "build",
     "dist",
+    "fixtures",
 }
 
-#: Rule id -> one-line description, for ``--list-rules``.
+#: Rule id -> one-line description, for ``--list-rules`` and SARIF.
 RULE_DOC: dict[str, str] = {
     "RPR000": "malformed waiver comment (missing reason / misplaced)",
     "RPR001": "per-cell Python loop in an align/ kernel (keep kernels vectorised)",
@@ -50,6 +84,10 @@ RULE_DOC: dict[str, str] = {
     "RPR010": "blocking call (time.sleep / unbounded Queue.get) in a service request-handling path",
     "RPR011": "wall-clock time.time() in an instrumented path (use time.perf_counter)",
     "RPR012": "raw socket / unbounded recv/accept outside cluster/transport.py",
+    "RPR013": "service handler / lease-holding path transitively reaches a blocking call",
+    "RPR014": "lock-order cycle across classes (potential deadlock)",
+    "RPR015": "message kind/tag sent without a receiver dispatch arm, or consumer reads an unproduced field",
+    "RPR016": "invariant violation caught-and-dropped / unpicklable exception in a worker path",
 }
 
 
@@ -74,8 +112,44 @@ def collect_files(paths: Iterable[str | Path]) -> list[Path]:
     return sorted(files)
 
 
+def _per_file_findings(
+    tree: ast.Module,
+    source: str,
+    path: str,
+    waivers,
+    timings: dict[str, float] | None = None,
+) -> list[Diagnostic]:
+    """Unsuppressed per-file findings for one parsed module."""
+    findings: list[Diagnostic] = list(waivers.problems)
+    for rule_id, rule in FILE_RULES:
+        start = time.perf_counter()
+        findings.extend(rule(tree, path))
+        if timings is not None:
+            timings[rule_id] = timings.get(rule_id, 0.0) + (
+                time.perf_counter() - start
+            )
+    start = time.perf_counter()
+    findings.extend(check_lock_discipline(tree, source, path))
+    if timings is not None:
+        timings["RPR003"] = timings.get("RPR003", 0.0) + (
+            time.perf_counter() - start
+        )
+    start = time.perf_counter()
+    findings.extend(check_exports(tree, path))
+    if timings is not None:
+        timings["RPR005"] = timings.get("RPR005", 0.0) + (
+            time.perf_counter() - start
+        )
+    unsuppressed = [d for d in findings if not waivers.is_waived(d.rule, d.line)]
+    # A rule may fire twice on one statement via nested scopes; report once.
+    unique: dict[tuple[str, str, int, str], Diagnostic] = {}
+    for diag in unsuppressed:
+        unique.setdefault((diag.rule, diag.path, diag.line, diag.message), diag)
+    return sorted(unique.values(), key=lambda d: (d.path, d.line, d.rule))
+
+
 def lint_file(path: str | Path) -> list[Diagnostic]:
-    """All unsuppressed findings for one file."""
+    """All unsuppressed per-file findings for one file."""
     path = Path(path)
     try:
         source = path.read_text(encoding="utf-8")
@@ -97,45 +171,244 @@ def lint_file(path: str | Path) -> list[Diagnostic]:
             )
         ]
     waivers = parse_waivers(source, str(path))
-    findings: list[Diagnostic] = list(waivers.problems)
-    for _, rule in FILE_RULES:
-        findings.extend(rule(tree, str(path)))
-    findings.extend(check_lock_discipline(tree, source, str(path)))
-    findings.extend(check_exports(tree, str(path)))
-    unsuppressed = [
-        d for d in findings if not waivers.is_waived(d.rule, d.line)
-    ]
-    # A rule may fire twice on one statement via nested scopes; report once.
-    unique: dict[tuple[str, str, int, str], Diagnostic] = {}
-    for diag in unsuppressed:
-        unique.setdefault((diag.rule, diag.path, diag.line, diag.message), diag)
-    return sorted(unique.values(), key=lambda d: (d.path, d.line, d.rule))
+    return _per_file_findings(tree, source, str(path), waivers)
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one driver run produced."""
+
+    findings: list[Diagnostic] = field(default_factory=list)
+    graph: ProgramGraph | None = None
+    #: driver counters: files, modules analysed/cached, timings.
+    stats: dict = field(default_factory=dict)
+
+
+def analyze_paths(
+    paths: Iterable[str | Path],
+    *,
+    use_cache: bool = False,
+    cache_dir: str | Path = DEFAULT_CACHE_DIR,
+) -> AnalysisResult:
+    """Per-file *and* whole-program findings across ``paths``."""
+    total_start = time.perf_counter()
+    files = collect_files(paths)
+    cache = LintCache(cache_dir) if use_cache else None
+    timings: dict[str, float] = {}
+    findings: list[Diagnostic] = []
+    facts_by_path: dict[str, ModuleFacts] = {}
+    n_cached = 0
+    n_analyzed = 0
+
+    contents: dict[Path, bytes] = {}
+    for file_path in files:
+        try:
+            contents[file_path] = file_path.read_bytes()
+        except OSError as exc:
+            findings.append(
+                Diagnostic(
+                    rule="RPR000",
+                    path=str(file_path),
+                    line=0,
+                    message=f"unreadable: {exc}",
+                )
+            )
+
+    def digest_for(file_path: Path) -> str:
+        # An __init__'s findings depend on sibling files (the RPR005
+        # cross-module half reads their __all__), so its cache key
+        # covers every sibling's content as well as its own.
+        content = contents[file_path]
+        if file_path.name == "__init__.py":
+            parent = file_path.parent
+            sibling_salt = "\n".join(
+                content_digest(contents[p], str(p))
+                for p in files
+                if p in contents and p.parent == parent and p != file_path
+            )
+            return content_digest(content, f"{file_path}\n{sibling_salt}")
+        return content_digest(content, str(file_path))
+
+    for file_path in files:
+        if file_path not in contents:
+            continue
+        path = str(file_path)
+        content = contents[file_path]
+        cacheable = cache is not None
+        digest = digest_for(file_path) if cacheable else ""
+        if cacheable:
+            payload = cache.load(digest)
+            if payload is not None:
+                facts_by_path[path] = ModuleFacts.from_dict(payload["facts"])
+                findings.extend(
+                    diagnostic_from_dict(d) for d in payload["findings"]
+                )
+                n_cached += 1
+                continue
+        source = content.decode("utf-8", errors="replace")
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            findings.append(
+                Diagnostic(
+                    rule="RPR000",
+                    path=path,
+                    line=exc.lineno or 0,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        n_analyzed += 1
+        waivers = parse_waivers(source, path)
+        file_findings = _per_file_findings(tree, source, path, waivers, timings)
+        findings.extend(file_findings)
+        start = time.perf_counter()
+        facts = extract_module_facts(tree, source, path, waivers=waivers)
+        timings["facts"] = timings.get("facts", 0.0) + (
+            time.perf_counter() - start
+        )
+        facts_by_path[path] = facts
+        if cacheable:
+            cache.store(
+                digest,
+                {
+                    "facts": facts.to_dict(),
+                    "findings": [d.to_dict() for d in file_findings],
+                },
+            )
+
+    # -- whole-program pass ------------------------------------------------
+    start = time.perf_counter()
+    graph = ProgramGraph(facts_by_path.values())
+    timings["graph"] = time.perf_counter() - start
+    interproc = run_interproc_rules(graph, timings)
+    unsuppressed: list[Diagnostic] = []
+    seen: set[tuple[str, str, int, str]] = set()
+    for diag in sorted(interproc, key=lambda d: (d.path, d.line, d.rule)):
+        facts = facts_by_path.get(diag.path)
+        if facts is not None and facts.is_waived(diag.rule, diag.line):
+            continue
+        key = (diag.rule, diag.path, diag.line, diag.message)
+        if key not in seen:
+            seen.add(key)
+            unsuppressed.append(diag)
+    findings.extend(unsuppressed)
+
+    graph_stats = graph.stats()
+    stats = {
+        "files": len(files),
+        "modules": graph_stats["modules"],
+        "modules_analyzed": n_analyzed,
+        "modules_cached": n_cached,
+        "functions": graph_stats["functions"],
+        "call_edges": graph_stats["call_edges"],
+        "lock_nodes": graph_stats["lock_nodes"],
+        "lock_edges": graph_stats["lock_edges"],
+        "findings": len(findings),
+        "rules_active": len(active_rules()),
+        "rule_timings_ms": {
+            k: round(v * 1000.0, 3) for k, v in sorted(timings.items())
+        },
+        "total_ms": round((time.perf_counter() - total_start) * 1000.0, 3),
+    }
+    return AnalysisResult(findings=findings, graph=graph, stats=stats)
 
 
 def lint_paths(paths: Iterable[str | Path]) -> list[Diagnostic]:
-    """Findings across every file reachable from ``paths``."""
-    findings: list[Diagnostic] = []
-    for path in collect_files(paths):
-        findings.extend(lint_file(path))
-    return findings
+    """Findings across every file reachable from ``paths`` (no cache)."""
+    return analyze_paths(paths).findings
+
+
+# ---------------------------------------------------------------------------
+# --changed support
+# ---------------------------------------------------------------------------
+
+
+def _git_changed_paths() -> set[Path] | None:
+    """Files touched per git (diff vs HEAD + untracked), resolved."""
+    changed: set[Path] = set()
+    for args in (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        try:
+            proc = subprocess.run(
+                args, capture_output=True, text=True, timeout=30, check=False
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if proc.returncode != 0:
+            return None
+        for line in proc.stdout.splitlines():
+            line = line.strip()
+            if line:
+                changed.add(Path(line).resolve())
+    return changed
+
+
+def _changed_scope(result: AnalysisResult) -> set[str] | None:
+    """Paths in scope for ``--changed``: touched files + reverse deps."""
+    changed = _git_changed_paths()
+    if changed is None:
+        return None
+    graph = result.graph
+    if graph is None:
+        return set()
+    touched_modules = [
+        mf.module
+        for mf in graph.modules.values()
+        if Path(mf.path).resolve() in changed
+    ]
+    in_scope = graph.reverse_import_closure(touched_modules)
+    return {
+        mf.path for mf in graph.modules.values() if mf.module in in_scope
+    }
+
+
+# ---------------------------------------------------------------------------
+# rendering and CLI
+# ---------------------------------------------------------------------------
 
 
 def _render(findings: Sequence[Diagnostic], fmt: str) -> str:
     if fmt == "json":
-        return json.dumps(
-            [
-                {
-                    "rule": d.rule,
-                    "path": d.path,
-                    "line": d.line,
-                    "severity": str(d.severity),
-                    "message": d.message,
-                }
-                for d in findings
-            ],
-            indent=2,
-        )
+        return json.dumps([d.to_dict() for d in findings], indent=2)
+    if fmt == "sarif":
+        from .sarif import render_sarif
+
+        return render_sarif(findings, RULE_DOC)
     return "\n".join(d.render() for d in findings)
+
+
+def _print_graph_query(
+    graph: ProgramGraph, query: str, symbol: str
+) -> int:
+    if query == "locks":
+        edges = [
+            (src, dst, ev)
+            for src, dsts in sorted(graph.lock_edges.items())
+            for dst, ev in dsts
+            if symbol == "all"
+            or symbol in src[0].rsplit(":", 1)[-1]
+            or symbol in dst[0].rsplit(":", 1)[-1]
+        ]
+        if not edges:
+            print(f"repro lint: no lock edges match {symbol!r}")
+            return 0
+        for (scls, sattr), (dcls, dattr), ev in edges:
+            print(f"{scls}.{sattr} -> {dcls}.{dattr}  [{ev}]")
+        return 0
+    nodes = graph.find_nodes(symbol)
+    if not nodes:
+        print(f"repro lint: no function matches {symbol!r}", file=sys.stderr)
+        return 2
+    for node in nodes:
+        mf, ff = graph.functions[node]
+        print(f"{node}  ({mf.path}:{ff.line})")
+        hits = graph.callers(node) if query == "callers" else graph.callees(node)
+        for other, line in sorted(hits):
+            print(f"  {'<-' if query == 'callers' else '->'} {other}  (line {line})")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -151,10 +424,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     parser.add_argument(
-        "--format", choices=["text", "json"], default="text", dest="fmt"
+        "--format", choices=["text", "json", "sarif"], default="text", dest="fmt"
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="only report findings in git-changed files and their reverse "
+        "import dependencies",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print driver timing/size counters as JSON instead of findings",
+    )
+    parser.add_argument(
+        "--graph",
+        nargs=2,
+        metavar=("QUERY", "SYMBOL"),
+        help="query the program graph: callers|callees|locks <symbol> "
+        "(locks accepts a class name or 'all')",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental facts cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"facts cache directory (default: {DEFAULT_CACHE_DIR})",
     )
     return parser
 
@@ -166,18 +467,50 @@ def main(argv: Sequence[str] | None = None) -> int:
         for rule in active_rules():
             print(f"{rule}  {RULE_DOC[rule]}")
         return 0
+    if args.graph is not None and args.graph[0] not in (
+        "callers",
+        "callees",
+        "locks",
+    ):
+        print(
+            f"repro lint: --graph query must be callers|callees|locks, "
+            f"got {args.graph[0]!r}",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        findings = lint_paths(args.paths)
+        result = analyze_paths(
+            args.paths, use_cache=not args.no_cache, cache_dir=args.cache_dir
+        )
     except FileNotFoundError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
-    if findings:
+    if args.graph is not None:
+        assert result.graph is not None
+        return _print_graph_query(result.graph, args.graph[0], args.graph[1])
+    findings = result.findings
+    if args.changed:
+        scope = _changed_scope(result)
+        if scope is None:
+            print(
+                "repro lint: --changed requires a git checkout; "
+                "linting everything",
+                file=sys.stderr,
+            )
+        else:
+            findings = [d for d in findings if d.path in scope]
+    if args.stats:
+        stats = dict(result.stats, findings=len(findings))
+        print(json.dumps(stats, indent=2))
+        return 1 if findings else 0
+    if findings or args.fmt == "sarif":
         print(_render(findings, args.fmt))
-    n_files = len(collect_files(args.paths))
     if args.fmt == "text":
         print(
-            f"repro lint: {len(findings)} finding(s) in {n_files} file(s), "
-            f"{len(active_rules())} rules active",
+            f"repro lint: {len(findings)} finding(s) in "
+            f"{result.stats['files']} file(s), "
+            f"{len(active_rules())} rules active, "
+            f"{result.stats['modules_cached']} module(s) from cache",
             file=sys.stderr,
         )
     return 1 if findings else 0

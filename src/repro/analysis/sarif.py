@@ -1,0 +1,93 @@
+"""SARIF 2.1.0 rendering for ``repro lint --format sarif``.
+
+Emits the minimal-but-valid subset GitHub code scanning consumes: one
+run, one tool driver with the full rule table, one result per finding
+with a physical location.  Interprocedural findings carry their call
+chain as ``relatedLocations``-free message text plus a ``codeFlows``
+stub in properties (kept lightweight on purpose — the chain is already
+in the message).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Sequence
+
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["SARIF_SCHEMA_URI", "SARIF_VERSION", "render_sarif", "sarif_dict"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_TOOL_URI = "https://example.invalid/repro/ANALYSIS.md"
+
+
+def _relative_uri(path: str) -> str:
+    """A forward-slash, repo-relative URI for one finding path."""
+    p = Path(path)
+    try:
+        p = p.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return p.as_posix()
+
+
+def sarif_dict(
+    findings: Sequence[Diagnostic], rule_doc: dict[str, str]
+) -> dict:
+    """The SARIF log object for ``findings``."""
+    rule_ids = sorted(rule_doc)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": rule_id,
+            "shortDescription": {"text": rule_doc[rule_id]},
+            "helpUri": _TOOL_URI,
+        }
+        for rule_id in rule_ids
+    ]
+    results = []
+    for d in findings:
+        result = {
+            "ruleId": d.rule,
+            "level": "error" if d.severity is Severity.ERROR else "warning",
+            "message": {"text": d.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _relative_uri(d.path)},
+                        "region": {"startLine": max(1, d.line)},
+                    }
+                }
+            ],
+        }
+        if d.rule in rule_index:
+            result["ruleIndex"] = rule_index[d.rule]
+        if d.trace:
+            result["properties"] = {"callChain": list(d.trace)}
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": _TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(
+    findings: Sequence[Diagnostic], rule_doc: dict[str, str]
+) -> str:
+    """``findings`` as a SARIF 2.1.0 JSON document."""
+    return json.dumps(sarif_dict(findings, rule_doc), indent=2)

@@ -187,9 +187,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=["src/repro"],
         help="files or directories to lint (default: src/repro)",
     )
-    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text"
+    )
     lint.add_argument(
         "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    lint.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only git-changed files plus their reverse import deps",
+    )
+    lint.add_argument(
+        "--stats",
+        action="store_true",
+        help="print timing/size counters as JSON instead of findings",
+    )
+    lint.add_argument(
+        "--graph",
+        nargs=2,
+        metavar=("QUERY", "SYMBOL"),
+        help="query the program graph: callers|callees|locks <symbol>",
+    )
+    lint.add_argument(
+        "--no-cache", action="store_true", help="disable the facts cache"
+    )
+    lint.add_argument(
+        "--cache-dir", default=None, help="facts cache directory"
     )
 
     serve = sub.add_parser(
@@ -620,6 +644,16 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--format", args.format]
     if args.list_rules:
         argv += ["--list-rules"]
+    if args.changed:
+        argv += ["--changed"]
+    if args.stats:
+        argv += ["--stats"]
+    if args.graph:
+        argv += ["--graph", *args.graph]
+    if args.no_cache:
+        argv += ["--no-cache"]
+    if args.cache_dir:
+        argv += ["--cache-dir", args.cache_dir]
     return lint_main(argv)
 
 

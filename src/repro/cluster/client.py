@@ -50,6 +50,10 @@ class ClusterClient:
         reply = self._channel.recv(timeout=timeout)
         if reply.get("kind") == protocol.ERROR:
             raise ClusterError(reply.get("error", "coordinator error"))
+        if reply.get("kind") != protocol.OK:
+            # Every non-error coordinator reply is an ``ok`` frame; a
+            # stray kind here means the request/response pairing slipped.
+            raise ClusterError(f"unexpected reply kind {reply.get('kind')!r}")
         return reply
 
     # -- operations ------------------------------------------------------

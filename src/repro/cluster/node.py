@@ -139,6 +139,7 @@ class NodeAgent:
             if delay > 0:
                 # Sleep while *holding* the lease so a test can SIGKILL
                 # this process mid-shard deterministically.
+                # repro-lint: allow[RPR013] REPRO_CLUSTER_SHARD_DELAY is a deliberate failover-test knob; off in production (defaults to 0)
                 time.sleep(delay)
             if shard["kind"] == "scan":
                 value = run_scan_shard(shard)

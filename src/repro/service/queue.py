@@ -45,6 +45,13 @@ class BacklogFull(RuntimeError):
         self.capacity = capacity
         self.retry_after = retry_after
 
+    def __reduce__(self):
+        # The default BaseException pickle protocol replays cls(*args)
+        # with the formatted message, which does not match this
+        # three-argument constructor; spell out the real arguments so
+        # the exception survives the worker process boundary.
+        return (type(self), (self.depth, self.capacity, self.retry_after))
+
 
 def _key_for(job_id: str, priority: int) -> str:
     clamped = max(-_PRIORITY_LIMIT, min(_PRIORITY_LIMIT, int(priority)))

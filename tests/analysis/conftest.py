@@ -1,0 +1,22 @@
+"""Shared fixtures for the whole-program analysis tests."""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+@pytest.fixture
+def minipkg(tmp_path):
+    """Copy of the seeded-violation package, outside any ``tests/`` path.
+
+    The copy matters twice over: file collection skips ``fixtures``
+    directories, and interprocedural rules treat anything under a
+    ``tests`` path component as test code.  Analysing the tmp copy
+    exercises both rules *and* the seeded violations.
+    """
+    dst = tmp_path / "minipkg"
+    shutil.copytree(FIXTURES / "minipkg", dst)
+    return dst

@@ -1,0 +1,14 @@
+"""Fixture exceptions.
+
+``BadShard`` takes two required constructor arguments and defines no
+``__reduce__``: the default ``BaseException`` pickle protocol replays
+``cls(*args)`` with the single formatted message, so the instance
+cannot cross a worker process boundary — RPR016b's target shape.
+"""
+
+
+class BadShard(RuntimeError):
+    def __init__(self, shard_id, reason):
+        super().__init__(f"shard {shard_id}: {reason}")
+        self.shard_id = shard_id
+        self.reason = reason

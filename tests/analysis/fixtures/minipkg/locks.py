@@ -1,0 +1,38 @@
+"""Two classes that acquire each other's locks in opposite order.
+
+``Alpha.add`` holds ``Alpha._lock`` while calling ``Beta.mirror``
+(which takes ``Beta._lock``); ``Beta.drain`` holds ``Beta._lock``
+while calling ``Alpha.add``.  That is the two-node cycle RPR014
+reports.  The mutual construction in ``__init__`` exists only so the
+analyser can type ``self.partner``/``self.alpha``; nothing here is
+ever executed.
+"""
+
+import threading
+
+
+class Alpha:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.partner = Beta()
+        self.items = []
+
+    def add(self, item):
+        with self._lock:
+            self.items.append(item)
+            self.partner.mirror(item)
+
+
+class Beta:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.alpha = Alpha()
+        self.seen = []
+
+    def mirror(self, item):
+        with self._lock:
+            self.seen.append(item)
+
+    def drain(self):
+        with self._lock:
+            self.alpha.add(0)

@@ -1,0 +1,28 @@
+"""Consumer half of the fixture protocol.
+
+Seeds both RPR015 shapes: ``poll`` sends the ``orphan`` kind no
+dispatch arm anywhere consumes, and its ``pong`` arm reads the
+``extra`` field the producer never writes.  ``pump`` sends tag
+``T_LOST`` that nothing ever receives.
+"""
+
+from . import protocol
+
+T_DATA = 7
+T_LOST = 9
+
+
+def poll(channel):
+    frame = channel.recv(timeout=5.0)
+    kind = frame.get("kind")
+    if kind == protocol.PING:
+        channel.send({"kind": protocol.ORPHAN, "seq": 1})
+    if kind == protocol.PONG:
+        return frame["value"] + frame["extra"]
+    return None
+
+
+def pump(comm):
+    comm.send("x", 1, T_DATA)
+    comm.send("y", 1, T_LOST)
+    return comm.recv(source=0, tag=T_DATA)

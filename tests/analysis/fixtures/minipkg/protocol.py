@@ -1,0 +1,5 @@
+"""Message kinds for the fixture protocol (marks importers as msg-domain)."""
+
+PING = "ping"
+PONG = "pong"
+ORPHAN = "orphan"

@@ -1,0 +1,20 @@
+"""Service half of the fixture protocol.
+
+Seeds RPR013 (``do_fetch`` reaches ``time.sleep`` through a helper,
+so the per-file direct-sink rule cannot see it) and produces the
+``pong`` kind consumed by :mod:`minipkg.node`.
+"""
+
+import time
+
+from . import protocol
+
+
+def _tail_wait():
+    time.sleep(0.5)
+
+
+class RequestHandler:
+    def do_fetch(self, channel):
+        _tail_wait()
+        channel.send({"kind": protocol.PONG, "value": 1, "payload": "x"})

@@ -1,0 +1,30 @@
+"""Shard executor in a worker-stem module.
+
+Seeds RPR013's lease-path case (``run_lease`` blocks while holding a
+lease), RPR016a (``execute`` catches ``AssertionError`` and drops it),
+and provides the raise site that makes :class:`minipkg.errors.BadShard`
+an RPR016b finding (unpicklable exception on a worker path).
+"""
+
+import time
+
+from .errors import BadShard
+
+
+def run_lease(lease, budget=1.0):
+    time.sleep(min(budget, 1.0))
+    return lease
+
+
+def execute(shard):
+    try:
+        _check(shard)
+    except AssertionError:
+        return None
+    if shard.get("bad"):
+        raise BadShard(shard["id"], "unusable")
+    return shard
+
+
+def _check(shard):
+    assert shard, "empty shard"

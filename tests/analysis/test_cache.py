@@ -1,0 +1,65 @@
+"""Incremental-cache behaviour: content keys, sibling salt, cold/warm."""
+
+from repro.analysis.cache import LintCache, content_digest
+from repro.analysis.linter import analyze_paths
+
+
+def run(minipkg, cache_dir):
+    return analyze_paths(
+        [str(minipkg)], use_cache=True, cache_dir=str(cache_dir)
+    )
+
+
+def finding_keys(result):
+    return sorted((f.rule, f.path, f.line) for f in result.findings)
+
+
+class TestContentDigest:
+    def test_depends_on_content_and_path(self):
+        base = content_digest(b"x = 1\n", "a.py")
+        assert content_digest(b"x = 2\n", "a.py") != base
+        assert content_digest(b"x = 1\n", "b.py") != base
+
+    def test_store_and_load_round_trip(self, tmp_path):
+        cache = LintCache(str(tmp_path / "cache"))
+        digest = content_digest(b"y = 1\n", "y.py")
+        assert cache.load(digest) is None
+        cache.store(digest, {"facts": {"module": "y"}, "findings": []})
+        assert cache.load(digest)["facts"]["module"] == "y"
+
+
+class TestIncrementalRuns:
+    def test_cold_then_warm(self, minipkg, tmp_path):
+        cache_dir = tmp_path / ".cache"
+        cold = run(minipkg, cache_dir)
+        assert cold.stats["modules_analyzed"] == 7
+        assert cold.stats["modules_cached"] == 0
+
+        warm = run(minipkg, cache_dir)
+        assert warm.stats["modules_analyzed"] == 0
+        assert warm.stats["modules_cached"] == 7
+        assert finding_keys(warm) == finding_keys(cold)
+
+    def test_edit_invalidates_file_and_package_init(self, minipkg, tmp_path):
+        cache_dir = tmp_path / ".cache"
+        cold = run(minipkg, cache_dir)
+        worker = minipkg / "worker.py"
+        worker.write_text(worker.read_text() + "\nEXTRA = 1\n")
+        third = run(minipkg, cache_dir)
+        # worker.py re-analyzed for its content; __init__.py because its
+        # digest folds in sibling digests (RPR005 reads sibling __all__).
+        assert third.stats["modules_analyzed"] == 2
+        assert third.stats["modules_cached"] == 5
+        assert finding_keys(third) == finding_keys(cold)
+
+    def test_interproc_rules_rerun_from_cached_facts(self, minipkg, tmp_path):
+        cache_dir = tmp_path / ".cache"
+        run(minipkg, cache_dir)
+        warm = run(minipkg, cache_dir)
+        rules = {f.rule for f in warm.findings}
+        assert {"RPR013", "RPR014", "RPR015", "RPR016"} <= rules
+
+    def test_no_cache_leaves_no_directory(self, minipkg, tmp_path):
+        cache_dir = tmp_path / ".cache"
+        analyze_paths([str(minipkg)])
+        assert not cache_dir.exists()

@@ -1,0 +1,101 @@
+"""Program-graph construction checked against golden fixture graphs."""
+
+import json
+
+from repro.analysis.graph import ModuleFacts, ProgramGraph, module_name_for
+from repro.analysis.linter import analyze_paths
+from repro.analysis.linter import main as lint_main
+
+from .conftest import FIXTURES
+
+GOLDEN = FIXTURES / "minipkg_graph.json"
+
+
+def build(minipkg):
+    return analyze_paths([str(minipkg)])
+
+
+class TestModuleNames:
+    def test_walks_init_chain(self, minipkg):
+        assert module_name_for(str(minipkg / "server.py")) == "minipkg.server"
+        assert module_name_for(str(minipkg / "__init__.py")) == "minipkg"
+
+    def test_bare_file_is_its_stem(self, tmp_path):
+        lone = tmp_path / "standalone.py"
+        lone.write_text("x = 1\n")
+        assert module_name_for(str(lone)) == "standalone"
+
+
+class TestGoldenGraphs:
+    def test_call_and_lock_graphs_match_golden(self, minipkg):
+        graph = build(minipkg).graph
+        assert graph.to_dict() == json.loads(GOLDEN.read_text())
+
+    def test_facts_survive_json_round_trip(self, minipkg):
+        graph = build(minipkg).graph
+        revived = ProgramGraph(
+            ModuleFacts.from_dict(json.loads(json.dumps(mf.to_dict())))
+            for mf in graph.modules.values()
+        )
+        assert revived.to_dict() == graph.to_dict()
+
+
+class TestQueries:
+    def test_callers_and_callees(self, minipkg):
+        graph = build(minipkg).graph
+        helper = "minipkg.server:_tail_wait"
+        entry = "minipkg.server:RequestHandler.do_fetch"
+        assert helper in {callee for callee, _ in graph.callees(entry)}
+        assert entry in {caller for caller, _ in graph.callers(helper)}
+
+    def test_find_nodes_by_suffix(self, minipkg):
+        graph = build(minipkg).graph
+        assert graph.find_nodes("do_fetch") == [
+            "minipkg.server:RequestHandler.do_fetch"
+        ]
+
+    def test_reachable_and_path(self, minipkg):
+        graph = build(minipkg).graph
+        start = "minipkg.worker:execute"
+        parents = graph.reachable(start)
+        target = "minipkg.worker:_check"
+        assert target in parents
+        assert graph.path_to(start, target, parents) == [start, target]
+
+    def test_import_closures(self, minipkg):
+        graph = build(minipkg).graph
+        forward = graph.import_closure(["minipkg.worker"])
+        assert "minipkg.errors" in forward
+        reverse = graph.reverse_import_closure(["minipkg.protocol"])
+        assert {"minipkg.server", "minipkg.node"} <= reverse
+
+    def test_stats_counts(self, minipkg):
+        stats = build(minipkg).graph.stats()
+        assert stats["modules"] == 7
+        assert stats["lock_edges"] == 2
+        assert stats["functions"] > 0 and stats["call_edges"] > 0
+
+
+class TestGraphCli:
+    def test_callers_query(self, minipkg, capsys):
+        code = lint_main(
+            ["--graph", "callers", "_tail_wait", str(minipkg), "--no-cache"]
+        )
+        assert code == 0
+        assert "RequestHandler.do_fetch" in capsys.readouterr().out
+
+    def test_callees_query(self, minipkg, capsys):
+        lint_main(["--graph", "callees", "execute", str(minipkg), "--no-cache"])
+        assert "minipkg.worker:_check" in capsys.readouterr().out
+
+    def test_locks_query(self, minipkg, capsys):
+        lint_main(["--graph", "locks", "Alpha", str(minipkg), "--no-cache"])
+        out = capsys.readouterr().out
+        assert "Alpha._lock" in out and "Beta._lock" in out
+
+    def test_unknown_symbol_exits_two(self, minipkg, capsys):
+        code = lint_main(
+            ["--graph", "callers", "no_such_fn", str(minipkg), "--no-cache"]
+        )
+        assert code == 2
+        capsys.readouterr()

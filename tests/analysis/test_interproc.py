@@ -1,0 +1,102 @@
+"""Seeded-violation coverage for the interprocedural rules RPR013-016."""
+
+import shutil
+
+from repro.analysis.linter import analyze_paths, collect_files
+
+from .conftest import FIXTURES
+
+
+def findings_for(minipkg, rule):
+    found = analyze_paths([str(minipkg)]).findings
+    return sorted(
+        (f for f in found if f.rule == rule), key=lambda f: (f.path, f.line)
+    )
+
+
+class TestBlockingReachability:
+    def test_handler_reaching_sleep_through_helper(self, minipkg):
+        hits = findings_for(minipkg, "RPR013")
+        handler = [f for f in hits if f.path.endswith("server.py")]
+        assert len(handler) == 1
+        assert "do_fetch" in handler[0].message
+        assert "time.sleep" in handler[0].message
+        # The sink is in _tail_wait, not the entry — only the call
+        # graph can see this, and the trace spells out the chain.
+        assert any("_tail_wait" in step for step in handler[0].trace)
+
+    def test_lease_path_with_direct_sink(self, minipkg):
+        hits = findings_for(minipkg, "RPR013")
+        lease = [f for f in hits if f.path.endswith("worker.py")]
+        assert len(lease) == 1
+        assert "run_lease" in lease[0].message
+
+    def test_sink_waiver_suppresses_whole_path(self, minipkg):
+        server = minipkg / "server.py"
+        waived = server.read_text().replace(
+            "time.sleep(0.5)",
+            "time.sleep(0.5)  # repro-lint: allow[RPR013] seeded",
+        )
+        server.write_text(waived)
+        hits = findings_for(minipkg, "RPR013")
+        assert [f.path.endswith("worker.py") for f in hits] == [True]
+
+
+class TestLockOrder:
+    def test_cross_class_cycle_reported_once(self, minipkg):
+        hits = findings_for(minipkg, "RPR014")
+        assert len(hits) == 1
+        msg = hits[0].message
+        assert "Alpha._lock" in msg and "Beta._lock" in msg
+
+
+class TestMessageProtocol:
+    def test_orphan_kind_without_dispatch_arm(self, minipkg):
+        hits = findings_for(minipkg, "RPR015")
+        orphan = [f for f in hits if "'orphan'" in f.message]
+        assert len(orphan) == 1
+        assert orphan[0].path.endswith("node.py")
+
+    def test_consumer_field_not_produced(self, minipkg):
+        hits = findings_for(minipkg, "RPR015")
+        extra = [f for f in hits if "'extra'" in f.message]
+        assert len(extra) == 1
+        assert "'pong'" in extra[0].message
+
+    def test_unconsumed_tag(self, minipkg):
+        hits = findings_for(minipkg, "RPR015")
+        assert any("tag 9" in f.message for f in hits)
+        # tag 7 is consumed by the recv(tag=T_DATA) filter
+        assert not any("tag 7" in f.message for f in hits)
+
+
+class TestExceptionFlow:
+    def test_dropped_assertion_in_worker(self, minipkg):
+        hits = findings_for(minipkg, "RPR016")
+        dropped = [f for f in hits if f.path.endswith("worker.py")]
+        assert len(dropped) == 1
+        assert "AssertionError" in dropped[0].message
+
+    def test_unpicklable_exception_on_worker_path(self, minipkg):
+        hits = findings_for(minipkg, "RPR016")
+        pickle = [f for f in hits if f.path.endswith("errors.py")]
+        assert len(pickle) == 1
+        assert "BadShard" in pickle[0].message
+        assert "__reduce__" in pickle[0].message
+
+
+class TestScoping:
+    def test_test_paths_are_exempt(self, tmp_path):
+        # The same seeded package under a tests/ component: every
+        # interprocedural rule must stay silent.
+        dst = tmp_path / "tests" / "minipkg"
+        shutil.copytree(FIXTURES / "minipkg", dst)
+        found = analyze_paths([str(dst)]).findings
+        assert not [f for f in found if f.rule >= "RPR013"]
+
+    def test_fixture_dir_is_never_collected(self):
+        assert collect_files([FIXTURES]) == []
+
+    def test_seeded_package_fires_nothing_else_unexpected(self, minipkg):
+        rules = {f.rule for f in analyze_paths([str(minipkg)]).findings}
+        assert {"RPR013", "RPR014", "RPR015", "RPR016"} <= rules
