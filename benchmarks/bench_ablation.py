@@ -166,6 +166,76 @@ def test_ablation_work_accounting(benchmark, seq_mod, scoring_mod, results_dir):
     assert full < no_cache < no_queue
 
 
+def test_ablation_index_tier(benchmark, results_dir):
+    """Ablate the k-mer index tier's two ideas separately: heap seeding
+    (fewer first-pass alignments, same tops) and routing (skipped
+    records, same accepted tops)."""
+    from repro.core.api import RepeatFinder
+    from repro.core.scan import DatabaseScanner
+    from repro.bench.harness import _index_database, _tops_key
+    from repro.index import IndexConfig, seed_score_bounds
+    from repro.sequences.alphabet import DNA
+    from repro.sequences.workloads import RepeatSpec, implant_repeats
+
+    benchmark.group = "ablation"
+    exchange, gaps = default_scoring()
+
+    def run_all():
+        # Seeding alone: one implanted DNA sequence, bounds vs none.
+        seq = implant_repeats(
+            240, RepeatSpec(unit_length=40, copies=4, substitution_rate=0.12),
+            DNA, seed=7,
+        ).sequence
+        finder = RepeatFinder(top_alignments=K, min_score=80.0)
+        bounds = seed_score_bounds(seq, finder.resolve_exchange(seq))
+        plain = finder.find(seq)
+        seeded = finder.find(seq, seed_bounds=bounds)
+        # Routing on top of seeding: a small low-repeat database.
+        database = _index_database(12, 180, 6)
+        def scan(index):
+            scanner = DatabaseScanner(
+                finder=RepeatFinder(top_alignments=K, min_score=80.0),
+                index=index,
+            )
+            return scanner.scan(database), dict(scanner.index_stats)
+        base_reports, _ = scan(None)
+        routed_reports, stats = scan(IndexConfig())
+        return plain, seeded, base_reports, routed_reports, stats
+
+    plain, seeded, base_reports, routed_reports, stats = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    key = [(a.index, a.r, a.score, a.pairs) for a in plain.top_alignments]
+    seeded_key = [
+        (a.index, a.r, a.score, a.pairs) for a in seeded.top_alignments
+    ]
+    assert seeded_key == key
+    assert seeded.stats.alignments <= plain.stats.alignments
+    assert _tops_key(routed_reports) == _tops_key(base_reports)
+    assert stats["skip"] > 0
+    base_aligns = sum(
+        r.result.stats.alignments for r in base_reports if r.result is not None
+    )
+    routed_aligns = sum(
+        r.result.stats.alignments for r in routed_reports if r.result is not None
+    )
+    assert routed_aligns < base_aligns
+    save_table(
+        results_dir,
+        "ablation-index",
+        "Ablation — k-mer index tier (DNA, min_score=80)\n"
+        "single 240 bp implanted sequence, alignments to find top "
+        f"{K}:\n"
+        f"  unseeded heap:                 {plain.stats.alignments}\n"
+        f"  index-seeded heap:             {seeded.stats.alignments}\n"
+        "12-record low-repeat database, total alignments:\n"
+        f"  no index tier:                 {base_aligns}\n"
+        f"  routing (skip={stats['skip']}, full={stats['full']}, "
+        f"defer={stats['defer']}): {routed_aligns}\n"
+        "every variant returns identical accepted tops",
+    )
+
+
 @pytest.mark.parametrize("triangle", ["dense", "sparse"])
 def test_triangle_storage(benchmark, seq_mod, scoring_mod, triangle):
     """Dense vs sparse override triangle: same results, different

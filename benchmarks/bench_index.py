@@ -1,0 +1,118 @@
+"""k-mer index tier — database-scan throughput on a low-repeat database.
+
+The index tier (``repro.index``) builds a bucketed k-mer frequency
+profile per record in one linear pass and routes each record into a
+*skip / defer / full-scan* class before any O(n^3) work starts.  This
+bench scans a synthetic DNA database that is ~17 % repetitive three
+ways — unindexed, indexed against a cold store, indexed against the
+warm store — asserting byte-identical accepted tops throughout and
+that the warm rerun rebuilds zero indices.
+
+Run under pytest (``pytest benchmarks/bench_index.py``) for the full
+table, or directly for the CI bench-gate artifact::
+
+    python benchmarks/bench_index.py --out BENCH_index.json
+"""
+
+import argparse
+import json
+
+from repro.bench import index_report, index_rows
+
+RECORDS = 24
+LENGTH = 240
+REPEAT_EVERY = 6
+MIN_SCORE = 80.0
+K = 10
+
+
+def _row(report, mode):
+    for row in report["rows"]:
+        if row["mode"] == mode:
+            return row
+    raise KeyError(mode)
+
+
+def test_index_routing(benchmark, results_dir):
+    """Routing skips most background records; accepted tops are unchanged."""
+    # Imported lazily: the __main__ smoke entry must run without pytest.
+    from conftest import save_table
+
+    benchmark.group = "index"
+    report = benchmark.pedantic(
+        lambda: index_report(
+            RECORDS, LENGTH, repeat_every=REPEAT_EVERY, min_score=MIN_SCORE, k=K
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(results_dir, "index", index_rows(report=report).render())
+    # The correctness bar: routing never changes what the scan accepts.
+    assert report["identical_tops"]
+    cold = _row(report, "indexed-cold")
+    warm = _row(report, "indexed-warm")
+    # Every implanted record must survive routing (recall safety) and
+    # most background records must be skipped for the tier to pay off.
+    implanted = RECORDS // REPEAT_EVERY
+    assert cold["skipped"] + cold["deferred"] + cold["full"] == RECORDS
+    assert cold["full"] >= implanted
+    assert cold["skipped"] >= RECORDS // 2
+    # The acceptance bar: >= 2x scan throughput under pytest overhead
+    # (the committed BENCH_index.json artifact shows >= 3x).
+    assert report["speedup_cold"] >= 2.0
+    # Warm store reruns re-derive nothing.
+    assert report["warm_rebuilds"] == 0
+    assert warm["index_loads"] == RECORDS
+
+
+def test_index_build_is_linear_and_cheap():
+    """Index construction is a vanishing fraction of the scan it replaces."""
+    report = index_report(
+        RECORDS, LENGTH, repeat_every=REPEAT_EVERY, min_score=MIN_SCORE, k=K
+    )
+    cold = _row(report, "indexed-cold")
+    assert cold["index_builds"] == RECORDS
+    # All 24 profiles together build in well under a tenth of the
+    # indexed scan's own wall time.
+    assert cold["build_seconds"] < 0.1 * cold["seconds"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--records", type=int, default=RECORDS)
+    parser.add_argument("--length", type=int, default=LENGTH)
+    parser.add_argument("--repeat-every", type=int, default=REPEAT_EVERY)
+    parser.add_argument("--min-score", type=float, default=MIN_SCORE)
+    parser.add_argument("-k", "--top-alignments", type=int, default=K)
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the raw numbers as JSON (BENCH_index.json)")
+    parser.add_argument("--emit-metrics", default=None, metavar="PATH",
+                        help="enable repro.obs and dump the registry snapshot "
+                             "+ trace trees as JSON after the run")
+    args = parser.parse_args()
+    if args.emit_metrics:
+        from repro import obs
+
+        obs.enable()
+    report = index_report(
+        args.records,
+        args.length,
+        repeat_every=args.repeat_every,
+        min_score=args.min_score,
+        k=args.top_alignments,
+    )
+    print(index_rows(report=report).render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.out}")
+    if args.emit_metrics:
+        from repro import obs
+
+        obs.write_snapshot(args.emit_metrics)
+        print(f"wrote {args.emit_metrics}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

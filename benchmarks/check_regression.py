@@ -43,6 +43,7 @@ _COMPARABLE_KEYS = ("length", "k", "seed", "engine")
 IGNORED_METRIC_PREFIXES = (
     "repro_cluster_",
     "repro_http_",
+    "repro_index_",
     "repro_service_",
     "repro_worker_",
 )

@@ -36,6 +36,7 @@ import urllib.request
 from pathlib import Path
 
 from repro.cluster import ClusterClient
+from repro.cluster.execution import index_config_from_options
 from repro.cluster.protocol import report_to_dict
 from repro.core.scan import DatabaseScanner
 from repro.sequences import Sequence, pseudo_titin
@@ -49,8 +50,11 @@ RECORDS = [
 SPEC = {"sequence": "AA", "alphabet": "protein", "top_alignments": 3}
 
 
-def _local_reports() -> list[dict]:
-    scanner = DatabaseScanner(finder=build_finder(JobSpec.from_dict(SPEC)))
+def _local_reports(options: dict) -> list[dict]:
+    scanner = DatabaseScanner(
+        finder=build_finder(JobSpec.from_dict(SPEC)),
+        index=index_config_from_options(options),
+    )
     sequences = [
         Sequence(rec["sequence"], "protein", id=rec["id"]) for rec in RECORDS
     ]
@@ -116,7 +120,7 @@ def _stop(procs: list[subprocess.Popen]) -> None:
             proc.wait(timeout=10)
 
 
-def phase_service_cluster(log_dir: Path, data_dir: Path) -> None:
+def phase_service_cluster(log_dir: Path, data_dir: Path, options: dict) -> None:
     """Service + coordinator + 3 nodes: scan, routing, metrics."""
     serve_log = log_dir / "serve.log"
     proc, cluster_address = _spawn_banner(
@@ -147,12 +151,21 @@ def phase_service_cluster(log_dir: Path, data_dir: Path) -> None:
             print(f"3 nodes joined {cluster_address}")
 
             reports = cluster_client.scan(
-                JobSpec.from_dict(SPEC), RECORDS, timeout=300.0
+                JobSpec.from_dict(SPEC), RECORDS, timeout=300.0, options=options
             )
-            assert _canon(reports) == _canon(_local_reports()), (
+            assert _canon(reports) == _canon(_local_reports(options)), (
                 "sharded scan diverged from the single-node scanner"
             )
-            print(f"sharded scan over {len(RECORDS)} records: bit-identical")
+            if options.get("index"):
+                routes = [rep["routed"] for rep in reports]
+                assert all(r in ("skip", "defer", "full") for r in routes), routes
+                print(
+                    f"sharded scan over {len(RECORDS)} records: bit-identical "
+                    f"(index routing: {routes.count('full')} full / "
+                    f"{routes.count('defer')} defer / {routes.count('skip')} skip)"
+                )
+            else:
+                print(f"sharded scan over {len(RECORDS)} records: bit-identical")
 
             service = ServiceClient(http_url, timeout=30)
             payload = {
@@ -220,7 +233,7 @@ def _spawn_banner_from_existing(
     raise RuntimeError("service HTTP banner never appeared")
 
 
-def phase_failover(log_dir: Path) -> None:
+def phase_failover(log_dir: Path, options: dict) -> None:
     """SIGKILL a node mid-lease: the scan must still be bit-identical."""
     coordinator, address = _spawn_banner(
         [
@@ -245,7 +258,9 @@ def phase_failover(log_dir: Path) -> None:
         )
         with ClusterClient(host, port) as client:
             _wait_nodes(client, 1)
-            job_id = client.submit_scan(JobSpec.from_dict(SPEC), RECORDS)
+            job_id = client.submit_scan(
+                JobSpec.from_dict(SPEC), RECORDS, options=options
+            )
             deadline = time.monotonic() + 30
             while client.job_status(job_id)["in_flight"] == 0:
                 if time.monotonic() > deadline:
@@ -263,7 +278,7 @@ def phase_failover(log_dir: Path) -> None:
                     )
                 )
             reports = client.wait_scan(job_id, timeout=300.0)
-            assert _canon(reports) == _canon(_local_reports()), (
+            assert _canon(reports) == _canon(_local_reports(options)), (
                 "post-failover scan diverged from the single-node scanner"
             )
             stats = client.stats()
@@ -286,12 +301,20 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="directory for coordinator/node logs (CI artifacts)",
     )
+    parser.add_argument(
+        "--index",
+        action="store_true",
+        help="run the sharded scans through the k-mer index tier "
+        "(promise-ordered leases; bit-identity asserted against an "
+        "indexed local scanner)",
+    )
     args = parser.parse_args(argv)
+    options = {"index": True} if args.index else {}
     with tempfile.TemporaryDirectory(prefix="repro-cluster-smoke-") as tmp:
         log_dir = Path(args.log_dir) if args.log_dir else Path(tmp) / "logs"
         log_dir.mkdir(parents=True, exist_ok=True)
-        phase_service_cluster(log_dir, Path(tmp) / "data")
-        phase_failover(log_dir)
+        phase_service_cluster(log_dir, Path(tmp) / "data", options)
+        phase_failover(log_dir, options)
     print("cluster smoke: OK")
     return 0
 

@@ -3,8 +3,8 @@
 Two analysis layers share one driver:
 
 * **per-file rules** — each file is parsed once and dispatched through
-  the registered AST rules (RPR001..RPR012, including the RPR003
-  lock-discipline detector and the RPR005 export checker);
+  the registered AST rules (RPR001..RPR012 and RPR017, including the
+  RPR003 lock-discipline detector and the RPR005 export checker);
 * **whole-program rules** — the same parse also feeds
   :func:`repro.analysis.graph.extract_module_facts`; the resulting
   facts build a :class:`~repro.analysis.graph.ProgramGraph` over which
@@ -88,6 +88,7 @@ RULE_DOC: dict[str, str] = {
     "RPR014": "lock-order cycle across classes (potential deadlock)",
     "RPR015": "message kind/tag sent without a receiver dispatch arm, or consumer reads an unproduced field",
     "RPR016": "invariant violation caught-and-dropped / unpicklable exception in a worker path",
+    "RPR017": "repro.align import inside the repro.index layer (index routes before alignment)",
 }
 
 

@@ -18,6 +18,7 @@ Rule ids
 ``RPR010`` blocking call in a ``repro.service`` request-handling path
 ``RPR011`` wall-clock ``time.time()`` in an instrumented performance path
 ``RPR012`` raw socket / unbounded ``recv``/``accept`` outside ``cluster/transport``
+``RPR017`` ``repro.align`` import inside the ``repro.index`` layer
 """
 
 from __future__ import annotations
@@ -793,6 +794,66 @@ def rule_socket_discipline(tree: ast.Module, path: str) -> list[Diagnostic]:
     return findings
 
 
+# ---------------------------------------------------------------------------
+# RPR017 — layering: the index tier must not reach into align/
+# ---------------------------------------------------------------------------
+
+
+def rule_index_layer_imports(tree: ast.Module, path: str) -> list[Diagnostic]:
+    """RPR017: ``repro.align`` imports inside ``repro/index/``.
+
+    The k-mer index tier exists *below* the O(n^3) pipeline: it must be
+    able to bound and route work without ever paying for an alignment,
+    and its seeded heap bounds must stay provable from the exchange
+    matrix alone.  An ``align/`` import here would let alignment
+    results leak into routing decisions, silently turning the
+    "provably >= true top score" guarantee into a heuristic.  The tier
+    therefore only sees sequences, alphabets and exchange matrices;
+    anything needing an engine belongs in ``repro.core``.  A deliberate
+    exception carries a waiver: ``# repro-lint: allow[RPR017] reason``.
+    """
+    if not _in_dir(path, "index") or _is_test_file(path):
+        return []
+    findings: list[Diagnostic] = []
+
+    def flag(node: ast.AST, imported: str) -> None:
+        findings.append(
+            Diagnostic(
+                rule="RPR017",
+                path=path,
+                line=node.lineno,
+                message=f"import of {imported} inside the repro.index layer; "
+                "the index tier routes work *before* any alignment runs and "
+                "must depend only on sequences/scoring — move "
+                "engine-dependent logic to repro.core (or waive with "
+                "`# repro-lint: allow[RPR017] reason`)",
+            )
+        )
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.align" or alias.name.startswith(
+                    "repro.align."
+                ):
+                    flag(node, alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0 and (
+                module == "repro.align" or module.startswith("repro.align.")
+            ):
+                flag(node, module)
+            elif node.level >= 2 and (
+                module == "align" or module.startswith("align.")
+            ):
+                flag(node, f"{'.' * node.level}{module}")
+            elif node.level >= 2 and not module:
+                for alias in node.names:
+                    if alias.name == "align":
+                        flag(node, f"{'.' * node.level} align")
+    return findings
+
+
 #: Per-file rules, in reporting order.  Lock discipline (RPR003) and
 #: export consistency (RPR005) are registered by the linter driver.
 FILE_RULES: tuple[tuple[str, Rule], ...] = (
@@ -805,6 +866,7 @@ FILE_RULES: tuple[tuple[str, Rule], ...] = (
     ("RPR010", rule_blocking_in_handler),
     ("RPR011", rule_wall_clock_in_hot_path),
     ("RPR012", rule_socket_discipline),
+    ("RPR017", rule_index_layer_imports),
 )
 
 

@@ -7,6 +7,8 @@ from .harness import (
     bench_sequence,
     default_scoring,
     figure8_series,
+    index_report,
+    index_rows,
     realignment_rows,
     table1_rows,
     table2_rows,
@@ -22,4 +24,6 @@ __all__ = [
     "realignment_rows",
     "batched_report",
     "batched_rows",
+    "index_report",
+    "index_rows",
 ]

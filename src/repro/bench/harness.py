@@ -34,6 +34,8 @@ __all__ = [
     "realignment_rows",
     "batched_report",
     "batched_rows",
+    "index_report",
+    "index_rows",
 ]
 
 
@@ -366,4 +368,192 @@ def realignment_rows(
         avoided = 100.0 * (1.0 - stats.realignments / naive) if naive else 0.0
         table.add(length, k, stats.realignments, naive, avoided)
     table.notes.append("paper: the heuristic avoids 90-97 % of realignments")
+    return table
+
+
+# -- k-mer index tier (routing + seeded bounds) -------------------------------
+
+
+def _index_database(records: int, length: int, repeat_every: int) -> list[Sequence]:
+    """The index benchmark's synthetic database: mostly random DNA.
+
+    Every ``repeat_every``-th record carries an implanted tandem family
+    (unit 40, four copies, 12 % divergence); the rest are background.
+    With ``repeat_every=6`` the database is ~17 % repetitive — the
+    low-repeat regime (<=20 %) the routing tier is built for.
+    """
+    from ..sequences.alphabet import DNA
+    from ..sequences.workloads import RepeatSpec, implant_repeats, random_sequence
+
+    database: list[Sequence] = []
+    for i in range(records):
+        if i % repeat_every == 0:
+            workload = implant_repeats(
+                length,
+                RepeatSpec(unit_length=40, copies=4, substitution_rate=0.12),
+                DNA,
+                seed=i,
+                id=f"rep{i:03d}",
+            )
+            database.append(workload.sequence)
+        else:
+            database.append(
+                random_sequence(length, DNA, seed=100 + i, id=f"bg{i:03d}")
+            )
+    return database
+
+
+def _tops_key(reports) -> list[tuple]:
+    """Byte-comparison key of every record's accepted top alignments."""
+    key = []
+    for rep in reports:
+        tops = [] if rep.result is None else [
+            (a.r, a.score, a.pairs) for a in rep.result.top_alignments
+        ]
+        key.append((rep.id, tops))
+    return key
+
+
+def index_report(
+    records: int = 24,
+    length: int = 240,
+    *,
+    repeat_every: int = 6,
+    min_score: float = 80.0,
+    k: int = 10,
+    store_dir: str | None = None,
+) -> dict[str, Any]:
+    """Database-scan throughput with and without the k-mer index tier.
+
+    Scans the synthetic low-repeat database three ways — unindexed,
+    indexed against a cold store, indexed again against the now-warm
+    store — asserting that all three return byte-identical accepted
+    tops.  Returns the JSON-ready payload ``repro bench index --json``
+    and the CI bench gate write as ``BENCH_index.json``.
+    """
+    import shutil
+    import tempfile
+
+    from ..core.api import RepeatFinder
+    from ..core.scan import DatabaseScanner
+    from ..index import IndexConfig, IndexStore
+
+    database = _index_database(records, length, repeat_every)
+
+    def run(index: "IndexConfig | None", store: "IndexStore | None"):
+        scanner = DatabaseScanner(
+            finder=RepeatFinder(top_alignments=k, min_score=min_score),
+            index=index,
+            index_store=store,
+        )
+        seconds, reports = _timed(lambda: scanner.scan(database))
+        return seconds, reports, dict(scanner.index_stats)
+
+    def row(mode: str, seconds: float, reports, stats: dict[str, Any]) -> dict[str, Any]:
+        cells = sum(r.result.stats.cells for r in reports if r.result is not None)
+        aligns = sum(
+            r.result.stats.alignments for r in reports if r.result is not None
+        )
+        return {
+            "mode": mode,
+            "seconds": seconds,
+            "cells": cells,
+            "cells_per_second": cells / seconds if seconds > 0 else 0.0,
+            "alignments": aligns,
+            "skipped": stats.get("skip", 0),
+            "deferred": stats.get("defer", 0),
+            "full": stats.get("full", 0),
+            "index_builds": stats.get("index_builds", 0),
+            "index_loads": stats.get("index_loads", 0),
+            "build_seconds": stats.get("index_seconds", 0.0),
+        }
+
+    owned = store_dir is None
+    root = tempfile.mkdtemp(prefix="repro-index-bench-") if owned else store_dir
+    try:
+        config = IndexConfig()
+        base_s, base_reports, _ = run(None, None)
+        cold_s, cold_reports, cold_stats = run(config, IndexStore(root))
+        warm_s, warm_reports, warm_stats = run(config, IndexStore(root))
+    finally:
+        if owned:
+            shutil.rmtree(root, ignore_errors=True)
+
+    reference = _tops_key(base_reports)
+    identical = (
+        _tops_key(cold_reports) == reference and _tops_key(warm_reports) == reference
+    )
+    rows = [
+        row("unindexed", base_s, base_reports, {}),
+        row("indexed-cold", cold_s, cold_reports, cold_stats),
+        row("indexed-warm", warm_s, warm_reports, warm_stats),
+    ]
+    return {
+        "records": records,
+        "length": length,
+        "repeat_every": repeat_every,
+        "repetitive_fraction": 1.0 / repeat_every,
+        "min_score": min_score,
+        "k": k,
+        "identical_tops": identical,
+        "speedup_cold": base_s / cold_s if cold_s > 0 else 0.0,
+        "speedup_warm": base_s / warm_s if warm_s > 0 else 0.0,
+        "warm_rebuilds": warm_stats.get("index_builds", 0),
+        "rows": rows,
+    }
+
+
+def index_rows(
+    records: int = 24,
+    length: int = 240,
+    *,
+    repeat_every: int = 6,
+    min_score: float = 80.0,
+    k: int = 10,
+    report: dict[str, Any] | None = None,
+) -> BenchTable:
+    """Render :func:`index_report` as a table (pass ``report`` to reuse one)."""
+    if report is None:
+        report = index_report(
+            records, length, repeat_every=repeat_every, min_score=min_score, k=k
+        )
+    table = BenchTable(
+        "k-mer index tier — database-scan throughput on a low-repeat database",
+        [
+            "mode",
+            "seconds",
+            "cells",
+            "cells/s",
+            "aligns",
+            "skip",
+            "defer",
+            "full",
+            "builds",
+            "loads",
+        ],
+    )
+    for row in report["rows"]:
+        table.add(
+            row["mode"],
+            row["seconds"],
+            row["cells"],
+            row["cells_per_second"],
+            row["alignments"],
+            row["skipped"],
+            row["deferred"],
+            row["full"],
+            row["index_builds"],
+            row["index_loads"],
+        )
+    table.notes.append(
+        f"{report['records']} DNA records x {report['length']} bp, "
+        f"{report['repetitive_fraction']:.0%} repetitive, "
+        f"min_score={report['min_score']:g}; accepted tops byte-identical "
+        f"across all modes: {report['identical_tops']}"
+    )
+    table.notes.append(
+        f"speedup: {report['speedup_cold']:.1f}x cold, "
+        f"{report['speedup_warm']:.1f}x warm "
+        f"({report['warm_rebuilds']} indices rebuilt on the warm rerun)"
+    )
     return table

@@ -78,6 +78,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="'old' runs the quartic 1993-style baseline (same results)",
     )
     find.add_argument("--min-score", type=float, default=0.0)
+    find.add_argument(
+        "--index",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="seed the best-first heap from the k-mer index tier "
+        "(bit-identical results, fewer alignments)",
+    )
+    find.add_argument(
+        "--index-k", type=int, default=0,
+        help="k-mer width (0 = per-alphabet default)",
+    )
     find.add_argument("--show-alignments", action="store_true")
     find.add_argument(
         "--msa",
@@ -97,7 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="regenerate a paper artifact")
     bench.add_argument(
-        "artifact", choices=["table1", "table2", "figure8", "realign", "batched"],
+        "artifact",
+        choices=["table1", "table2", "figure8", "realign", "batched", "index"],
     )
     bench.add_argument("--length", type=int, default=None)
     bench.add_argument("-k", "--top-alignments", type=int, default=None)
@@ -105,7 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         default=None,
         metavar="PATH",
-        help="also write the artifact's raw numbers as JSON (batched only)",
+        help="also write the artifact's raw numbers as JSON (batched/index only)",
     )
     bench.add_argument(
         "--emit-metrics",
@@ -129,6 +141,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="speculative batch width G (1 = sequential best-first)",
     )
     scan.add_argument("--limit", type=int, default=0, help="print only the top N")
+    scan.add_argument(
+        "--index",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="route records through the k-mer index tier "
+        "(skip / defer / full-scan classes; accepted tops unchanged)",
+    )
+    scan.add_argument(
+        "--index-k", type=int, default=0,
+        help="k-mer width (0 = per-alphabet default)",
+    )
+    scan.add_argument(
+        "--index-threshold",
+        type=float,
+        default=0.0,
+        help="significance threshold: alignments below it are discarded and "
+        "records the index proves below it are skipped entirely",
+    )
+    scan.add_argument(
+        "--index-cache",
+        default=None,
+        metavar="DIR",
+        help="content-addressed index store (warm reruns rebuild nothing)",
+    )
 
     align = sub.add_parser("align", help="align two sequences and render them")
     align.add_argument("seq1", help="first sequence (text, vertical)")
@@ -281,6 +317,17 @@ def build_parser() -> argparse.ArgumentParser:
     cscan.add_argument("--mask", action="store_true", help="mask low-complexity tracts")
     cscan.add_argument("--min-length", type=int, default=10)
     cscan.add_argument("--engine", default="vector")
+    cscan.add_argument(
+        "--index",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="enable the k-mer index tier on every shard (and order shards "
+        "most-promising-first)",
+    )
+    cscan.add_argument(
+        "--index-k", type=int, default=0,
+        help="k-mer width (0 = per-alphabet default)",
+    )
     cscan.add_argument("--timeout", type=float, default=600.0)
 
     submit = sub.add_parser("submit", help="submit FASTA records to a service")
@@ -299,6 +346,16 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--min-score", type=float, default=0.0)
     submit.add_argument("--max-gap", type=int, default=0)
     submit.add_argument("--priority", type=int, default=0, help="higher runs earlier")
+    submit.add_argument(
+        "--index",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help="workers seed the best-first heap from the k-mer index tier",
+    )
+    submit.add_argument(
+        "--index-k", type=int, default=0,
+        help="k-mer width (0 = per-alphabet default)",
+    )
     submit.add_argument(
         "--wait", action="store_true", help="block until every job finishes"
     )
@@ -338,6 +395,16 @@ def _cmd_find(args: argparse.Namespace) -> int:
     if not records:
         raise SystemExit("no FASTA records found")
     for record in records:
+        seed_bounds = None
+        if args.index:
+            from .core.api import RepeatFinder
+            from .index import seed_score_bounds
+
+            resolver = RepeatFinder(
+                exchange=exchange,
+                gaps=GapPenalties(args.gap_open, args.gap_extend),
+            )
+            seed_bounds = seed_score_bounds(record, resolver.resolve_exchange(record))
         result = find_repeats(
             record,
             top_alignments=args.top_alignments,
@@ -348,6 +415,7 @@ def _cmd_find(args: argparse.Namespace) -> int:
             group=args.group,
             min_score=args.min_score,
             max_gap=args.max_gap,
+            seed_bounds=seed_bounds,
         )
         name = record.id or "<unnamed>"
         print(f">{name} length={len(record)}")
@@ -412,6 +480,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         batched_report,
         batched_rows,
         figure8_series,
+        index_report,
+        index_rows,
         realignment_rows,
         table1_rows,
         table2_rows,
@@ -430,6 +500,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             kwargs["k"] = args.top_alignments
         report = batched_report(**kwargs)
         print(batched_rows(report=report).render())
+        if args.json:
+            import json
+
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2)
+            print(f"wrote {args.json}")
+    elif args.artifact == "index":
+        kwargs = {}
+        if args.length:
+            kwargs["length"] = args.length
+        if args.top_alignments:
+            kwargs["k"] = args.top_alignments
+        report = index_report(**kwargs)
+        print(index_rows(report=report).render())
         if args.json:
             import json
 
@@ -474,24 +558,50 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     records = read_fasta(source, alphabet)
     if not records:
         raise SystemExit("no FASTA records found")
+    index_config = None
+    index_store = None
+    if args.index:
+        from .index import IndexConfig, IndexStore
+
+        index_config = IndexConfig(k=args.index_k)
+        if args.index_cache:
+            index_store = IndexStore(args.index_cache)
     scanner = DatabaseScanner(
-        finder=RepeatFinder(top_alignments=args.top_alignments),
+        finder=RepeatFinder(
+            top_alignments=args.top_alignments,
+            min_score=args.index_threshold,
+        ),
         mask=args.mask,
         min_length=args.min_length,
         engine=args.engine,
         group=args.group,
+        index=index_config,
+        index_store=index_store,
     )
     reports = scanner.rank(records)
     if args.limit:
         reports = reports[: args.limit]
-    print(f"{'rank':>4}  {'id':<24} {'len':>6} {'best':>7} {'families':>8} {'repeat%':>8}")
+    routed_col = "  routed" if args.index else ""
+    print(
+        f"{'rank':>4}  {'id':<24} {'len':>6} {'best':>7} "
+        f"{'families':>8} {'repeat%':>8}{routed_col}"
+    )
     for rank, rep in enumerate(reports, 1):
         if rep.failed:
             print(f"{rank:>4}  {rep.id[:24]:<24} {rep.length:>6} FAILED: {rep.error}")
             continue
+        routed = f"  {rep.routed or '-'}" if args.index else ""
         print(
             f"{rank:>4}  {rep.id[:24]:<24} {rep.length:>6} {rep.best_score:>7g} "
-            f"{rep.n_families:>8} {rep.repeat_fraction:>8.1%}"
+            f"{rep.n_families:>8} {rep.repeat_fraction:>8.1%}{routed}"
+        )
+    if args.index and scanner.index_stats:
+        s = scanner.index_stats
+        print(
+            f"index: {s.get('full', 0)} full / {s.get('defer', 0)} defer / "
+            f"{s.get('skip', 0)} skip; builds={s.get('index_builds', 0)} "
+            f"loads={s.get('index_loads', 0)}",
+            file=sys.stderr,
         )
     failures = [rep for rep in reports if rep.failed]
     if failures:
@@ -731,6 +841,9 @@ def _cluster_scan(args: argparse.Namespace) -> int:
     )
     payload = [{"id": rec.id, "sequence": rec.text} for rec in records]
     options = {"mask": args.mask, "min_length": args.min_length}
+    if args.index:
+        options["index"] = True
+        options["index_k"] = args.index_k
     try:
         with ClusterClient(host, int(port)) as client:
             reports = client.scan(spec, payload, options, timeout=args.timeout)
@@ -803,6 +916,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             "min_score": args.min_score,
             "max_gap": args.max_gap,
             "priority": args.priority,
+            "index": args.index,
+            "index_k": args.index_k,
         }
         try:
             job = client.submit(spec)

@@ -36,7 +36,12 @@ from ..obs import LATENCY_BUCKETS, MetricsRegistry
 from ..obs.prometheus import render_prometheus
 from ..service.protocol import JobSpec
 from . import protocol
-from .execution import finish_from_rows, merge_scan_reports, scan_spec_dict
+from .execution import (
+    finish_from_rows,
+    merge_scan_reports,
+    scan_shard_priorities,
+    scan_spec_dict,
+)
 from .registry import NodeRegistry
 from .shards import Shard, ShardScheduler, merge_shard_results, plan_record_shards, plan_row_shards
 from .transport import Channel, FrameError, Listener
@@ -197,12 +202,16 @@ class Coordinator:
             raise ValueError("a scan needs at least one record")
         spec_payload = scan_spec_dict(spec)
         ranges = plan_record_shards(len(records), self.config.scan_shard_size)
+        # With indexing on, lease repeat-promising record ranges first:
+        # first-result-wins then finishes the interesting shards early.
+        priorities = scan_shard_priorities(spec, records, ranges, options or {})
         shards = [
             Shard(
                 shard_id=i,
                 payload=protocol.scan_shard(
                     i, spec_payload, records[start:stop], start, options
                 ),
+                priority=priorities[i],
             )
             for i, (start, stop) in enumerate(ranges)
         ]

@@ -42,9 +42,11 @@ from .protocol import report_to_dict
 
 __all__ = [
     "finish_from_rows",
+    "index_config_from_options",
     "merge_scan_reports",
     "run_rows_shard",
     "run_scan_shard",
+    "scan_shard_priorities",
     "scan_spec_dict",
 ]
 
@@ -61,6 +63,20 @@ def scan_spec_dict(spec: JobSpec) -> dict[str, Any]:
     return payload
 
 
+def index_config_from_options(options: dict[str, Any]):
+    """The :class:`~repro.index.IndexConfig` an options dict asks for.
+
+    Returns ``None`` when indexing is off.  Only the wire-safe knobs
+    (``index_k``) are plumbed; the calibration knobs keep their
+    defaults so every node routes identically.
+    """
+    if not options.get("index"):
+        return None
+    from ..index.routing import IndexConfig
+
+    return IndexConfig(k=int(options.get("index_k", 0) or 0))
+
+
 def _scanner_for(payload: dict[str, Any]) -> DatabaseScanner:
     spec = JobSpec.from_dict(payload["spec"])
     options = payload.get("options") or {}
@@ -70,6 +86,7 @@ def _scanner_for(payload: dict[str, Any]) -> DatabaseScanner:
         mask_window=int(options.get("mask_window", 12)),
         mask_threshold=float(options.get("mask_threshold", 1.5)),
         min_length=int(options.get("min_length", 10)),
+        index=index_config_from_options(options),
     )
 
 
@@ -113,6 +130,45 @@ def run_rows_shard(payload: dict[str, Any]) -> dict[str, Any]:
         row = state.engine.last_row(state.problem_for(r))
         rows.append((int(r), np.asarray(row)))
     return {"shard_id": payload["shard_id"], "rows": rows}
+
+
+def scan_shard_priorities(
+    spec: JobSpec,
+    records: list[dict[str, str]],
+    ranges: list[tuple[int, int]],
+    options: dict[str, Any],
+) -> list[int]:
+    """Per-shard lease priority: the best k-mer promise in each range.
+
+    O(total record length) — one profile per record, no kernel work —
+    so the coordinator can order scan shards most-promising-first
+    before any lease is issued.  A record that fails to profile simply
+    contributes no promise (the shard still runs; nodes isolate
+    per-record failures themselves).
+    """
+    config = index_config_from_options(options)
+    if config is None:
+        return [0] * len(ranges)
+    from ..index.kmer import build_profile
+    from ..index.routing import promise_score
+
+    finder = build_finder(spec)
+    promises: list[float] = []
+    for rec in records:
+        try:
+            seq = Sequence(
+                rec["sequence"].upper(), spec.alphabet, id=rec.get("id", "")
+            )
+            profile = build_profile(seq, **config.profile_params())
+            promises.append(
+                promise_score(profile, finder.resolve_exchange(seq), config)
+            )
+        except Exception:  # noqa: BLE001 - promise is advisory only
+            promises.append(0.0)
+    return [
+        int(round(max(promises[start:stop], default=0.0)))
+        for start, stop in ranges
+    ]
 
 
 def merge_scan_reports(shard_results: list[dict[str, Any]]) -> list[dict[str, Any]]:

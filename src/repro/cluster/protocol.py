@@ -91,7 +91,7 @@ def scan_shard(shard_id: int, spec: dict[str, Any], records: list[dict[str, str]
     ``first_index`` is the offset of ``records[0]`` in the full record
     list, so merged reports come back in submission order.  ``options``
     carries the :class:`~repro.core.scan.DatabaseScanner` knobs (mask,
-    mask_window, mask_threshold, min_length).
+    mask_window, mask_threshold, min_length, index, index_k).
     """
     return {
         "kind": "scan",
@@ -152,6 +152,7 @@ def report_to_dict(report: SequenceReport) -> dict[str, Any]:
         "id": report.id,
         "length": int(report.length),
         "error": report.error,
+        "routed": report.routed,
         "result": None if report.result is None else result_to_dict(report.result),
         "best_score": float(report.best_score),
         "n_families": int(report.n_families),

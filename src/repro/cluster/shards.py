@@ -44,10 +44,17 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Shard:
-    """One leasable unit of work (payload already wire-encodable)."""
+    """One leasable unit of work (payload already wire-encodable).
+
+    ``priority`` orders the initial pending queue (higher first; ties
+    by shard id): the coordinator sets it from the k-mer index promise
+    of each record range so repeat-bearing shards are leased first and
+    first-result-wins leases finish the interesting work early.
+    """
 
     shard_id: int
     payload: dict[str, Any]
+    priority: int = 0
 
 
 @dataclass
@@ -132,7 +139,15 @@ class ShardScheduler:
         self._states = {s.shard_id: _ShardState(shard=s) for s in shards}
         if not self._states:
             raise ValueError("a job needs at least one shard")
-        self._pending: deque[int] = deque(sorted(self._states))
+        # Most-promising-first: priority descending, shard id ascending.
+        # Requeues (backoff, released leases) append at the tail — a
+        # retried shard has already had its fair shot at the front.
+        self._pending: deque[int] = deque(
+            sorted(
+                self._states,
+                key=lambda sid: (-self._states[sid].shard.priority, sid),
+            )
+        )
         self._leases: dict[int, Lease] = {}
         self._next_lease_id = 0
         self.lease_seconds = lease_seconds

@@ -131,8 +131,15 @@ class RepeatFinder:
             min_score_fraction=self.min_score_fraction,
         )
 
-    def find(self, sequence: Sequence | str) -> RepeatResult:
-        """Run both Repro phases on ``sequence`` and return everything."""
+    def find(self, sequence: Sequence | str, *, seed_bounds=None) -> RepeatResult:
+        """Run both Repro phases on ``sequence`` and return everything.
+
+        ``seed_bounds`` optionally seeds the best-first heap with
+        finite per-split upper bounds (see
+        :func:`repro.index.bounds.seed_score_bounds`); results are
+        identical, low-promise splits are just never aligned.  Ignored
+        by the old O(n⁴) algorithm, which has no heap to seed.
+        """
         if isinstance(sequence, str):
             sequence = Sequence(sequence, "protein")
         exchange = self.resolve_exchange(sequence)
@@ -146,6 +153,7 @@ class RepeatFinder:
                 engine=engine,
                 min_score=self.min_score,
                 group=self.group,
+                seed_bounds=seed_bounds,
             )
         else:
             alignments, stats = old_find_top_alignments(
@@ -173,6 +181,7 @@ def find_repeats(
     min_copy_length: int = 2,
     max_gap: int = 0,
     min_score_fraction: float = 0.25,
+    seed_bounds=None,
 ) -> RepeatResult:
     """One-shot repeat detection (see :class:`RepeatFinder`)."""
     finder = RepeatFinder(
@@ -187,4 +196,4 @@ def find_repeats(
         max_gap=max_gap,
         min_score_fraction=min_score_fraction,
     )
-    return finder.find(sequence)
+    return finder.find(sequence, seed_bounds=seed_bounds)

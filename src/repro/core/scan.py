@@ -10,8 +10,9 @@ ranking, and a FASTA entry point.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import TYPE_CHECKING, Any, Iterable
 
 import numpy as np
 
@@ -19,7 +20,11 @@ from ..sequences.fasta import iter_fasta
 from ..sequences.sequence import Sequence
 from ..sequences.stats import mask_low_complexity
 from .api import RepeatFinder
-from .result import RepeatResult
+from .result import RepeatResult, RunStats
+
+if TYPE_CHECKING:  # imported lazily at runtime (see _scan_indexed)
+    from ..index.routing import IndexConfig
+    from ..index.store import IndexStore
 
 __all__ = ["SequenceReport", "DatabaseScanner", "scan_fasta"]
 
@@ -38,6 +43,9 @@ class SequenceReport:
     length: int
     result: RepeatResult | None
     error: str | None = None
+    #: Routing class assigned by the index tier ("skip"/"defer"/"full"),
+    #: or ``None`` when the scan ran unindexed.
+    routed: str | None = None
 
     @property
     def failed(self) -> bool:
@@ -99,6 +107,18 @@ class DatabaseScanner:
         Optional overrides applied to ``finder`` — convenience knobs so
         callers (the CLI ``scan`` command) can pick the lane engine and
         the speculative batch width without building a finder by hand.
+    index:
+        Optional :class:`repro.index.IndexConfig`.  When set, every
+        record is profiled by the k-mer tier first: *skip*-class
+        records (estimate below the finder's ``min_score``) report
+        zero alignments in O(n) without entering the O(n³) pipeline,
+        and the rest run with seeded heap bounds, *full*-class
+        (repeat-promising) records first.  Reports keep input order
+        regardless of execution order.
+    index_store:
+        Optional :class:`repro.index.IndexStore`; profiles are then
+        loaded from / persisted to the content-addressed store, so a
+        rerun of the same database rebuilds zero indices.
     """
 
     finder: RepeatFinder = field(default_factory=RepeatFinder)
@@ -108,6 +128,8 @@ class DatabaseScanner:
     min_length: int = 10
     engine: str | None = None
     group: int | None = None
+    index: "IndexConfig | None" = None
+    index_store: "IndexStore | None" = None
 
     def __post_init__(self) -> None:
         overrides = {}
@@ -117,6 +139,8 @@ class DatabaseScanner:
             overrides["group"] = self.group
         if overrides:
             self.finder = dataclasses.replace(self.finder, **overrides)
+        #: Per-scan index-tier statistics (populated by indexed scans).
+        self.index_stats: dict[str, Any] = {}
 
     def scan(self, sequences: Iterable[Sequence]) -> list[SequenceReport]:
         """Scan sequences in order; returns one report per scanned record.
@@ -125,6 +149,8 @@ class DatabaseScanner:
         (``result=None``, ``error`` set) and the scan continues with
         the remaining records.
         """
+        if self.index is not None:
+            return self._scan_indexed(sequences)
         reports: list[SequenceReport] = []
         for seq in sequences:
             if len(seq) < self.min_length:
@@ -153,6 +179,128 @@ class DatabaseScanner:
             )
         return reports
 
+    def _failed_report(self, seq: Sequence, exc: Exception) -> SequenceReport:
+        return SequenceReport(
+            id=seq.id,
+            length=len(seq),
+            result=None,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+    def _scan_indexed(
+        self, sequences: Iterable[Sequence]
+    ) -> list[SequenceReport]:
+        """The index-routed scan: profile, route, then align by promise.
+
+        Execution order is *full* class first (most promising by
+        estimate), then *defer*; skip-class records never reach the
+        finder.  The returned reports are re-assembled in input order,
+        so downstream consumers (ranking, cluster shard merging) see
+        exactly the layout of an unindexed scan.
+        """
+        from ..index.bounds import seed_score_bounds
+        from ..index.metrics import observe_tightness, record_route
+        from ..index.routing import ROUTE_FULL, ROUTE_SKIP, classify
+
+        config = self.index
+        assert config is not None
+        stats = {
+            "records": 0,
+            "skip": 0,
+            "defer": 0,
+            "full": 0,
+            "failed": 0,
+            "index_builds": 0,
+            "index_loads": 0,
+            "index_seconds": 0.0,
+        }
+        self.index_stats = stats
+        reports: dict[int, SequenceReport] = {}
+        pending: list[tuple[int, Sequence, Sequence, Any]] = []
+        for order, seq in enumerate(sequences):
+            if len(seq) < self.min_length:
+                continue
+            stats["records"] += 1
+            try:
+                target = (
+                    mask_low_complexity(
+                        seq, self.mask_window, self.mask_threshold
+                    )
+                    if self.mask
+                    else seq
+                )
+                started = time.perf_counter()
+                profile, built = self._profile_for(target, config)
+                stats["index_seconds"] += time.perf_counter() - started
+                stats["index_builds" if built else "index_loads"] += 1
+                decision = classify(
+                    profile,
+                    self.finder.resolve_exchange(target),
+                    min_score=self.finder.min_score,
+                    config=config,
+                )
+                record_route(decision.route)
+                stats[decision.route] += 1
+            except Exception as exc:  # noqa: BLE001 - per-record isolation
+                stats["failed"] += 1
+                reports[order] = self._failed_report(seq, exc)
+                continue
+            if decision.route == ROUTE_SKIP:
+                # O(n) exit: an empty result, not a missing one — the
+                # record was screened, and screening concluded nothing
+                # above min_score can exist here.
+                reports[order] = SequenceReport(
+                    id=seq.id,
+                    length=len(seq),
+                    result=RepeatResult(
+                        top_alignments=[],
+                        repeats=[],
+                        stats=RunStats(engine="index-skip"),
+                    ),
+                    routed=decision.route,
+                )
+            else:
+                pending.append((order, seq, target, decision))
+        pending.sort(
+            key=lambda entry: (
+                0 if entry[3].route == ROUTE_FULL else 1,
+                -entry[3].estimate,
+                entry[0],
+            )
+        )
+        for order, seq, target, decision in pending:
+            try:
+                bounds = seed_score_bounds(
+                    target, self.finder.resolve_exchange(target)
+                )
+                result = self.finder.find(target, seed_bounds=bounds)
+                for top in result.top_alignments:
+                    if top.score > 0:
+                        observe_tightness(bounds[top.r - 1] / top.score)
+            except Exception as exc:  # noqa: BLE001 - per-record isolation
+                stats["failed"] += 1
+                reports[order] = self._failed_report(seq, exc)
+                continue
+            reports[order] = SequenceReport(
+                id=seq.id,
+                length=len(seq),
+                result=result,
+                routed=decision.route,
+            )
+        return [reports[order] for order in sorted(reports)]
+
+    def _profile_for(self, target: Sequence, config: "IndexConfig"):
+        """(profile, built) from the store when present, else in-memory."""
+        if self.index_store is not None:
+            return self.index_store.build_or_load(target, config)
+        from ..index.kmer import build_profile
+        from ..index.metrics import observe_build_seconds
+
+        started = time.perf_counter()
+        profile = build_profile(target, **config.profile_params())
+        observe_build_seconds(time.perf_counter() - started)
+        return profile, True
+
     def rank(self, sequences: Iterable[Sequence]) -> list[SequenceReport]:
         """Scan and sort by best alignment score (descending), then id.
 
@@ -171,6 +319,8 @@ def scan_fasta(
     min_length: int = 10,
     engine: str | None = None,
     group: int | None = None,
+    index: "IndexConfig | None" = None,
+    index_store: "IndexStore | None" = None,
 ) -> list[SequenceReport]:
     """Rank the records of a FASTA file by repeat content."""
     scanner = DatabaseScanner(
@@ -179,5 +329,7 @@ def scan_fasta(
         min_length=min_length,
         engine=engine,
         group=group,
+        index=index,
+        index_store=index_store,
     )
     return scanner.rank(iter_fasta(path, alphabet))

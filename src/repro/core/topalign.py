@@ -64,6 +64,16 @@ class TopAlignmentState:
         paper's O(n²) store; ``"linear"`` uses the Appendix A on-demand
         recomputation scheme with at most ``linear_capacity`` resident
         rows.
+    seed_bounds:
+        Optional array of ``m - 1`` finite upper bounds on the
+        first-pass score of splits ``r = 1..m-1`` (entry ``i`` bounds
+        split ``i + 1``), typically from
+        :func:`repro.index.bounds.seed_score_bounds`.  Tasks start at
+        these bounds instead of ``+inf``, so splits whose bound never
+        tops the heap are never aligned — accepted tops are unchanged
+        because acceptance always compares freshly-aligned scores.
+        Bounds **must** dominate the true first-pass scores; the
+        invariant checker verifies this on every alignment.
     """
 
     def __init__(
@@ -76,6 +86,7 @@ class TopAlignmentState:
         triangle: str = "dense",
         memory: str = "full",
         linear_capacity: int = 32,
+        seed_bounds: np.ndarray | None = None,
     ) -> None:
         if len(sequence) < 2:
             raise ValueError("sequence must have at least 2 residues")
@@ -115,6 +126,19 @@ class TopAlignmentState:
             )
         else:
             raise ValueError("memory must be 'full' or 'linear'")
+        if seed_bounds is not None:
+            seed_bounds = np.asarray(seed_bounds, dtype=np.float64)
+            if seed_bounds.shape != (self.m - 1,):
+                raise ValueError(
+                    f"seed_bounds must have shape ({self.m - 1},), "
+                    f"got {seed_bounds.shape}"
+                )
+            if not np.isfinite(seed_bounds).all():
+                raise ValueError("seed_bounds must be finite")
+            # The task guard requires non-negative scores; a negative
+            # bound means "cannot score above zero", which 0 expresses.
+            seed_bounds = np.maximum(seed_bounds, 0.0)
+        self.seed_bounds = seed_bounds
         self.found: list[TopAlignment] = []
         self.stats = RunStats(engine=self.engine.describe())
         self.stats.realignments_per_top.append(0)
@@ -148,8 +172,19 @@ class TopAlignmentState:
     # -- Figure 5 operations ----------------------------------------------
 
     def make_tasks(self) -> list[Task]:
-        """Fresh never-aligned tasks for every split point (lines 2–7)."""
-        return [Task(r) for r in range(1, self.m)]
+        """Fresh never-aligned tasks for every split point (lines 2–7).
+
+        With :attr:`seed_bounds` set, tasks start at their finite upper
+        bound instead of ``+inf`` — still never-aligned (acceptance
+        requires a fresh alignment first), but sortable below already
+        aligned work, so hopeless splits sink in the heap unaligned.
+        """
+        if self.seed_bounds is None:
+            return [Task(r) for r in range(1, self.m)]
+        return [
+            Task(r, score=float(self.seed_bounds[r - 1]))
+            for r in range(1, self.m)
+        ]
 
     def align_task(self, task: Task) -> float:
         """``AlignWithoutTraceback``: score split ``task.r`` now.
@@ -158,8 +193,19 @@ class TopAlignmentState:
         realignments applies the Appendix A shadow-validity rule.  The
         task's ``score`` and ``aligned_with`` are updated in place and
         the new score returned.
+
+        A task's *first* alignment is always computed under the empty
+        triangle, whatever the current version: the cached row is the
+        shadow-validity reference, and the Appendix A rule is defined
+        against the version-0 row.  Without heap seeding this is moot
+        (every first pass happens before the first acceptance); with
+        finite seed bounds a task may be popped for the first time
+        after acceptances, and the override view must be withheld so
+        later shadow decisions — and therefore the accepted tops —
+        stay bit-identical to an unseeded run.
         """
-        row = self._engine_row(self.problem_for(task.r))
+        first = task.r not in self.bottom_rows
+        row = self._engine_row(self.problem_for(task.r, with_override=not first))
         return self._record_row(task, row)
 
     def _record_row(self, task: Task, row: np.ndarray) -> float:
@@ -172,14 +218,23 @@ class TopAlignmentState:
         """
         prev_score, prev_version = task.score, task.aligned_with
         if task.r not in self.bottom_rows:
+            # First pass: ``row`` was computed under the empty triangle
+            # (see align_task), so it is scored — and versioned — as the
+            # canonical version-0 alignment even when acceptances have
+            # already happened.  A late first pass therefore never
+            # satisfies ``is_current`` directly; the task must realign
+            # under the live triangle (with the shadow rule) before it
+            # can be accepted.
             self.bottom_rows.put(task.r, row)
             score = float(row.max())
+            version = 0
         else:
             self.stats.realignments += 1
             self.stats.realignments_per_top[-1] += 1
             score = self.bottom_rows.score_of(task.r, row)
+            version = self.n_found
         task.score = score
-        task.aligned_with = self.n_found
+        task.aligned_with = version
         if self.invariants is not None:
             self.invariants.after_align(
                 task, row, prev_score=prev_score, prev_version=prev_version
@@ -243,7 +298,10 @@ class TopAlignmentState:
         engines with a true batched implementation (the lane engine)
         compute them in lockstep.
         """
-        problems = [self.problem_for(t.r) for t in tasks]
+        problems = [
+            self.problem_for(t.r, with_override=t.r in self.bottom_rows)
+            for t in tasks
+        ]
         start = time.perf_counter()
         rows = self.engine.last_rows_batch(problems)
         self.stats.engine_seconds += time.perf_counter() - start
@@ -263,6 +321,7 @@ def find_top_alignments(
     min_score: float = 0.0,
     group: int = 1,
     state: TopAlignmentState | None = None,
+    seed_bounds: np.ndarray | None = None,
 ) -> tuple[list[TopAlignment], RunStats]:
     """Compute up to ``k`` nonoverlapping top alignments (Figure 5).
 
@@ -279,6 +338,9 @@ def find_top_alignments(
 
     Passing a pre-built ``state`` lets callers (tests, the simulator)
     inspect internals afterwards; otherwise one is created.
+    ``seed_bounds`` (ignored when ``state`` is passed) seeds the heap
+    with finite per-split upper bounds — see
+    :class:`TopAlignmentState`.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -286,7 +348,12 @@ def find_top_alignments(
         raise ValueError("group must be >= 1")
     if state is None:
         state = TopAlignmentState(
-            sequence, exchange, gaps, engine=engine, triangle=triangle
+            sequence,
+            exchange,
+            gaps,
+            engine=engine,
+            triangle=triangle,
+            seed_bounds=seed_bounds,
         )
     if group > 1:
         from .batched import BatchedTopAlignmentRunner

@@ -1,0 +1,257 @@
+"""Bucketed k-mer frequency profiles.
+
+One linear pass over the encoded sequence turns every length-``k``
+window into an integer bucket key (base-``|Σ|`` positional encoding),
+then accumulates per-bucket occurrence counts.  Three summaries fall
+out of the accumulator:
+
+* the **duplicate fraction** — the share of k-mer positions whose
+  bucket holds two or more occurrences (a length-normalised
+  repetitiveness score);
+* **diagonal-band hits** — for each duplicated bucket, the pairwise
+  position gaps of its occurrences, histogrammed into bands of
+  ``band_width`` residues.  Repeat copies concentrate their shared
+  k-mers on the band of the copy spacing; random duplicate hits
+  scatter thinly across all bands.  The peak band is therefore the
+  discriminating signal for routing (:mod:`repro.index.routing`);
+* **hotspot intervals** — maximal windows whose duplicate density
+  exceeds ``hot_fraction``, reported in residue coordinates for
+  display and for ordering cluster shards most-promising-first.
+
+Windows containing the alphabet wildcard are excluded from the
+accumulator: a run of ``N``\\ s is self-similar at every offset but
+scores 0 under every wildcard-neutral matrix, so counting it would
+manufacture false promise.
+
+This module deliberately never touches :mod:`repro.align` (lint rule
+RPR017): profiles must stay near-linear and kernel-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..sequences.sequence import Sequence
+
+__all__ = ["KmerProfile", "build_profile", "default_k"]
+
+# Per-bucket occurrence cap for pair enumeration: buckets fuller than
+# this are counted as overflowed (maximal promise) instead of paying
+# O(count²) pair expansion on poly-A style runs.
+DEFAULT_MAX_OCC = 64
+
+
+def default_k(alphabet_size: int) -> int:
+    """A sensible word size for an alphabet: 8 for nucleotides, 3 for protein.
+
+    The rule of thumb is ``|Σ|^k`` large enough that a random sequence
+    of typical length produces few duplicate buckets: 4⁸ = 65 536 for
+    DNA/RNA, 24³ = 13 824 for protein.
+    """
+    return 8 if alphabet_size <= 8 else 3
+
+
+@dataclass(frozen=True)
+class KmerProfile:
+    """Matrix-independent k-mer summary of one sequence.
+
+    All fields are plain ints/floats/lists so the profile serialises
+    losslessly to JSON for the content-addressed store.
+    """
+
+    k: int
+    length: int
+    alphabet: str
+    n_positions: int = 0
+    n_valid: int = 0
+    distinct: int = 0
+    max_count: int = 0
+    dup_positions: int = 0
+    dup_fraction: float = 0.0
+    pair_hits: int = 0
+    peak_band: int = 0
+    band_width: int = 0
+    overflowed: int = 0
+    hotspots: tuple[tuple[int, int], ...] = field(default_factory=tuple)
+
+    def to_dict(self) -> dict[str, Any]:
+        data = {
+            "k": self.k,
+            "length": self.length,
+            "alphabet": self.alphabet,
+            "n_positions": self.n_positions,
+            "n_valid": self.n_valid,
+            "distinct": self.distinct,
+            "max_count": self.max_count,
+            "dup_positions": self.dup_positions,
+            "dup_fraction": self.dup_fraction,
+            "pair_hits": self.pair_hits,
+            "peak_band": self.peak_band,
+            "band_width": self.band_width,
+            "overflowed": self.overflowed,
+            "hotspots": [list(h) for h in self.hotspots],
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "KmerProfile":
+        return cls(
+            k=int(data["k"]),
+            length=int(data["length"]),
+            alphabet=str(data["alphabet"]),
+            n_positions=int(data["n_positions"]),
+            n_valid=int(data["n_valid"]),
+            distinct=int(data["distinct"]),
+            max_count=int(data["max_count"]),
+            dup_positions=int(data["dup_positions"]),
+            dup_fraction=float(data["dup_fraction"]),
+            pair_hits=int(data["pair_hits"]),
+            peak_band=int(data["peak_band"]),
+            band_width=int(data["band_width"]),
+            overflowed=int(data["overflowed"]),
+            hotspots=tuple(
+                (int(a), int(b)) for a, b in data.get("hotspots", [])
+            ),
+        )
+
+
+def _kmer_keys(codes: np.ndarray, k: int, base: int) -> np.ndarray:
+    """Base-``base`` positional keys for every length-``k`` window (O(nk))."""
+    n = codes.size
+    if n < k:
+        return np.empty(0, dtype=np.int64)
+    c = codes.astype(np.int64)
+    keys = np.zeros(n - k + 1, dtype=np.int64)
+    for j in range(k):
+        keys *= base
+        keys += c[j : j + n - k + 1]
+    return keys
+
+
+def _valid_mask(codes: np.ndarray, k: int, wildcard: int | None) -> np.ndarray:
+    """True for windows free of the wildcard code."""
+    n = codes.size
+    if n < k:
+        return np.empty(0, dtype=bool)
+    if wildcard is None:
+        return np.ones(n - k + 1, dtype=bool)
+    bad = np.concatenate(([0], np.cumsum(codes == wildcard)))
+    return (bad[k:] - bad[: n - k + 1]) == 0
+
+
+def _hotspot_intervals(
+    dup_pos: np.ndarray, k: int, window: int, hot_fraction: float
+) -> tuple[tuple[int, int], ...]:
+    """Maximal residue intervals whose windowed duplicate density is hot."""
+    n_pos = dup_pos.size
+    if n_pos == 0:
+        return ()
+    win = min(window, n_pos)
+    csum = np.concatenate(([0], np.cumsum(dup_pos.astype(np.int64))))
+    density = (csum[win:] - csum[: n_pos - win + 1]) / win
+    hot = density >= hot_fraction
+    if not hot.any():
+        return ()
+    intervals: list[tuple[int, int]] = []
+    start: int | None = None
+    for i, flag in enumerate(hot):
+        if flag and start is None:
+            start = i
+        elif not flag and start is not None:
+            intervals.append((start, i - 1 + win + k - 1))
+            start = None
+    if start is not None:
+        intervals.append((start, hot.size - 1 + win + k - 1))
+    return tuple(intervals)
+
+
+def build_profile(
+    sequence: Sequence,
+    *,
+    k: int = 0,
+    window: int = 32,
+    hot_fraction: float = 0.3,
+    band_width: int = 0,
+    max_occ: int = DEFAULT_MAX_OCC,
+) -> KmerProfile:
+    """Build the k-mer profile of ``sequence`` in one accumulator pass.
+
+    ``k=0`` picks :func:`default_k` for the sequence's alphabet;
+    ``band_width=0`` defaults to ``max(8, k)``.
+    """
+    alphabet = sequence.alphabet
+    if k <= 0:
+        k = default_k(alphabet.size)
+    if band_width <= 0:
+        band_width = max(8, k)
+    codes = sequence.codes
+    n = codes.size
+    keys = _kmer_keys(codes, k, alphabet.size)
+    valid = _valid_mask(codes, k, alphabet.wildcard_code)
+    n_positions = keys.size
+    vkeys = keys[valid]
+    n_valid = int(vkeys.size)
+    if n_valid == 0:
+        return KmerProfile(
+            k=k, length=n, alphabet=alphabet.name,
+            n_positions=n_positions, band_width=band_width,
+        )
+    uniq, inverse, counts = np.unique(
+        vkeys, return_inverse=True, return_counts=True
+    )
+    occ = counts[inverse]
+    dup_valid = occ >= 2
+    dup_positions = int(dup_valid.sum())
+    dup_fraction = dup_positions / n_valid
+
+    # Per-position duplicate flags in original window coordinates, for
+    # hotspot intervals (invalid windows are never duplicates).
+    dup_pos = np.zeros(n_positions, dtype=bool)
+    dup_pos[np.flatnonzero(valid)] = dup_valid
+
+    # Diagonal-band accumulation: for every duplicated bucket of
+    # moderate size, histogram the pairwise position gaps.
+    positions = np.flatnonzero(valid)
+    order = np.argsort(inverse, kind="stable")
+    sorted_pos = positions[order]
+    boundaries = np.concatenate(([0], np.cumsum(counts)))
+    pair_hits = 0
+    overflowed = 0
+    band_counts: dict[int, int] = {}
+    for g in np.flatnonzero(counts >= 2):
+        count = int(counts[g])
+        if count > max_occ:
+            overflowed += 1
+            continue
+        group = sorted_pos[boundaries[g] : boundaries[g + 1]]
+        diffs = (group[None, :] - group[:, None])[
+            np.triu_indices(count, k=1)
+        ]
+        pair_hits += diffs.size
+        for band in (diffs // band_width).tolist():
+            band_counts[band] = band_counts.get(band, 0) + 1
+    # Smooth across one band boundary: a copy spacing sitting on a
+    # boundary splits its hits between two adjacent bands.
+    peak_band = 0
+    for band, hits in band_counts.items():
+        peak_band = max(peak_band, hits + band_counts.get(band + 1, 0))
+
+    return KmerProfile(
+        k=k,
+        length=n,
+        alphabet=alphabet.name,
+        n_positions=n_positions,
+        n_valid=n_valid,
+        distinct=int(uniq.size),
+        max_count=int(counts.max()),
+        dup_positions=dup_positions,
+        dup_fraction=float(dup_fraction),
+        pair_hits=int(pair_hits),
+        peak_band=int(peak_band),
+        band_width=band_width,
+        overflowed=int(overflowed),
+        hotspots=_hotspot_intervals(dup_pos, k, window, hot_fraction),
+    )

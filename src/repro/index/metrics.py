@@ -1,0 +1,74 @@
+"""``repro_index_*`` metric families.
+
+Thin helpers over :func:`repro.obs.get_registry` so instrumentation at
+the call sites stays one line and costs a single ``collecting`` check
+when metrics are off (the same pattern the core drivers use).
+"""
+
+from __future__ import annotations
+
+from ..obs import get_registry
+
+__all__ = [
+    "observe_build_seconds",
+    "observe_tightness",
+    "record_route",
+    "record_store_hit",
+    "record_store_miss",
+]
+
+#: Build-time buckets (seconds): profiles are near-linear, so even long
+#: records land well under a second.
+BUILD_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+#: Seeded-bound tightness (bound / accepted score): 1.0 is a perfect
+#: bound, large ratios mean the composition bound was loose.
+TIGHTNESS_BUCKETS = (1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 25.0, 100.0)
+
+
+def observe_build_seconds(seconds: float) -> None:
+    registry = get_registry()
+    if registry.collecting:
+        registry.histogram(
+            "repro_index_build_seconds",
+            buckets=BUILD_BUCKETS,
+            help="Wall time spent building one k-mer index profile",
+        ).observe(seconds)
+
+
+def record_store_hit() -> None:
+    registry = get_registry()
+    if registry.collecting:
+        registry.counter(
+            "repro_index_store_hits_total",
+            help="Index artifacts served from the content-addressed store",
+        ).inc()
+
+
+def record_store_miss() -> None:
+    registry = get_registry()
+    if registry.collecting:
+        registry.counter(
+            "repro_index_store_misses_total",
+            help="Index-store lookups that required a fresh profile build",
+        ).inc()
+
+
+def record_route(route: str) -> None:
+    registry = get_registry()
+    if registry.collecting:
+        registry.counter(
+            "repro_index_routed_total",
+            help="Sequences routed by the index tier, by class",
+            route=route,
+        ).inc()
+
+
+def observe_tightness(ratio: float) -> None:
+    registry = get_registry()
+    if registry.collecting:
+        registry.histogram(
+            "repro_index_bound_tightness",
+            buckets=TIGHTNESS_BUCKETS,
+            help="Seeded bound / accepted top score (1.0 = tight)",
+        ).observe(ratio)

@@ -1,0 +1,152 @@
+"""Routing: *skip / defer / full* classification from a k-mer profile.
+
+The classifier turns the matrix-independent :class:`~repro.index.kmer.
+KmerProfile` into a per-sequence routing decision under a concrete
+scoring model:
+
+* ``full`` — strong repeat signal (dense duplicate k-mers or a
+  concentrated diagonal band).  Scanned first, with seeded heap
+  bounds.
+* ``defer`` — no strong signal, but skipping cannot be justified.
+  Scanned after the full class (down-prioritised), also with seeded
+  bounds.  With a zero significance threshold every quiet sequence
+  lands here — routing never discards work it cannot rule out.
+* ``skip`` — the k-mer upper *estimate* of the best attainable
+  alignment score falls below the caller's significance threshold
+  (``min_score``), so the O(n³) pipeline is not entered at all and the
+  sequence reports zero alignments in O(n).
+
+The estimate is::
+
+    smax⁺ × (background_beta × log2(n + 1) + chain_slack × peak_band)
+
+The first term covers the *background*: even a featureless random
+sequence reaches a self-alignment score that grows roughly
+logarithmically with length under affine gaps (Gumbel-type extremes),
+with zero shared k-mers — so a threshold below that background never
+skips anything.  The second term covers genuine copy structure: the
+peak diagonal band (scaled by ``chain_slack`` to allow for
+mismatch-interrupted chains on the same diagonal).  Diverged repeats
+concentrate their surviving shared k-mers on the band of the copy
+spacing, while random duplicate hits scatter across all bands — which
+is why the *peak* band, not the total hit count, is the signal.
+
+The skip class is a calibrated heuristic, not a proof — no o(n²)
+statistic can bound a gapped local alignment score tightly (isolated
+single-residue matches carry positive score with zero shared k-mers).
+``margin`` widens the estimate for safety, skipping only ever fires
+when ``min_score > 0``, and the benchmark *measures* byte-equality of
+accepted tops rather than asserting it axiomatically.  Callers that
+need exactness (the service job path) use seeded bounds only and never
+skip.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from ..scoring.exchange import ExchangeMatrix
+from .kmer import DEFAULT_MAX_OCC, KmerProfile
+
+__all__ = [
+    "ROUTE_FULL",
+    "ROUTE_DEFER",
+    "ROUTE_SKIP",
+    "IndexConfig",
+    "RouteDecision",
+    "classify",
+    "promise_score",
+]
+
+ROUTE_FULL = "full"
+ROUTE_DEFER = "defer"
+ROUTE_SKIP = "skip"
+
+
+@dataclass(frozen=True)
+class IndexConfig:
+    """Knobs of the k-mer index tier.
+
+    ``k``, ``window``, ``hot_fraction``, ``band_width`` and ``max_occ``
+    shape the profile itself (and therefore the store key);
+    ``chain_slack``, ``margin`` and ``full_threshold`` only shape the
+    routing decision and can change without invalidating stored
+    artifacts.
+    """
+
+    k: int = 0
+    window: int = 32
+    hot_fraction: float = 0.3
+    band_width: int = 0
+    max_occ: int = DEFAULT_MAX_OCC
+    chain_slack: float = 3.0
+    background_beta: float = 4.0
+    margin: float = 1.25
+    full_threshold: float = 0.05
+
+    def profile_params(self) -> dict[str, Any]:
+        """The profile-shaping parameters (the store-key subset)."""
+        return {
+            "k": self.k,
+            "window": self.window,
+            "hot_fraction": self.hot_fraction,
+            "band_width": self.band_width,
+            "max_occ": self.max_occ,
+        }
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """One sequence's routing class plus the estimate that produced it."""
+
+    route: str
+    estimate: float
+
+
+def _estimate(
+    profile: KmerProfile, exchange: ExchangeMatrix, config: IndexConfig
+) -> float:
+    smax = max(exchange.max_score, 0.0)
+    background = config.background_beta * math.log2(profile.length + 1)
+    signal = config.chain_slack * profile.peak_band
+    return smax * (background + signal)
+
+
+def promise_score(
+    profile: KmerProfile,
+    exchange: ExchangeMatrix,
+    config: IndexConfig | None = None,
+) -> float:
+    """Raw (margin-free) score estimate used for shard prioritisation."""
+    config = config or IndexConfig()
+    if profile.overflowed:
+        # An overflowed bucket means a massively repeated word — promise
+        # saturates rather than paying the pair expansion.
+        return max(exchange.max_score, 0.0) * float(profile.length)
+    return _estimate(profile, exchange, config)
+
+
+def classify(
+    profile: KmerProfile,
+    exchange: ExchangeMatrix,
+    *,
+    min_score: float,
+    config: IndexConfig | None = None,
+) -> RouteDecision:
+    """Route one sequence given its profile and the scoring model."""
+    config = config or IndexConfig()
+    smax = max(exchange.max_score, 0.0)
+    if profile.overflowed or profile.max_count > config.max_occ:
+        return RouteDecision(ROUTE_FULL, smax * float(profile.length))
+    estimate = _estimate(profile, exchange, config)
+    if min_score > 0.0 and config.margin * estimate < min_score:
+        return RouteDecision(ROUTE_SKIP, estimate)
+    if (
+        profile.dup_fraction >= config.full_threshold
+        or profile.peak_band >= 3
+        or profile.hotspots
+    ):
+        return RouteDecision(ROUTE_FULL, estimate)
+    return RouteDecision(ROUTE_DEFER, estimate)

@@ -34,6 +34,7 @@ _WORKER_COUNTERS = (
     ("cache_hits", "Jobs this worker served from the result cache"),
     ("alignments", "Bottom-row alignments this worker computed"),
     ("cells", "Matrix cells this worker evaluated"),
+    ("index_seeded", "Jobs this worker started with index-seeded heap bounds"),
 )
 
 

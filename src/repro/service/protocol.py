@@ -98,6 +98,14 @@ class JobSpec:
     max_gap: int = 0
     min_score_fraction: float = 0.25
     priority: int = 0
+    #: Execution knobs like engine/group: seed the best-first heap from
+    #: the k-mer index tier.  Results are bit-identical either way, so
+    #: neither field enters the digest (indexed and unindexed runs of
+    #: one spec share a cache entry).  The single-job path only *seeds*
+    #: — it never skip-routes, which is what keeps this a pure
+    #: execution knob.
+    index: bool = False
+    index_k: int = 0
 
     def __post_init__(self) -> None:
         if not isinstance(self.sequence, str) or not self.sequence:
@@ -118,6 +126,8 @@ class JobSpec:
             raise SpecError("group > 1 requires the new algorithm")
         if self.gap_open < 0 or self.gap_extend < 0:
             raise SpecError("gap penalties must be non-negative")
+        if self.index_k < 0:
+            raise SpecError("index_k must be >= 0 (0 = per-alphabet default)")
         # Reject unencodable residues at admission, not in a worker.
         try:
             alphabet_for(self.alphabet).encode(self.normalized_sequence())

@@ -119,6 +119,9 @@ class WorkerStats:
     cache_hits: int = 0
     alignments: int = 0
     cells: int = 0
+    #: Jobs whose fresh search started with index-seeded heap bounds
+    #: (``spec.index``); checkpoint resumes keep their restored heap.
+    index_seeded: int = 0
     updated: float = 0.0
 
 
@@ -236,6 +239,7 @@ def execute_job(
                     should_stop=should_stop,
                     checkpoint_every=max(1, checkpoint_every),
                     chunk_delay=chunk_delay,
+                    stats=stats,
                 )
             if result is None:
                 outcome = "cancelled" if store.cancel_requested(job_id) else "suspended"
@@ -275,6 +279,7 @@ def _run_incremental(
     should_stop: Callable[[], bool],
     checkpoint_every: int,
     chunk_delay: float,
+    stats: WorkerStats | None = None,
 ) -> RepeatResult | None:
     """Chunked Figure 5 loop with a checkpoint after every chunk.
 
@@ -293,7 +298,24 @@ def _run_incremental(
         except (ValueError, OSError) as exc:
             store.append_event(job_id, "checkpoint-invalid", error=str(exc))
     if state is None:
-        state = TopAlignmentState(sequence, exchange, finder.gaps, engine=spec.engine)
+        seed_bounds = None
+        if spec.index:
+            # Execution knob, not a result knob: seeded heap bounds keep
+            # the accepted tops bit-identical while splits whose bound
+            # never tops the heap are never aligned.  The single-job
+            # path deliberately has no skip class.
+            from ..index.bounds import seed_score_bounds
+
+            seed_bounds = seed_score_bounds(sequence, exchange)
+            if stats is not None:
+                stats.index_seeded += 1
+        state = TopAlignmentState(
+            sequence,
+            exchange,
+            finder.gaps,
+            engine=spec.engine,
+            seed_bounds=seed_bounds,
+        )
 
     # group == 1 keeps one live session (queue survives across chunks);
     # the speculative batched driver rebuilds its heap per chunk, which

@@ -691,3 +691,63 @@ def test_rpr012_waivable_with_reason(tmp_path):
         """,
     )
     assert "RPR012" not in _rules_hit(path)
+
+
+# ---------------------------------------------------------------------------
+# RPR017 — align/ imports banned inside the repro.index layer
+# ---------------------------------------------------------------------------
+
+INDEX_ALIGN_IMPORTS = """
+    import repro.align
+    from repro.align import AlignmentProblem
+    from repro.align.engine import VectorEngine
+    from ..align import full_matrix
+    from .. import align
+"""
+
+
+def test_rpr017_flags_seeded_align_imports(tmp_path):
+    path = _write(tmp_path, "index/bad_routing.py", INDEX_ALIGN_IMPORTS)
+    findings = [d for d in lint_file(path) if d.rule == "RPR017"]
+    assert len(findings) == 5
+    assert all("repro.index layer" in d.message for d in findings)
+
+
+def test_rpr017_quiet_on_scoring_imports(tmp_path):
+    path = _write(
+        tmp_path,
+        "index/good_routing.py",
+        """
+        from ..scoring.exchange import ExchangeMatrix
+        from ..sequences.sequence import Sequence
+        from . import kmer
+        """,
+    )
+    assert "RPR017" not in _rules_hit(path)
+
+
+def test_rpr017_scoped_to_index_dir(tmp_path):
+    path = _write(tmp_path, "core/uses_align.py", INDEX_ALIGN_IMPORTS)
+    assert "RPR017" not in _rules_hit(path)
+
+
+def test_rpr017_skips_test_files(tmp_path):
+    path = _write(tmp_path, "index/test_routing.py", INDEX_ALIGN_IMPORTS)
+    assert "RPR017" not in _rules_hit(path)
+
+
+def test_rpr017_waivable_with_reason(tmp_path):
+    path = _write(
+        tmp_path,
+        "index/probe.py",
+        """
+        from ..align import AlignmentProblem  # repro-lint: allow[RPR017] offline calibration helper, never on the routing path
+        """,
+    )
+    assert "RPR017" not in _rules_hit(path)
+
+
+def test_rpr017_clean_on_the_real_index_package(tmp_path):
+    package = Path(__file__).resolve().parents[2] / "src" / "repro" / "index"
+    for module in sorted(package.glob("*.py")):
+        assert "RPR017" not in _rules_hit(module), module.name

@@ -1,0 +1,107 @@
+"""Index-driven shard prioritisation: promising shards lease first."""
+
+from repro.cluster.execution import (
+    index_config_from_options,
+    run_scan_shard,
+    scan_shard_priorities,
+    scan_spec_dict,
+)
+from repro.cluster.protocol import scan_shard
+from repro.cluster.shards import Shard, ShardScheduler
+from repro.sequences import DNA, random_sequence
+from repro.sequences.workloads import RepeatSpec, implant_repeats
+from repro.service.protocol import JobSpec
+
+
+def _records():
+    """Four records: the repeat-bearing one sits *last* on purpose."""
+    recs = [
+        random_sequence(160, DNA, seed=100 + i, id=f"bg{i}") for i in range(3)
+    ]
+    recs.append(
+        implant_repeats(
+            160,
+            RepeatSpec(unit_length=30, copies=4, substitution_rate=0.1),
+            DNA,
+            seed=1,
+            id="rep",
+        ).sequence
+    )
+    return [{"id": r.id, "sequence": r.text} for r in recs]
+
+
+def _spec():
+    return JobSpec(sequence="AA", alphabet="dna", top_alignments=4)
+
+
+class TestOptions:
+    def test_index_off_means_no_config(self):
+        assert index_config_from_options({}) is None
+        assert index_config_from_options({"index": False}) is None
+
+    def test_index_on_builds_config(self):
+        config = index_config_from_options({"index": True, "index_k": 6})
+        assert config is not None and config.k == 6
+
+
+class TestPriorities:
+    def test_no_index_gives_flat_priorities(self):
+        ranges = [(0, 2), (2, 4)]
+        assert scan_shard_priorities(_spec(), _records(), ranges, {}) == [0, 0]
+
+    def test_repeat_bearing_shard_gets_higher_priority(self):
+        ranges = [(0, 2), (2, 4)]
+        priorities = scan_shard_priorities(
+            _spec(), _records(), ranges, {"index": True}
+        )
+        # The second range holds the implanted record.
+        assert priorities[1] > priorities[0]
+
+    def test_unprofileable_record_contributes_zero(self):
+        records = [{"id": "bad", "sequence": ""}]
+        priorities = scan_shard_priorities(
+            _spec(), records, [(0, 1)], {"index": True}
+        )
+        assert priorities == [0]
+
+
+class TestSchedulerOrdering:
+    def test_high_priority_shards_lease_first(self):
+        shards = [
+            Shard(shard_id=0, payload={}, priority=0),
+            Shard(shard_id=1, payload={}, priority=120),
+            Shard(shard_id=2, payload={}, priority=40),
+        ]
+        scheduler = ShardScheduler(shards)
+        order = [
+            scheduler.next_lease("n", now=0.0).shard.shard_id for _ in range(3)
+        ]
+        assert order == [1, 2, 0]
+
+    def test_ties_break_by_shard_id(self):
+        shards = [Shard(shard_id=i, payload={}, priority=7) for i in range(3)]
+        scheduler = ShardScheduler(shards)
+        order = [
+            scheduler.next_lease("n", now=0.0).shard.shard_id for _ in range(3)
+        ]
+        assert order == [0, 1, 2]
+
+
+class TestIndexedShardExecution:
+    def test_indexed_shard_matches_unindexed_reports(self):
+        records = _records()
+        spec = scan_spec_dict(_spec())
+        base = run_scan_shard(
+            scan_shard(0, spec, records, 0, {"min_length": 10})
+        )
+        indexed = run_scan_shard(
+            scan_shard(0, spec, records, 0, {"min_length": 10, "index": True})
+        )
+        # Same records, same tops; only the routed label differs.
+        for rep_base, rep_idx in zip(base["reports"], indexed["reports"]):
+            assert rep_base["id"] == rep_idx["id"]
+            assert rep_base["result"]["top_alignments"] == (
+                rep_idx["result"]["top_alignments"]
+            )
+            assert rep_base["routed"] is None
+            assert rep_idx["routed"] in ("skip", "defer", "full")

@@ -1,0 +1,123 @@
+"""The bucketed k-mer profile: counts, bands, hotspots, wildcards."""
+
+import numpy as np
+
+from repro.index import KmerProfile, build_profile, default_k
+from repro.sequences import DNA, PROTEIN, Sequence, random_sequence
+from repro.sequences.workloads import RepeatSpec, implant_repeats
+
+
+def _dna(text, id="seq"):
+    return Sequence(text, DNA, id=id)
+
+
+class TestDefaultK:
+    def test_nucleotide_and_protein_words(self):
+        assert default_k(DNA.size) == 8
+        assert default_k(PROTEIN.size) == 3
+
+    def test_zero_k_resolves_per_alphabet(self):
+        profile = build_profile(random_sequence(60, DNA, seed=1))
+        assert profile.k == 8
+        profile = build_profile(random_sequence(60, PROTEIN, seed=1))
+        assert profile.k == 3
+
+
+class TestBuildProfile:
+    def test_exact_tandem_is_maximally_duplicated(self):
+        seq = _dna("ACGTTGCA" * 12)
+        profile = build_profile(seq, k=8)
+        # Every window recurs eight positions later except the last unit.
+        assert profile.dup_fraction > 0.9
+        assert profile.peak_band > 0
+        assert profile.hotspots
+
+    def test_random_sequence_is_quiet(self):
+        profile = build_profile(random_sequence(240, DNA, seed=3))
+        assert profile.dup_fraction < 0.05
+        assert profile.peak_band <= 2
+        assert not profile.overflowed
+
+    def test_implanted_repeats_beat_background(self):
+        implanted = implant_repeats(
+            240,
+            RepeatSpec(unit_length=40, copies=4, substitution_rate=0.12),
+            DNA,
+            seed=5,
+        ).sequence
+        background = random_sequence(240, DNA, seed=5)
+        hot = build_profile(implanted)
+        quiet = build_profile(background)
+        assert hot.dup_fraction > quiet.dup_fraction
+        assert hot.peak_band > quiet.peak_band
+
+    def test_wildcard_windows_are_excluded(self):
+        # A run of N is self-similar at every offset but scores zero
+        # under wildcard-neutral matrices: it must produce no promise.
+        profile = build_profile(_dna("N" * 64), k=8)
+        assert profile.n_valid == 0
+        assert profile.dup_fraction == 0.0
+        assert profile.hotspots == ()
+
+    def test_wildcards_inside_real_sequence(self):
+        clean = build_profile(_dna("ACGTTGCA" * 8), k=8)
+        broken = build_profile(_dna("ACGTTGCA" * 4 + "N" * 8 + "ACGTTGCA" * 4), k=8)
+        assert broken.n_valid < broken.n_positions
+        assert broken.dup_positions <= clean.dup_positions
+
+    def test_homopolymer_overflows_instead_of_pair_explosion(self):
+        profile = build_profile(_dna("A" * 300), k=8)
+        assert profile.overflowed >= 1
+        assert profile.pair_hits == 0
+        assert profile.max_count > 64
+
+    def test_short_sequence_has_no_windows(self):
+        profile = build_profile(_dna("ACG"), k=8)
+        assert profile.n_positions == 0
+        assert profile.n_valid == 0
+
+    def test_band_width_defaults_to_word_size_floor(self):
+        assert build_profile(random_sequence(60, DNA, seed=1), k=4).band_width == 8
+        assert (
+            build_profile(random_sequence(60, DNA, seed=1), k=12).band_width == 12
+        )
+
+    def test_hotspots_lie_within_the_sequence(self):
+        seq = implant_repeats(
+            240,
+            RepeatSpec(unit_length=40, copies=4, substitution_rate=0.12),
+            DNA,
+            seed=9,
+        ).sequence
+        profile = build_profile(seq)
+        for start, end in profile.hotspots:
+            assert 0 <= start < end <= len(seq)
+
+
+class TestSerialisation:
+    def test_roundtrip_is_lossless(self):
+        seq = implant_repeats(
+            200,
+            RepeatSpec(unit_length=30, copies=3, substitution_rate=0.1),
+            DNA,
+            seed=2,
+        ).sequence
+        profile = build_profile(seq)
+        assert KmerProfile.from_dict(profile.to_dict()) == profile
+
+    def test_json_safe(self):
+        import json
+
+        profile = build_profile(random_sequence(120, DNA, seed=4))
+        payload = json.loads(json.dumps(profile.to_dict()))
+        assert KmerProfile.from_dict(payload) == profile
+
+    def test_deterministic_across_runs(self):
+        seq = random_sequence(180, DNA, seed=11)
+        assert build_profile(seq) == build_profile(seq)
+
+    def test_codes_and_text_agree(self):
+        text = "ACGTTGCA" * 6
+        a = build_profile(_dna(text))
+        b = build_profile(Sequence(np.asarray(DNA.encode(text)), DNA))
+        assert a == b

@@ -86,6 +86,25 @@ class TestExecuteJob:
         assert second["top_alignments"] == first["top_alignments"]
         assert second["repeats"] == first["repeats"]
 
+    def test_index_seeded_job_same_results(self, stores):
+        store, queue, cache = stores
+        plain = _titin_spec()
+        seeded = _titin_spec(index=True)
+        # index/index_k are execution knobs, not semantics: same digest.
+        assert job_digest(plain) == job_digest(seeded)
+        r1 = _submit(store, queue, plain)
+        assert execute_job(store, cache, r1) == "done"
+        first = cache.get(r1.digest)
+        cache.path_for(r1.digest).unlink()
+        fresh_cache = type(cache)(cache.root)
+        r2 = _submit(store, queue, seeded)
+        stats = WorkerStats()
+        assert execute_job(store, fresh_cache, r2, stats=stats) == "done"
+        second = fresh_cache.get(r2.digest)
+        assert second["top_alignments"] == first["top_alignments"]
+        assert second["repeats"] == first["repeats"]
+        assert stats.index_seeded == 1
+
     def test_old_algorithm_runs_one_shot(self, stores):
         store, queue, cache = stores
         spec = JobSpec(

@@ -38,6 +38,19 @@ class TestParser:
         assert args.engine == "lanes"
         assert args.group == 8
 
+    def test_index_defaults_off(self):
+        find_args = build_parser().parse_args(["find", "x.fasta"])
+        assert find_args.index is False
+        assert find_args.index_k == 0
+        scan_args = build_parser().parse_args(["scan", "db.fasta"])
+        assert scan_args.index is False
+        assert scan_args.index_threshold == 0.0
+        assert scan_args.index_cache is None
+
+    def test_bench_accepts_index_artifact(self):
+        args = build_parser().parse_args(["bench", "index", "--json", "o.json"])
+        assert args.artifact == "index"
+
 
 class TestEnginesCommand:
     def test_lists_engines(self, capsys):
@@ -99,6 +112,22 @@ class TestFindCommand:
         sequential = capsys.readouterr().out
         assert main(base + ["--engine", "lanes", "--group", "4"]) == 0
         assert results_only(capsys.readouterr().out) == results_only(sequential)
+
+    def test_find_index_seeding_matches_sequential(self, tandem_fasta, capsys):
+        def results_only(text):
+            # Seeding legitimately changes "alignments computed";
+            # every reported alignment and family must be identical.
+            return [
+                line for line in text.splitlines()
+                if "alignments computed" not in line
+            ]
+
+        base = ["find", tandem_fasta, "-k", "3", "--alphabet", "dna",
+                "--gap-open", "2", "--gap-extend", "1", "--show-alignments"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out
+        assert main(base + ["--index"]) == 0
+        assert results_only(capsys.readouterr().out) == results_only(plain)
 
     def test_find_old_algorithm(self, tandem_fasta, capsys):
         assert (
@@ -208,6 +237,48 @@ class TestScanCommand:
         empty.write_text("")
         with pytest.raises(SystemExit):
             main(["scan", str(empty)])
+
+    def test_index_adds_routed_column_same_ranking(self, tmp_path, capsys):
+        from repro.sequences import random_sequence, tandem_repeat_sequence
+
+        path = tmp_path / "db.fasta"
+        write_fasta(
+            [
+                Sequence(random_sequence(60, DNA, seed=3).codes, DNA, id="rand"),
+                Sequence(tandem_repeat_sequence("ATGCGT", 8).codes, DNA, id="tand"),
+            ],
+            path,
+        )
+        base = ["scan", str(path), "--alphabet", "dna", "-k", "4"]
+        assert main(base) == 0
+        plain = capsys.readouterr().out.splitlines()
+        assert main(base + ["--index"]) == 0
+        captured = capsys.readouterr()
+        indexed = captured.out.splitlines()
+        assert "routed" in indexed[0]
+        assert "index:" in captured.err
+        # Same records in the same rank order, each with a routing label.
+        for plain_row, indexed_row in zip(plain[1:], indexed[1:]):
+            assert indexed_row.split()[1] == plain_row.split()[1]
+            assert indexed_row.split()[-1] in ("skip", "defer", "full")
+
+    def test_index_warm_cache_reloads(self, tmp_path, capsys):
+        from repro.sequences import tandem_repeat_sequence
+
+        path = tmp_path / "db.fasta"
+        write_fasta(
+            [Sequence(tandem_repeat_sequence("ATGCGT", 8).codes, DNA, id="tand")],
+            path,
+        )
+        cache_dir = str(tmp_path / "idxcache")
+        cmd = [
+            "scan", str(path), "--alphabet", "dna", "-k", "4",
+            "--index", "--index-cache", cache_dir,
+        ]
+        assert main(cmd) == 0
+        assert "builds=1 loads=0" in capsys.readouterr().err
+        assert main(cmd) == 0
+        assert "builds=0 loads=1" in capsys.readouterr().err
 
 
 class TestSearchCommand:
