@@ -19,6 +19,7 @@ Rule ids
 ``RPR011`` wall-clock ``time.time()`` in an instrumented performance path
 ``RPR012`` raw socket / unbounded ``recv``/``accept`` outside ``cluster/transport``
 ``RPR017`` ``repro.align`` import inside the ``repro.index`` layer
+``RPR018`` direct spool-queue write in ``repro.service`` (bypasses the gateway)
 """
 
 from __future__ import annotations
@@ -854,6 +855,61 @@ def rule_index_layer_imports(tree: ast.Module, path: str) -> list[Diagnostic]:
     return findings
 
 
+# ---------------------------------------------------------------------------
+# RPR018 — admission discipline: service code must not write the queue
+# ---------------------------------------------------------------------------
+
+#: Attribute receivers that name the spool queue (``self.queue``,
+#: ``service.queue``, a bare ``queue`` variable, ...).
+_QUEUE_NAMES = {"queue", "spool", "spool_queue"}
+
+
+def rule_direct_queue_write(tree: ast.Module, path: str) -> list[Diagnostic]:
+    """RPR018: direct spool-queue writes inside ``repro.service``.
+
+    Every job must enter the spool through the gateway — tenant
+    resolution, quotas, idempotency and the fair-share lanes all live
+    at admission, so a ``queue.submit(...)`` anywhere else in the
+    service package silently bypasses multi-tenancy: the job skips
+    quota accounting, takes no lane slot, and dodges the dispatch
+    window that makes deficit-round-robin real.  ``queue.py`` itself
+    (the implementation) and tests are exempt; a deliberate exception
+    elsewhere carries a waiver: ``# repro-lint: allow[RPR018] reason``.
+    """
+    if not _in_dir(path, "service") or _is_test_file(path):
+        return []
+    if Path(path).name == "queue.py":
+        return []
+    findings: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "submit"
+        ):
+            continue
+        receiver = node.func.value
+        name = None
+        if isinstance(receiver, ast.Attribute):
+            name = receiver.attr
+        elif isinstance(receiver, ast.Name):
+            name = receiver.id
+        if name in _QUEUE_NAMES:
+            findings.append(
+                Diagnostic(
+                    rule="RPR018",
+                    path=path,
+                    line=node.lineno,
+                    message=f"direct spool-queue write ({name}.submit) in "
+                    "repro.service bypasses gateway admission — quotas, "
+                    "idempotency and fair-share lanes are all enforced "
+                    "there; route the job through Gateway.submit (or waive "
+                    "with `# repro-lint: allow[RPR018] reason`)",
+                )
+            )
+    return findings
+
+
 #: Per-file rules, in reporting order.  Lock discipline (RPR003) and
 #: export consistency (RPR005) are registered by the linter driver.
 FILE_RULES: tuple[tuple[str, Rule], ...] = (
@@ -867,6 +923,7 @@ FILE_RULES: tuple[tuple[str, Rule], ...] = (
     ("RPR011", rule_wall_clock_in_hot_path),
     ("RPR012", rule_socket_discipline),
     ("RPR017", rule_index_layer_imports),
+    ("RPR018", rule_direct_queue_write),
 )
 
 

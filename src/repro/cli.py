@@ -273,6 +273,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run a cluster coordinator on this port (0 = ephemeral); "
         "jobs route cluster-wide while worker nodes are alive",
     )
+    serve.add_argument(
+        "--tenants",
+        default=None,
+        metavar="FILE",
+        help="tenant config JSON (API keys, weights, quotas); omitted = "
+        "open mode, every request is the unlimited public tenant. "
+        "SIGHUP hot-reloads the file",
+    )
+    serve.add_argument(
+        "--dispatch-window",
+        type=int,
+        default=0,
+        help="jobs the gateway keeps in the spool at once "
+        "(0 = auto: max(4, 2 x workers))",
+    )
 
     cluster = sub.add_parser(
         "cluster", help="multi-node sharded execution (coordinator / node / scan)"
@@ -363,6 +378,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--follow", action="store_true", help="stream progress events (implies --wait)"
     )
     submit.add_argument("--timeout", type=float, default=600.0)
+    submit.add_argument(
+        "--idempotency-key",
+        default=None,
+        help="replay-safe submission key (single-record submits only): a "
+        "duplicate POST returns the original job instead of a new one",
+    )
 
     status = sub.add_parser("status", help="show a service job record")
     status.add_argument("job_id")
@@ -377,6 +398,13 @@ def build_parser() -> argparse.ArgumentParser:
     fetch.add_argument(
         "--summary", action="store_true", help="render a summary instead of raw JSON"
     )
+    for client_cmd in (submit, status, fetch):
+        client_cmd.add_argument(
+            "--api-key",
+            default=None,
+            help="tenant API key (default: the REPRO_API_KEY environment "
+            "variable); required when the service runs with --tenants",
+        )
     return parser
 
 
@@ -778,6 +806,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_capacity=args.queue_capacity,
         checkpoint_every=args.checkpoint_every,
         cluster_port=args.cluster_port,
+        tenants_file=args.tenants,
+        dispatch_window=args.dispatch_window,
     )
     return serve(config)
 
@@ -892,14 +922,23 @@ def _render_result_summary(payload: dict) -> str:
 def _cmd_submit(args: argparse.Namespace) -> int:
     import json
 
-    from .service.client import ClientBacklogFull, ServiceClient, ServiceError
+    from .service.client import (
+        ClientBacklogFull,
+        ServiceAuthError,
+        ServiceClient,
+        ServiceError,
+    )
 
     alphabet = alphabet_for(args.alphabet)
     source = sys.stdin if args.fasta == "-" else args.fasta
     records = read_fasta(source, alphabet)
     if not records:
         raise SystemExit("no FASTA records found")
-    client = ServiceClient(args.url)
+    if args.idempotency_key and len(records) > 1:
+        # One key maps to one job; reusing it across records would
+        # replay the first record for all the rest.
+        raise SystemExit("--idempotency-key requires a single-record FASTA")
+    client = ServiceClient(args.url, api_key=args.api_key)
     job_ids: list[str] = []
     for record in records:
         spec = {
@@ -920,18 +959,25 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             "index_k": args.index_k,
         }
         try:
-            job = client.submit(spec)
+            job = client.submit(spec, idempotency_key=args.idempotency_key)
+        except ServiceAuthError as exc:
+            print(_auth_error_message(exc), file=sys.stderr)
+            return 77  # EX_NOPERM
         except ClientBacklogFull as exc:
             print(
-                f"queue full; retry in {exc.retry_after}s "
-                f"({len(job_ids)} of {len(records)} submitted)",
+                f"service is shedding load ({exc.message}); retry in "
+                f"{exc.retry_after}s ({len(job_ids)} of {len(records)} submitted)",
                 file=sys.stderr,
             )
             return 75  # EX_TEMPFAIL
         except ServiceError as exc:
             print(f"submit failed for {record.id or '<unnamed>'}: {exc}", file=sys.stderr)
             return 1
-        tag = "cache" if job.get("from_cache") else job["state"]
+        tag = (
+            "replay" if job.get("replayed")
+            else "cache" if job.get("from_cache")
+            else job["state"]
+        )
         print(f"job {job['id']} [{tag}] digest={job['digest'][:16]} id={record.id}")
         job_ids.append(job["id"])
 
@@ -954,14 +1000,26 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _auth_error_message(exc) -> str:
+    """A readable 401/403 for humans at a terminal."""
+    if exc.code == 401:
+        hint = "pass --api-key or set REPRO_API_KEY"
+        detail = exc.message or "missing or unrecognized API key"
+        return f"authentication failed: {detail} ({hint})"
+    return f"access denied: {exc.message or 'tenant is disabled'}"
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     import json
 
-    from .service.client import ServiceClient, ServiceError
+    from .service.client import ServiceAuthError, ServiceClient, ServiceError
 
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url, api_key=args.api_key)
     try:
         record = client.status(args.job_id)
+    except ServiceAuthError as exc:
+        print(_auth_error_message(exc), file=sys.stderr)
+        return 77  # EX_NOPERM
     except ServiceError as exc:
         print(str(exc), file=sys.stderr)
         return 1
@@ -975,11 +1033,14 @@ def _cmd_status(args: argparse.Namespace) -> int:
 def _cmd_fetch(args: argparse.Namespace) -> int:
     import json
 
-    from .service.client import ServiceClient, ServiceError
+    from .service.client import ServiceAuthError, ServiceClient, ServiceError
 
-    client = ServiceClient(args.url)
+    client = ServiceClient(args.url, api_key=args.api_key)
     try:
         payload = client.result(args.ref)
+    except ServiceAuthError as exc:
+        print(_auth_error_message(exc), file=sys.stderr)
+        return 77  # EX_NOPERM
     except ServiceError as exc:
         print(str(exc), file=sys.stderr)
         return 1

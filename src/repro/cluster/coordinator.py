@@ -75,12 +75,14 @@ class ClusterJob:
     """One cluster-wide job: a shard scheduler plus completion state."""
 
     def __init__(self, job_id: str, kind: str, scheduler: ShardScheduler,
-                 n_shards: int, spec: JobSpec) -> None:
+                 n_shards: int, spec: JobSpec, tenant: str = "") -> None:
         self.job_id = job_id
         self.kind = kind  # "scan" | "rows"
         self.scheduler = scheduler
         self.n_shards = n_shards
         self.spec = spec
+        #: Owning tenant (gateway admission); "" for untenanted work.
+        self.tenant = tenant
         self.created = time.time()
         self.done = threading.Event()
         self.state = "running"
@@ -93,6 +95,7 @@ class ClusterJob:
             "job_id": self.job_id,
             "kind": self.kind,
             "state": self.state,
+            "tenant": self.tenant,
             "error": self.error,
             "shards": stats["shards"],
             "shards_done": stats["done"],
@@ -115,6 +118,13 @@ class Coordinator:
         self._stopping = threading.Event()
         self._threads: list[threading.Thread] = []
         self.started = time.time()
+        #: (job_id, lease_id) → monotonic issue time; resolved into the
+        #: lease-latency EWMA when the shard's result arrives.
+        self._lease_issued_at: dict[tuple[str, int], float] = {}
+        #: EWMA of issue→result latency — the autoscale "are shards
+        #: taking longer than they should" signal (0 until first result).
+        self.lease_latency = 0.0
+        self._latency_alpha = 0.2
         # Pre-create the families so /metrics shows them at zero.
         self._g_registered = self.metrics.gauge(
             "repro_cluster_nodes_registered",
@@ -148,6 +158,21 @@ class Coordinator:
             help="Shard results received, by status",
             status="ok",
         )
+        self._c_drained = self.metrics.counter(
+            "repro_cluster_nodes_drained_total",
+            help="Nodes that left via a clean goodbye drain",
+        )
+        self._g_queue_depth = self.metrics.gauge(
+            "repro_cluster_queue_depth",
+            help="Unleased shards across running jobs (autoscale signal)",
+        )
+        self._g_lease_latency = self.metrics.gauge(
+            "repro_cluster_lease_latency_seconds",
+            help="EWMA of lease issue-to-result latency (autoscale signal)",
+        )
+        #: Tenants whose backlog gauge was ever published (kept at zero
+        #: after their work drains; see render_metrics).
+        self._backlog_tenants: set[str] = set()
 
     # -- lifecycle -------------------------------------------------------
 
@@ -195,7 +220,7 @@ class Coordinator:
 
     def submit_scan(
         self, spec: JobSpec, records: list[dict[str, str]],
-        options: dict[str, Any] | None = None,
+        options: dict[str, Any] | None = None, tenant: str = "",
     ) -> ClusterJob:
         """Shard a database scan over the cluster; returns the live job."""
         if not records:
@@ -215,9 +240,9 @@ class Coordinator:
             )
             for i, (start, stop) in enumerate(ranges)
         ]
-        return self._register_job("scan", shards, spec)
+        return self._register_job("scan", shards, spec, tenant)
 
-    def submit_rows_job(self, spec: JobSpec) -> ClusterJob:
+    def submit_rows_job(self, spec: JobSpec, tenant: str = "") -> ClusterJob:
         """Shard one large single-sequence job's first pass over the cluster."""
         m = len(spec.normalized_sequence())
         n_shards = max(1, self.registry.alive_count()) * self.config.rows_shards_per_node
@@ -230,9 +255,10 @@ class Coordinator:
             )
             for i, (r_start, r_stop) in enumerate(ranges)
         ]
-        return self._register_job("rows", shards, spec)
+        return self._register_job("rows", shards, spec, tenant)
 
-    def _register_job(self, kind: str, shards: list[Shard], spec: JobSpec) -> ClusterJob:
+    def _register_job(self, kind: str, shards: list[Shard], spec: JobSpec,
+                      tenant: str = "") -> ClusterJob:
         scheduler = ShardScheduler(
             shards,
             lease_seconds=self.config.lease_seconds,
@@ -244,7 +270,7 @@ class Coordinator:
         with self._jobs_lock:
             self._job_seq += 1
             job_id = f"cj-{self._job_seq:06d}"
-            job = ClusterJob(job_id, kind, scheduler, len(shards), spec)
+            job = ClusterJob(job_id, kind, scheduler, len(shards), spec, tenant)
             self._jobs[job_id] = job
         return job
 
@@ -254,14 +280,15 @@ class Coordinator:
             raise TimeoutError(f"cluster job {job.job_id} still running")
         return job
 
-    def execute_job_spec(self, spec: JobSpec, timeout: float | None = None) -> RepeatResult:
+    def execute_job_spec(self, spec: JobSpec, timeout: float | None = None,
+                         tenant: str = "") -> RepeatResult:
         """Run one single-sequence job cluster-wide, bit-identical to local.
 
         The nodes compute the version-0 bottom rows; the coordinator
         finishes the best-first loop locally (it is cheap relative to
         the first pass, which dominates §3's cost model).
         """
-        job = self.wait(self.submit_rows_job(spec), timeout)
+        job = self.wait(self.submit_rows_job(spec, tenant), timeout)
         if job.state != "done":
             raise RuntimeError(f"cluster job {job.job_id} failed: {job.error}")
         shard_results = merge_shard_results(job.scheduler.results(), job.n_shards)
@@ -334,6 +361,13 @@ class Coordinator:
                     self.registry.heartbeat(node_id)
                 elif kind == protocol.RESULT:
                     self._handle_result(node_id, frame)
+                elif kind == protocol.GOODBYE:
+                    # Clean drain: the node reported every lease it held
+                    # before saying goodbye, so there is nothing to fail
+                    # over — just stop counting it toward capacity.
+                    self.registry.mark_drained(node_id)
+                    self._c_drained.inc()
+                    break
                 else:
                     channel.send({
                         "kind": protocol.ERROR,
@@ -361,7 +395,8 @@ class Coordinator:
             if kind == protocol.SUBMIT_SCAN:
                 spec = JobSpec.from_dict(frame["spec"])
                 job = self.submit_scan(
-                    spec, frame["records"], frame.get("options")
+                    spec, frame["records"], frame.get("options"),
+                    tenant=str(frame.get("tenant", "")),
                 )
                 return {
                     "kind": protocol.OK,
@@ -398,6 +433,8 @@ class Coordinator:
                 self._c_issued.inc()
                 if lease.stolen:
                     self._c_stolen.inc()
+                with self._jobs_lock:
+                    self._lease_issued_at[(job.job_id, lease.lease_id)] = now
                 return {
                     "kind": protocol.LEASE,
                     "job_id": job.job_id,
@@ -413,6 +450,15 @@ class Coordinator:
             return
         lease_id = int(frame.get("lease_id", -1))
         elapsed = float(frame.get("elapsed", 0.0))
+        with self._jobs_lock:
+            issued = self._lease_issued_at.pop((job.job_id, lease_id), None)
+        if issued is not None:
+            latency = max(0.0, time.monotonic() - issued)
+            self.lease_latency = (
+                latency if self.lease_latency == 0.0
+                else self._latency_alpha * latency
+                + (1 - self._latency_alpha) * self.lease_latency
+            )
         if frame.get("ok"):
             won = job.scheduler.complete(lease_id, frame.get("value"))
             if won:
@@ -454,6 +500,11 @@ class Coordinator:
         # handler threads must never run a best-first loop.
         job.state = "done"
         job.done.set()
+        with self._jobs_lock:
+            # Late duplicates of a finished job never resolve; drop
+            # their issue stamps so the map cannot grow without bound.
+            for key in [k for k in self._lease_issued_at if k[0] == job.job_id]:
+                del self._lease_issued_at[key]
 
     # -- failover --------------------------------------------------------
 
@@ -490,6 +541,33 @@ class Coordinator:
 
     # -- introspection ---------------------------------------------------
 
+    def autoscale(self) -> dict[str, Any]:
+        """The signals an external autoscaler needs to size the fleet.
+
+        ``queue_depth`` (unleased shards waiting for a node),
+        ``lease_latency`` (EWMA of issue→result seconds) and the
+        per-tenant shard backlog: depth × latency ≈ seconds of queued
+        work, the scale-up trigger; alive > backlog ≈ idle capacity,
+        the scale-down one.  Published on ``/stats`` and as
+        ``repro_cluster_*`` gauges on ``/metrics``.
+        """
+        with self._jobs_lock:
+            running = [j for j in self._jobs.values() if j.state == "running"]
+        queue_depth = 0
+        backlog: dict[str, int] = {}
+        for job in running:
+            pending = job.scheduler.pending()
+            queue_depth += pending
+            tenant = job.tenant or "public"
+            backlog[tenant] = backlog.get(tenant, 0) + pending
+        return {
+            "queue_depth": queue_depth,
+            "lease_latency": self.lease_latency,
+            "nodes_alive": self.registry.alive_count(),
+            "nodes_drained": self.registry.drained_count(),
+            "tenant_backlog": dict(sorted(backlog.items())),
+        }
+
     def stats(self) -> dict[str, Any]:
         with self._jobs_lock:
             jobs = {job_id: job.status() for job_id, job in self._jobs.items()}
@@ -498,10 +576,24 @@ class Coordinator:
             "uptime": time.time() - self.started,
             "nodes_registered": self.registry.registered_count(),
             "nodes_alive": self.registry.alive_count(),
+            "nodes_drained": self.registry.drained_count(),
             "nodes": self.registry.snapshot(),
             "jobs": jobs,
+            "autoscale": self.autoscale(),
         }
 
     def render_metrics(self) -> str:
         self._refresh_node_gauges()
+        signals = self.autoscale()
+        self._g_queue_depth.set(signals["queue_depth"])
+        self._g_lease_latency.set(signals["lease_latency"])
+        backlog = signals["tenant_backlog"]
+        # Drained tenants drop to an explicit 0, not a stale last value.
+        self._backlog_tenants |= set(backlog)
+        for tenant in sorted(self._backlog_tenants):
+            self.metrics.gauge(
+                "repro_cluster_tenant_backlog",
+                help="Unleased shards per owning tenant (autoscale signal)",
+                tenant=tenant,
+            ).set(backlog.get(tenant, 0))
         return render_prometheus(self.metrics)

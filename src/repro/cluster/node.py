@@ -12,11 +12,19 @@ replies to its own requests.
 Shard execution goes through :mod:`repro.cluster.execution`, i.e. the
 same ``build_finder``/engine path the service workers use, keeping the
 bit-identity contract in one place.
+
+**Drain.**  SIGTERM (and SIGINT) does not kill the node mid-shard: it
+sets the drain flag, the agent finishes the lease it currently holds,
+reports the result, sends a one-way ``goodbye`` and exits 0.  No
+result is lost and the coordinator never has to fail over a drained
+node's lease — SIGKILL remains the crash path the failover machinery
+covers.
 """
 
 from __future__ import annotations
 
 import os
+import signal
 import socket as socket_mod
 import threading
 import time
@@ -55,11 +63,21 @@ class NodeAgent:
             f"{socket_mod.gethostname()}-{os.getpid()}"
         )
         self._stop = threading.Event()
+        self._draining = threading.Event()
         self._channel: Channel | None = None
         self.shards_done = 0
+        self.drained = False
 
     def stop(self) -> None:
         self._stop.set()
+
+    def request_drain(self) -> None:
+        """Finish the current shard (if any), say goodbye, exit cleanly.
+
+        Signal-handler safe: only sets an event the work loop polls
+        between frames.
+        """
+        self._draining.set()
 
     def run(self) -> int:
         """Join the coordinator and work until told to shut down."""
@@ -110,6 +128,11 @@ class NodeAgent:
 
     def _work_loop(self, channel: Channel, delay: float) -> None:
         while not self._stop.is_set():
+            if self._draining.is_set():
+                # Between leases, so nothing is in flight: announce the
+                # clean exit and stop pulling work.
+                self._say_goodbye(channel)
+                return
             channel.send({"kind": protocol.READY, "node_id": self.node_id})
             reply = channel.recv(timeout=60.0)
             kind = reply.get("kind")
@@ -125,6 +148,13 @@ class NodeAgent:
             self._execute_lease(channel, reply, delay)
             if self.config.max_shards and self.shards_done >= self.config.max_shards:
                 return
+
+    def _say_goodbye(self, channel: Channel) -> None:
+        self.drained = True
+        try:
+            channel.send({"kind": protocol.GOODBYE, "node_id": self.node_id})
+        except (FrameError, OSError):
+            pass  # coordinator already gone; drain is still clean locally
 
     def _execute_lease(self, channel: Channel, lease: dict, delay: float) -> None:
         shard = lease["shard"]
@@ -161,11 +191,17 @@ class NodeAgent:
 
 
 def node_main(join: str, *, node_id: str = "", max_shards: int = 0) -> int:
-    """CLI entry: ``repro cluster node --join host:port``."""
+    """CLI entry: ``repro cluster node --join host:port``.
+
+    SIGTERM/SIGINT drain rather than kill: the node finishes the shard
+    it holds, reports it, sends ``goodbye`` and exits 0.
+    """
     host, _, port = join.rpartition(":")
     if not host or not port.isdigit():
         raise ValueError(f"--join expects host:port, got {join!r}")
     agent = NodeAgent(
         NodeConfig(host=host, port=int(port), node_id=node_id, max_shards=max_shards)
     )
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: agent.request_drain())
     return agent.run()

@@ -6,7 +6,10 @@ Every frame is a JSON object with a ``kind`` field, carried over the
 exactly one of ``lease`` / ``wait`` / ``shutdown``.  ``heartbeat`` and
 ``result`` frames are one-way (no response), which keeps the node's
 request/response loop trivially race-free while a background thread
-heartbeats over the same channel.
+heartbeats over the same channel.  A draining node (SIGTERM) finishes
+its current shard, then sends a one-way ``goodbye`` instead of another
+``ready`` — the coordinator marks it drained (a clean exit, not a
+death) and stops counting it toward capacity.
 
 Shards
 ------
@@ -42,6 +45,7 @@ __all__ = [
     "HELLO",
     "WELCOME",
     "HEARTBEAT",
+    "GOODBYE",
     "READY",
     "LEASE",
     "WAIT",
@@ -63,6 +67,7 @@ __all__ = [
 # node / client -> coordinator
 HELLO = "hello"
 HEARTBEAT = "heartbeat"
+GOODBYE = "goodbye"  # one-way: draining node leaving cleanly
 READY = "ready"
 RESULT = "result"
 SUBMIT_SCAN = "submit_scan"

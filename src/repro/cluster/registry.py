@@ -28,6 +28,9 @@ class NodeInfo:
     registered_at: float = 0.0  # epoch, for operators
     last_seen: float = 0.0  # monotonic, for liveness decisions
     alive: bool = True
+    #: True when the node left via ``goodbye`` (clean drain) rather
+    #: than dying — churn accounting tells the two apart.
+    drained: bool = False
     shards_done: int = 0
     shards_failed: int = 0
     records_scanned: int = 0
@@ -40,6 +43,7 @@ class NodeInfo:
             "pid": self.pid,
             "registered_at": self.registered_at,
             "alive": self.alive,
+            "drained": self.drained,
             "shards_done": self.shards_done,
             "shards_failed": self.shards_failed,
             "records_scanned": self.records_scanned,
@@ -64,6 +68,7 @@ class NodeRegistry:
             info.address = address or info.address
             info.pid = pid or info.pid
             info.alive = True
+            info.drained = False  # a rejoining node is working again
             info.last_seen = time.monotonic()
             if meta:
                 info.meta.update(meta)
@@ -87,6 +92,19 @@ class NodeRegistry:
                 return False
             info.alive = False
             return True
+
+    def mark_drained(self, node_id: str) -> bool:
+        """Flag a node as having left via a clean ``goodbye`` drain."""
+        with self._lock:
+            info = self._nodes.get(node_id)
+            if info is None:
+                return False
+            info.drained = True
+            return True
+
+    def drained_count(self) -> int:
+        with self._lock:
+            return sum(1 for info in self._nodes.values() if info.drained)
 
     def record_shard(self, node_id: str, *, failed: bool = False,
                      records: int = 0) -> None:

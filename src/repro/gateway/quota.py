@@ -1,0 +1,89 @@
+"""Per-tenant admission quotas: token-bucket rate, in-flight, spool bytes.
+
+All three quotas shed load the same way — :class:`QuotaExceeded`, which
+the HTTP layer maps to ``429`` with a ``Retry-After`` header — so a
+well-behaved client needs exactly one retry discipline regardless of
+*which* budget it blew (the :class:`~repro.service.client.ServiceClient`
+submit loop already implements it).
+
+A quota value of ``0`` means *unlimited*: the built-in open-mode tenant
+runs with every quota at 0, which is how a service without a tenants
+file keeps its original trust-everyone behavior.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable
+
+__all__ = ["QuotaExceeded", "TokenBucket"]
+
+
+class QuotaExceeded(RuntimeError):
+    """A tenant blew one of its admission budgets (HTTP 429)."""
+
+    def __init__(
+        self, tenant: str, reason: str, message: str, retry_after: int = 1
+    ) -> None:
+        super().__init__(message)
+        self.tenant = tenant
+        #: Short machine-readable budget name: ``rate`` | ``in_flight``
+        #: | ``spool_bytes`` | ``backlog`` — the rejection metric label.
+        self.reason = reason
+        self.retry_after = max(1, int(retry_after))
+
+
+class TokenBucket:
+    """Classic token bucket over a monotonic clock.
+
+    ``rate`` is tokens/second, ``burst`` the bucket capacity (defaults
+    to ``max(1, ceil(rate))`` so a momentarily idle tenant can always
+    submit at least once).  ``rate == 0`` disables the bucket entirely.
+    The clock is injectable so tests never sleep.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float = 0.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate < 0 or burst < 0:
+            raise ValueError("rate and burst must be >= 0")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst > 0 else max(1.0, math.ceil(rate))
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def take(self, n: float = 1.0) -> float:
+        """Try to spend ``n`` tokens; 0.0 on success, else seconds to wait.
+
+        Refusals do not spend partial tokens, so a rejected caller who
+        honors the returned wait is guaranteed admission headroom when
+        it comes back (absent competing traffic).
+        """
+        if self.rate <= 0:
+            return 0.0
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= n:
+                self._tokens -= n
+                return 0.0
+            return (n - self._tokens) / self.rate
+
+    def peek(self) -> float:
+        """Tokens available right now (observability only)."""
+        if self.rate <= 0:
+            return float("inf")
+        with self._lock:
+            now = self._clock()
+            return min(self.burst, self._tokens + (now - self._stamp) * self.rate)

@@ -21,7 +21,12 @@ scheduled, cached and resumed under concurrent load:
 """
 
 from .cache import ResultCache
-from .client import ClientBacklogFull, ServiceClient, ServiceError
+from .client import (
+    ClientBacklogFull,
+    ServiceAuthError,
+    ServiceClient,
+    ServiceError,
+)
 from .jobstore import JobRecord, JobStore
 from .protocol import (
     ALGORITHM_VERSION,
@@ -45,6 +50,7 @@ __all__ = [
     "JobStore",
     "ReproService",
     "ResultCache",
+    "ServiceAuthError",
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",

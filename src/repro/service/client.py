@@ -3,7 +3,9 @@
 Stdlib-only, mirroring the server's endpoints one method each.  HTTP
 errors surface as :class:`ServiceError` (with the server's JSON error
 message when present); a ``429`` becomes :class:`ClientBacklogFull`
-carrying the server's ``Retry-After`` hint.
+carrying the server's ``Retry-After`` hint, and a ``401``/``403``
+becomes :class:`ServiceAuthError` so callers can tell "fix your key"
+apart from "try again later".
 
 ``submit`` honors that hint: shed submissions are retried with
 jittered exponential backoff — ``Retry-After`` is the floor of each
@@ -11,18 +13,30 @@ delay, the exponential curve the ceiling, jitter desynchronizes a
 herd of clients hammering one coordinator — up to a bounded number of
 attempts, after which :class:`ClientBacklogFull` propagates.  Only 429
 retries; any other error is not load shedding and fails fast.
+
+**Authentication.**  Pass ``api_key`` (or set ``REPRO_API_KEY`` in the
+environment) and every request carries ``Authorization: Bearer
+<key>``.  ``submit`` additionally accepts an ``idempotency_key``,
+sent as the ``Idempotency-Key`` header: retried duplicates replay the
+original job instead of admitting a second one.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import random
 import time
 import urllib.error
 import urllib.request
 from typing import Any, Callable, Iterator
 
-__all__ = ["ServiceError", "ClientBacklogFull", "ServiceClient"]
+__all__ = [
+    "ServiceError",
+    "ServiceAuthError",
+    "ClientBacklogFull",
+    "ServiceClient",
+]
 
 
 class ServiceError(RuntimeError):
@@ -34,8 +48,12 @@ class ServiceError(RuntimeError):
         self.message = message
 
 
+class ServiceAuthError(ServiceError):
+    """HTTP 401/403 — missing/unknown API key or disabled tenant."""
+
+
 class ClientBacklogFull(ServiceError):
-    """HTTP 429 — the job queue is shedding load."""
+    """HTTP 429 — quota or backlog load shedding; retry later."""
 
     def __init__(self, message: str, retry_after: int) -> None:
         super().__init__(429, message)
@@ -55,6 +73,7 @@ class ServiceClient:
         base_url: str = "http://127.0.0.1:8765",
         *,
         timeout: float = 30.0,
+        api_key: str | None = None,
         submit_attempts: int = 4,
         backoff_base: float = 0.25,
         backoff_cap: float = 30.0,
@@ -63,6 +82,11 @@ class ServiceClient:
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        # Explicit key wins; REPRO_API_KEY covers scripted use where
+        # threading a flag through every call site is noise.
+        self.api_key = api_key if api_key is not None else os.environ.get(
+            "REPRO_API_KEY"
+        )
         if submit_attempts < 1:
             raise ValueError("submit_attempts must be >= 1")
         self.submit_attempts = submit_attempts
@@ -73,16 +97,28 @@ class ServiceClient:
 
     # -- plumbing --------------------------------------------------------
 
+    def _headers(self, extra: dict[str, str] | None = None) -> dict[str, str]:
+        headers = {"Accept": "application/json"}
+        if self.api_key:
+            headers["Authorization"] = f"Bearer {self.api_key}"
+        if extra:
+            headers.update(extra)
+        return headers
+
     def _request(
-        self, method: str, path: str, body: dict[str, Any] | None = None
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        headers: dict[str, str] | None = None,
     ) -> dict[str, Any]:
         data = None
-        headers = {"Accept": "application/json"}
+        all_headers = self._headers(headers)
         if body is not None:
             data = json.dumps(body).encode("utf-8")
-            headers["Content-Type"] = "application/json"
+            all_headers["Content-Type"] = "application/json"
         request = urllib.request.Request(
-            f"{self.base_url}{path}", data=data, headers=headers, method=method
+            f"{self.base_url}{path}", data=data, headers=all_headers, method=method
         )
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
@@ -99,6 +135,8 @@ class ServiceClient:
         if exc.code == 429:
             retry_after = int(exc.headers.get("Retry-After") or 1)
             return ClientBacklogFull(message, retry_after)
+        if exc.code in (401, 403):
+            return ServiceAuthError(exc.code, message)
         return ServiceError(exc.code, message)
 
     # -- endpoints -------------------------------------------------------
@@ -109,17 +147,23 @@ class ServiceClient:
     def stats(self) -> dict[str, Any]:
         return self._request("GET", "/stats")
 
-    def submit(self, spec: dict[str, Any]) -> dict[str, Any]:
+    def submit(
+        self, spec: dict[str, Any], *, idempotency_key: str | None = None
+    ) -> dict[str, Any]:
         """POST /jobs; the returned record includes ``from_cache``.
 
         Retries shed (429) submissions with jittered exponential
         backoff, honoring the server's ``Retry-After`` as the minimum
         delay; after ``submit_attempts`` tries the final
-        :class:`ClientBacklogFull` propagates.
+        :class:`ClientBacklogFull` propagates.  With an
+        ``idempotency_key`` the retries are double-submit-safe: a
+        duplicate that reaches the server replays the original job
+        (``replayed: true`` in the response).
         """
+        headers = {"Idempotency-Key": idempotency_key} if idempotency_key else None
         for attempt in range(self.submit_attempts):
             try:
-                return self._request("POST", "/jobs", spec)
+                return self._request("POST", "/jobs", spec, headers)
             except ClientBacklogFull as exc:
                 if attempt + 1 >= self.submit_attempts:
                     raise
@@ -147,7 +191,9 @@ class ServiceClient:
     ) -> Iterator[dict[str, Any]]:
         """Yield progress events; with ``follow`` streams until terminal."""
         url = f"{self.base_url}/jobs/{job_id}/events?since={since}&follow={int(follow)}"
-        request = urllib.request.Request(url, headers={"Accept": "application/x-ndjson"})
+        request = urllib.request.Request(
+            url, headers=self._headers({"Accept": "application/x-ndjson"})
+        )
         timeout = None if follow else self.timeout
         try:
             with urllib.request.urlopen(request, timeout=timeout) as response:

@@ -14,7 +14,11 @@ durable:
     the search state, written via :mod:`repro.core.checkpoint` after
     every accepted chunk, so a resumed job continues mid-run;
 ``cancel/<id>``
-    a flag file; workers poll it between chunks.
+    a flag file; workers poll it between chunks;
+``owners/<digest>.<tenant>``
+    a grant marker: the tenant was admitted for a job with this result
+    digest, so ``GET /results/<digest>`` may serve it (the gateway's
+    tenant-scoping of the shared content-addressed cache).
 
 Writers are disjoint by construction — the server writes a record at
 admission and cancellation, the claiming worker owns it while running —
@@ -51,6 +55,8 @@ class JobRecord:
     digest: str
     state: str = JobState.QUEUED
     priority: int = 0
+    #: Owning tenant (gateway admission); "" on pre-gateway records.
+    tenant: str = ""
     created: float = 0.0
     started: float = 0.0
     finished: float = 0.0
@@ -83,24 +89,29 @@ class JobStore:
         self.checkpoints_dir = self.root / "checkpoints"
         self.cancel_dir = self.root / "cancel"
         self.workers_dir = self.root / "workers"
+        self.owners_dir = self.root / "owners"
         for d in (
             self.jobs_dir,
             self.events_dir,
             self.checkpoints_dir,
             self.cancel_dir,
             self.workers_dir,
+            self.owners_dir,
         ):
             d.mkdir(parents=True, exist_ok=True)
 
     # -- records ---------------------------------------------------------
 
-    def new_job(self, spec: dict[str, Any], digest: str, priority: int = 0) -> JobRecord:
+    def new_job(
+        self, spec: dict[str, Any], digest: str, priority: int = 0, tenant: str = ""
+    ) -> JobRecord:
         """Create and persist a fresh queued record."""
         record = JobRecord(
             id=uuid.uuid4().hex[:16],
             spec=spec,
             digest=digest,
             priority=priority,
+            tenant=tenant,
             created=time.time(),
         )
         self.put(record)
@@ -167,6 +178,26 @@ class JobStore:
             if record is not None and record.digest == digest and not record.terminal:
                 return record
         return None
+
+    # -- result ownership --------------------------------------------------
+
+    def grant_result_access(self, digest: str, tenant: str) -> None:
+        """Record that ``tenant`` may read the result under ``digest``.
+
+        The result cache is content-addressed and shared — two tenants
+        submitting the same sequence converge on one digest — so
+        *reading* a cached result is gated by an explicit per-tenant
+        grant made at admission, never by guessing a digest.
+        """
+        if not tenant:
+            return
+        (self.owners_dir / f"{digest}.{tenant}").touch()
+
+    def result_access(self, digest: str, tenant: str) -> bool:
+        """True when ``tenant`` was granted access to ``digest``."""
+        if not tenant:
+            return False
+        return (self.owners_dir / f"{digest}.{tenant}").exists()
 
     # -- progress events -------------------------------------------------
 

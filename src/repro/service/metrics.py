@@ -101,14 +101,24 @@ def build_service_registry(
         "repro_service_job_retries_total",
         help="Re-claims beyond each job's first attempt (worker restarts/requeues)",
     )
+    tenant_states: dict[tuple[str, str], int] = {}
     for job_id in service.store.list_ids():
         record = service.store.get(job_id)
         if record is None:
             continue
         attempts.inc(record.attempts)
         retries.inc(max(0, record.attempts - 1))
+        key = (record.tenant or "public", record.state)
+        tenant_states[key] = tenant_states.get(key, 0) + 1
         if record.terminal and not record.served_from_cache and record.finished > 0:
             latency.observe(max(0.0, record.finished - record.created))
+    for (tenant, state), count in sorted(tenant_states.items()):
+        registry.gauge(
+            "repro_service_tenant_jobs",
+            help="Job records by owning tenant and lifecycle state",
+            tenant=tenant,
+            state=state,
+        ).set(count)
 
     # -- workers ---------------------------------------------------------
     if workers_alive is not None:
@@ -131,8 +141,10 @@ def render_service_metrics(
 
     With a cluster coordinator attached, its ``repro_cluster_*``
     families (node gauges, lease counters, shard latency) are appended
-    from the coordinator's private always-on registry — a third prefix,
-    so none of the renderings collide.
+    from the coordinator's private always-on registry; the gateway's
+    ``repro_gateway_*`` families (per-tenant admissions, rejections,
+    lane depths) likewise — distinct prefixes, so none of the
+    renderings collide.
     """
     text = render_prometheus(
         build_service_registry(service, workers_alive=workers_alive)
@@ -143,4 +155,7 @@ def render_service_metrics(
     coordinator = getattr(service, "coordinator", None)
     if coordinator is not None:
         text += coordinator.render_metrics()
+    gateway = getattr(service, "gateway", None)
+    if gateway is not None:
+        text += gateway.render_metrics()
     return text

@@ -124,6 +124,13 @@ class SpoolQueue:
                 return directory / key
         return None
 
+    def contains(self, job_id: str) -> bool:
+        """True while the job has a marker (queued or claimed)."""
+        return (
+            self._find(self.queued_dir, job_id) is not None
+            or self._find(self.claimed_dir, job_id) is not None
+        )
+
     def release(self, job_id: str) -> bool:
         """Move a claimed job back to the queue (drain / crash requeue)."""
         marker = self._find(self.claimed_dir, job_id)

@@ -42,9 +42,18 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 from .. import obs
+from ..gateway import (
+    Admission,
+    AuthError,
+    ForbiddenError,
+    Gateway,
+    IdempotencyConflict,
+    QuotaExceeded,
+    TenantDirectory,
+)
 from .jobstore import JobRecord
 from .metrics import render_service_metrics
-from .protocol import JobSpec, JobState, SpecError, job_digest
+from .protocol import JobSpec, JobState, SpecError
 from .queue import BacklogFull
 from .workers import WorkerPool, _finish, open_stores, recover
 
@@ -72,6 +81,13 @@ class ServiceConfig:
     #: (0 = ephemeral) and routes jobs cluster-wide while worker nodes
     #: are alive.  ``None`` disables clustering entirely.
     cluster_port: int | None = None
+    #: Tenant config file (JSON; see repro.gateway.tenants).  ``None``
+    #: runs the gateway open: every request is the unlimited ``public``
+    #: tenant and no endpoint requires an API key.
+    tenants_file: str | None = None
+    #: How many jobs the gateway keeps in the spool at once (its
+    #: fair-share dispatch window).  0 = auto: ``max(4, 2 × workers)``.
+    dispatch_window: int = 0
 
 
 class ReproService:
@@ -101,7 +117,21 @@ class ReproService:
             capacity=config.queue_capacity,
             memory_items=config.cache_memory_items,
         )
-        self._admission = threading.Lock()
+        self.gateway = Gateway(
+            self.store,
+            self.queue,
+            self.cache,
+            directory=TenantDirectory(config.tenants_file),
+            dispatch_window=config.dispatch_window,
+            workers=config.workers,
+        )
+        # The hooks read self.coordinator at call time, so attaching a
+        # coordinator after construction routes subsequent jobs too.
+        self.gateway.cluster_route = lambda: (
+            self.coordinator is not None
+            and self.coordinator.registry.alive_count() > 0
+        )
+        self.gateway.cluster_spawn = self._spawn_cluster_job
         self.started = time.time()
         #: An optional :class:`repro.cluster.Coordinator` (duck-typed to
         #: avoid a hard import; the cluster package imports service).
@@ -112,48 +142,36 @@ class ReproService:
 
     # -- operations ------------------------------------------------------
 
-    def submit(self, payload: dict) -> tuple[JobRecord, bool]:
+    def submit(self, payload: dict, *, api_key: str | None = None,
+               idempotency_key: str | None = None) -> tuple[JobRecord, bool]:
         """Admit one job; returns ``(record, from_cache)``.
 
-        Raises :class:`SpecError` (400) or :class:`BacklogFull` (429).
+        Every submission goes through the gateway: tenant resolution,
+        quotas, idempotency and fair-share lane placement (see
+        :meth:`admit` for the full admission object).  Raises
+        :class:`SpecError` (400), ``AuthError`` (401),
+        ``ForbiddenError`` (403), ``QuotaExceeded`` /
+        :class:`BacklogFull` (429) or ``IdempotencyConflict`` (409).
         """
-        spec = JobSpec.from_dict(payload)
-        digest = job_digest(spec)
-        if self.cache.get(digest) is not None:
-            # Born done: the content-addressed cache already holds the
-            # answer, so the job never touches the queue or a worker.
-            record = self.store.new_job(spec.to_dict(), digest, spec.priority)
-            record.state = JobState.DONE
-            record.served_from_cache = True
-            record.finished = time.time()
-            record.found = spec.top_alignments
-            self.store.put(record)
-            self.store.append_event(record.id, "cache-hit", digest=digest)
-            return record, True
-        if self.coordinator is not None and self.coordinator.registry.alive_count() > 0:
-            record = self.store.new_job(spec.to_dict(), digest, spec.priority)
-            self.store.append_event(
-                record.id, "queued", digest=digest, priority=spec.priority,
-                route="cluster",
-            )
-            threading.Thread(
-                target=self._run_cluster_job,
-                args=(record.id, spec),
-                name=f"cluster-job-{record.id}",
-                daemon=True,
-            ).start()
-            return record, False
-        with self._admission:
-            record = self.store.new_job(spec.to_dict(), digest, spec.priority)
-            try:
-                self.queue.submit(record.id, spec.priority)
-            except BacklogFull:
-                self.store.delete(record.id)
-                raise
-        self.store.append_event(
-            record.id, "queued", digest=digest, priority=spec.priority
+        admission = self.admit(
+            payload, api_key=api_key, idempotency_key=idempotency_key
         )
-        return record, False
+        return admission.record, admission.from_cache
+
+    def admit(self, payload: dict, *, api_key: str | None = None,
+              idempotency_key: str | None = None) -> Admission:
+        """Gateway admission with the replay flag the HTTP layer reports."""
+        return self.gateway.submit(
+            payload, api_key=api_key, idempotency_key=idempotency_key
+        )
+
+    def _spawn_cluster_job(self, job_id: str, spec: JobSpec) -> None:
+        threading.Thread(
+            target=self._run_cluster_job,
+            args=(job_id, spec),
+            name=f"cluster-job-{job_id}",
+            daemon=True,
+        ).start()
 
     def _run_cluster_job(self, job_id: str, spec: JobSpec) -> None:
         """Drive one cluster-routed job to a terminal state."""
@@ -169,7 +187,7 @@ class ReproService:
         )
         self.store.append_event(job_id, "claimed", worker="cluster")
         try:
-            result = self.coordinator.execute_job_spec(spec)
+            result = self.coordinator.execute_job_spec(spec, tenant=record.tenant)
         except Exception as exc:  # noqa: BLE001 - job failure, not server failure
             self.store.update(
                 job_id, state=JobState.FAILED, finished=time.time(), error=str(exc)
@@ -180,16 +198,31 @@ class ReproService:
         if record is not None:
             _finish(self.store, self.cache, record, spec, result)
 
-    def status(self, job_id: str) -> JobRecord | None:
-        return self.store.get(job_id)
+    def status(self, job_id: str, *, tenant: str | None = None) -> JobRecord | None:
+        """The job record — scoped: a foreign tenant sees ``None`` (404).
 
-    def cancel(self, job_id: str) -> JobRecord | None:
-        """Flag a job for cancellation; queued jobs die immediately."""
+        ``tenant=None`` means *unscoped* (open mode / internal callers),
+        not "a tenant with no name".
+        """
         record = self.store.get(job_id)
+        if record is not None and tenant is not None and record.tenant != tenant:
+            return None
+        return record
+
+    def cancel(self, job_id: str, *, tenant: str | None = None) -> JobRecord | None:
+        """Flag a job for cancellation; queued jobs die immediately."""
+        record = self.status(job_id, tenant=tenant)
         if record is None or record.terminal:
             return record
         self.store.request_cancel(job_id)
-        if record.state == JobState.QUEUED and self.queue.discard(job_id):
+        # A queued job is either already in the spool, still in its
+        # gateway lane, or mid-pump between the two — the second spool
+        # probe closes that race.
+        if record.state == JobState.QUEUED and (
+            self.queue.discard(job_id)
+            or self.gateway.discard(record.tenant, job_id)
+            or self.queue.discard(job_id)
+        ):
             record = self.store.update(
                 job_id, state=JobState.CANCELLED, finished=time.time()
             )
@@ -197,22 +230,39 @@ class ReproService:
             self.store.clear_cancel(job_id)
         return record
 
-    def result(self, ref: str) -> dict | None:
-        """Result payload by digest (full or unique prefix) or job id."""
+    def result(self, ref: str, *, tenant: str | None = None) -> dict | None:
+        """Result payload by digest (full or unique prefix) or job id.
+
+        In tenant mode the payload is only served when ``tenant`` holds
+        an ownership grant for the digest — made at admission — so a
+        shared cache entry (digest collision-by-sharing) is never
+        readable to a tenant who did not submit that work.
+        """
+        digest: str | None = None
         payload = None
         try:
             payload = self.cache.get(ref)
         except ValueError:
             payload = None
         if payload is not None:
-            return payload
-        record = self.store.get(ref)
-        if record is not None:
-            return self.cache.get(record.digest)
-        full = self.cache.resolve(ref)
-        if full is not None and full != ref:
-            return self.cache.get(full)
-        return None
+            digest = ref
+        else:
+            record = self.store.get(ref)
+            if record is not None:
+                if tenant is not None and record.tenant != tenant:
+                    return None
+                payload = self.cache.get(record.digest)
+                digest = record.digest
+            else:
+                full = self.cache.resolve(ref)
+                if full is not None and full != ref:
+                    payload = self.cache.get(full)
+                    digest = full
+        if payload is None:
+            return None
+        if tenant is not None and not self.store.result_access(digest, tenant):
+            return None
+        return payload
 
     def stats(self) -> dict:
         workers = self.store.worker_stats()
@@ -228,6 +278,7 @@ class ReproService:
             "workers": workers,
             "alignments_total": sum(w.get("alignments", 0) for w in workers.values()),
             "cache_hits_total": sum(w.get("cache_hits", 0) for w in workers.values()),
+            "gateway": self.gateway.snapshot(),
         }
         if self.coordinator is not None:
             stats["cluster"] = self.coordinator.stats()
@@ -315,6 +366,26 @@ class _Handler(BaseHTTPRequestHandler):
         except ValueError as exc:
             raise SpecError(f"invalid JSON body: {exc}") from None
 
+    # -- tenancy ---------------------------------------------------------
+
+    def _api_key(self) -> str | None:
+        auth = self.headers.get("Authorization") or ""
+        if auth.lower().startswith("bearer "):
+            return auth[7:].strip() or None
+        return self.headers.get("X-Api-Key")
+
+    def _tenant_name(self) -> str | None:
+        """The caller's tenant, or ``None`` when the gateway runs open.
+
+        Raises ``AuthError``/``ForbiddenError``, mapped to 401/403 by
+        the route dispatchers.  ``/healthz``, ``/stats`` and
+        ``/metrics`` never call this: they are operator endpoints.
+        """
+        gateway = self.svc.gateway
+        if gateway.directory.open:
+            return None
+        return gateway.resolve(self._api_key()).name
+
     # -- routes ----------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
@@ -330,20 +401,35 @@ class _Handler(BaseHTTPRequestHandler):
                 self._error(404, f"no such endpoint: POST {url.path}")
         except SpecError as exc:
             self._error(400, str(exc))
-        except BacklogFull as exc:
+        except AuthError as exc:
+            self._error(401, str(exc), headers={"WWW-Authenticate": "Bearer"})
+        except ForbiddenError as exc:
+            self._error(403, str(exc))
+        except IdempotencyConflict as exc:
+            self._error(409, str(exc))
+        except (BacklogFull, QuotaExceeded) as exc:
             self._error(
                 429, str(exc), headers={"Retry-After": str(exc.retry_after)}
             )
 
     def _post_job(self) -> None:
-        record, from_cache = self.svc.submit(self._read_body())
+        body = self._read_body()
+        admission = self.svc.admit(
+            body,
+            api_key=self._api_key(),
+            idempotency_key=self.headers.get("Idempotency-Key"),
+        )
         self._send_json(
-            200 if from_cache else 202,
-            {**record.to_dict(), "from_cache": from_cache},
+            200 if admission.from_cache or admission.replayed else 202,
+            {
+                **admission.record.to_dict(),
+                "from_cache": admission.from_cache,
+                "replayed": admission.replayed,
+            },
         )
 
     def _post_cancel(self, job_id: str) -> None:
-        record = self.svc.cancel(job_id)
+        record = self.svc.cancel(job_id, tenant=self._tenant_name())
         if record is None:
             self._error(404, f"no such job: {job_id}")
         else:
@@ -354,6 +440,14 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in url.path.split("/") if p]
         query = parse_qs(url.query)
         self._count_request(parts)
+        try:
+            self._get_route(url, parts, query)
+        except AuthError as exc:
+            self._error(401, str(exc), headers={"WWW-Authenticate": "Bearer"})
+        except ForbiddenError as exc:
+            self._error(403, str(exc))
+
+    def _get_route(self, url, parts: list[str], query: dict) -> None:
         if parts == ["healthz"]:
             self._send_json(200, {"ok": True})
         elif parts == ["stats"]:
@@ -369,7 +463,7 @@ class _Handler(BaseHTTPRequestHandler):
                 obs.CONTENT_TYPE,
             )
         elif len(parts) == 2 and parts[0] == "jobs":
-            record = self.svc.status(parts[1])
+            record = self.svc.status(parts[1], tenant=self._tenant_name())
             if record is None:
                 self._error(404, f"no such job: {parts[1]}")
             else:
@@ -377,7 +471,7 @@ class _Handler(BaseHTTPRequestHandler):
         elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
             self._get_events(parts[1], query)
         elif len(parts) == 2 and parts[0] == "results":
-            payload = self.svc.result(parts[1])
+            payload = self.svc.result(parts[1], tenant=self._tenant_name())
             if payload is None:
                 self._error(404, f"no cached result for: {parts[1]}")
             else:
@@ -387,7 +481,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _get_events(self, job_id: str, query: dict) -> None:
         store = self.svc.store
-        if store.get(job_id) is None:
+        if self.svc.status(job_id, tenant=self._tenant_name()) is None:
             self._error(404, f"no such job: {job_id}")
             return
         since = int((query.get("since") or ["0"])[0])
@@ -459,14 +553,26 @@ def serve(config: ServiceConfig) -> int:
         # anything a dead pool left claimed.
         recover(service.store, service.queue)
 
+    # Lanes/quota ledgers rebuild from the job store, then the pump
+    # thread keeps granting lane items as spool slots free up.  SIGHUP
+    # hot-reloads the tenant file without dropping a request.
+    restored = service.gateway.recover()
+    if restored:
+        print(f"restored {restored} lane-queued job(s)", flush=True)
+    service.gateway.directory.install_sighup()
+    service.gateway.start_pump(config.poll_interval)
+
     httpd = ThreadingHTTPServer((config.host, config.port), _Handler)
     httpd.daemon_threads = True
     httpd.state = state  # type: ignore[attr-defined]
     host, port = httpd.server_address[:2]
+    mode = "open" if service.gateway.directory.open else (
+        f"tenants={','.join(service.gateway.directory.names())}"
+    )
     print(
         f"repro service listening on http://{host}:{port} "
         f"(workers={config.workers}, queue_capacity={config.queue_capacity}, "
-        f"data={config.data_dir})",
+        f"{mode}, data={config.data_dir})",
         flush=True,
     )
 
@@ -486,6 +592,7 @@ def serve(config: ServiceConfig) -> int:
         httpd.serve_forever(poll_interval=0.1)
     finally:
         httpd.server_close()
+        service.gateway.stop_pump()
         if coordinator is not None:
             coordinator.stop()
         if pool is not None:

@@ -751,3 +751,74 @@ def test_rpr017_clean_on_the_real_index_package(tmp_path):
     package = Path(__file__).resolve().parents[2] / "src" / "repro" / "index"
     for module in sorted(package.glob("*.py")):
         assert "RPR017" not in _rules_hit(module), module.name
+
+
+# ---------------------------------------------------------------------------
+# RPR018 — direct spool-queue writes in repro.service bypass the gateway
+# ---------------------------------------------------------------------------
+
+DIRECT_QUEUE_WRITES = """
+    def sneak_in(self, record):
+        self.queue.submit(record.id, record.priority)
+
+    def sneak_elsewhere(queue, job_id):
+        queue.submit(job_id, 0)
+
+    def sneak_via_service(service, job_id):
+        service.spool_queue.submit(job_id, 0)
+"""
+
+
+def test_rpr018_flags_direct_queue_writes(tmp_path):
+    path = _write(tmp_path, "service/server.py", DIRECT_QUEUE_WRITES)
+    findings = [d for d in lint_file(path) if d.rule == "RPR018"]
+    assert len(findings) == 3
+    assert all("Gateway.submit" in d.message for d in findings)
+
+
+def test_rpr018_quiet_on_gateway_mediated_submission(tmp_path):
+    path = _write(
+        tmp_path,
+        "service/server.py",
+        """
+        def admit(self, payload, api_key=None):
+            return self.gateway.submit(payload, api_key=api_key)
+
+        def resubmit(client, spec):
+            return client.submit(spec)  # HTTP client, not the spool
+        """,
+    )
+    assert "RPR018" not in _rules_hit(path)
+
+
+def test_rpr018_exempts_the_queue_module_itself(tmp_path):
+    path = _write(tmp_path, "service/queue.py", DIRECT_QUEUE_WRITES)
+    assert "RPR018" not in _rules_hit(path)
+
+
+def test_rpr018_scoped_to_the_service_dir(tmp_path):
+    path = _write(tmp_path, "gateway/admission.py", DIRECT_QUEUE_WRITES)
+    assert "RPR018" not in _rules_hit(path)
+
+
+def test_rpr018_skips_test_files(tmp_path):
+    path = _write(tmp_path, "service/test_server.py", DIRECT_QUEUE_WRITES)
+    assert "RPR018" not in _rules_hit(path)
+
+
+def test_rpr018_waivable_with_reason(tmp_path):
+    path = _write(
+        tmp_path,
+        "service/recovery.py",
+        """
+        def requeue_orphan(queue, job_id):
+            queue.submit(job_id, 0)  # repro-lint: allow[RPR018] crash recovery replays a job the gateway already admitted
+        """,
+    )
+    assert "RPR018" not in _rules_hit(path)
+
+
+def test_rpr018_clean_on_the_real_service_package(tmp_path):
+    package = Path(__file__).resolve().parents[2] / "src" / "repro" / "service"
+    for module in sorted(package.glob("*.py")):
+        assert "RPR018" not in _rules_hit(module), module.name

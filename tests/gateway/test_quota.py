@@ -1,0 +1,85 @@
+"""Token-bucket rate limiting with an injected clock (no sleeps)."""
+
+import math
+
+import pytest
+
+from repro.gateway import QuotaExceeded, TokenBucket
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestTokenBucket:
+    def test_burst_defaults_to_rate_ceiling(self, clock):
+        bucket = TokenBucket(2.5, clock=clock)
+        assert bucket.take() == 0.0
+        assert bucket.take() == 0.0
+        assert bucket.take() == 0.0  # ceil(2.5) == 3 tokens up front
+        assert bucket.take() > 0.0
+
+    def test_refill_over_time(self, clock):
+        bucket = TokenBucket(1.0, burst=1.0, clock=clock)
+        assert bucket.take() == 0.0
+        assert bucket.take() > 0.0
+        clock.advance(1.0)
+        assert bucket.take() == 0.0
+
+    def test_wait_reports_time_to_affordability(self, clock):
+        bucket = TokenBucket(2.0, burst=1.0, clock=clock)
+        assert bucket.take() == 0.0
+        wait = bucket.take()
+        assert wait == pytest.approx(0.5)
+
+    def test_refusal_spends_nothing(self, clock):
+        bucket = TokenBucket(1.0, burst=1.0, clock=clock)
+        assert bucket.take() == 0.0
+        bucket.take()  # refused
+        bucket.take()  # refused again — must not dig the deficit deeper
+        clock.advance(1.0)
+        assert bucket.take() == 0.0
+
+    def test_rate_zero_is_unlimited(self, clock):
+        bucket = TokenBucket(0.0, clock=clock)
+        for _ in range(1000):
+            assert bucket.take() == 0.0
+        assert bucket.peek() == math.inf
+
+    def test_tokens_cap_at_burst(self, clock):
+        bucket = TokenBucket(1.0, burst=2.0, clock=clock)
+        clock.advance(100.0)  # long idle must not bank unlimited credit
+        assert bucket.take() == 0.0
+        assert bucket.take() == 0.0
+        assert bucket.take() > 0.0
+
+    def test_peek_does_not_spend(self, clock):
+        bucket = TokenBucket(1.0, burst=1.0, clock=clock)
+        assert bucket.peek() >= 1.0
+        assert bucket.peek() >= 1.0
+        assert bucket.take() == 0.0
+
+
+class TestQuotaExceeded:
+    def test_fields_and_floor(self):
+        exc = QuotaExceeded("acme", "rate", "slow down", retry_after=0.2)
+        assert exc.tenant == "acme"
+        assert exc.reason == "rate"
+        assert exc.retry_after == 1  # floored to at least one second
+        assert "slow down" in str(exc)
+
+    def test_retry_after_truncates(self):
+        exc = QuotaExceeded("acme", "rate", "m", retry_after=3.9)
+        assert exc.retry_after == 3

@@ -1,0 +1,148 @@
+"""Tenant directory: parsing, constant-time resolve, hot reload."""
+
+import json
+
+import pytest
+
+from repro.gateway import (
+    AuthError,
+    ForbiddenError,
+    PUBLIC_TENANT,
+    TenantDirectory,
+)
+from repro.gateway.tenants import EXAMPLE_CONFIG, _parse_config
+
+
+def _write(path, payload):
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+def _config(tmp_path, tenants):
+    return _write(tmp_path / "tenants.json", {"tenants": tenants})
+
+
+class TestParse:
+    def test_example_config_parses(self):
+        tenants = _parse_config(json.loads(EXAMPLE_CONFIG))
+        assert set(tenants) == {"acme", "guest"}
+        assert tenants["acme"].weight == 4
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],
+            {},
+            {"tenants": []},
+            {"tenants": {}},
+            {"tenants": {"ok name": {"api_key": "k"}}},
+            {"tenants": {"a": "not-an-object"}},
+            {"tenants": {"a": {"api_key": "k", "color": "red"}}},
+            {"tenants": {"a": {"api_key": ""}}},
+            {"tenants": {"a": {"api_key": "k", "weight": 0}}},
+            {"tenants": {"a": {"api_key": "k", "rate": -1}}},
+            {"tenants": {"a": {"api_key": "k"}, "b": {"api_key": "k"}}},
+        ],
+        ids=[
+            "not-dict",
+            "no-tenants",
+            "tenants-not-dict",
+            "empty",
+            "bad-name",
+            "spec-not-dict",
+            "unknown-field",
+            "empty-key",
+            "zero-weight",
+            "negative-quota",
+            "duplicate-key",
+        ],
+    )
+    def test_rejects_bad_config(self, payload):
+        with pytest.raises(ValueError):
+            _parse_config(payload)
+
+
+class TestResolve:
+    def test_open_mode_resolves_everything_to_public(self):
+        directory = TenantDirectory()
+        assert directory.open
+        assert directory.resolve(None) is PUBLIC_TENANT
+        assert directory.resolve("anything") is PUBLIC_TENANT
+
+    def test_missing_and_unknown_keys_raise_auth_error(self, tmp_path):
+        path = _config(tmp_path, {"acme": {"api_key": "s3cret"}})
+        directory = TenantDirectory(path)
+        assert not directory.open
+        with pytest.raises(AuthError):
+            directory.resolve(None)
+        with pytest.raises(AuthError):
+            directory.resolve("")
+        with pytest.raises(AuthError):
+            directory.resolve("wrong")
+
+    def test_valid_key_resolves(self, tmp_path):
+        path = _config(
+            tmp_path,
+            {"acme": {"api_key": "a-key"}, "beta": {"api_key": "b-key"}},
+        )
+        directory = TenantDirectory(path)
+        assert directory.resolve("b-key").name == "beta"
+
+    def test_disabled_tenant_is_forbidden(self, tmp_path):
+        path = _config(
+            tmp_path, {"acme": {"api_key": "k", "enabled": False}}
+        )
+        directory = TenantDirectory(path)
+        with pytest.raises(ForbiddenError):
+            directory.resolve("k")
+
+
+class TestReload:
+    def test_initial_load_fails_fast(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text("{ not json", encoding="utf-8")
+        with pytest.raises(ValueError):
+            TenantDirectory(path)
+
+    def test_reload_swaps_table(self, tmp_path):
+        path = _config(tmp_path, {"acme": {"api_key": "old"}})
+        directory = TenantDirectory(path)
+        _config(tmp_path, {"acme": {"api_key": "new"}})
+        assert directory.reload()
+        assert directory.reloads == 1
+        directory.resolve("new")
+        with pytest.raises(AuthError):
+            directory.resolve("old")
+
+    def test_bad_reload_keeps_previous_table(self, tmp_path):
+        path = _config(tmp_path, {"acme": {"api_key": "k"}})
+        directory = TenantDirectory(path)
+        path.write_text("{ broken", encoding="utf-8")
+        assert not directory.reload()
+        assert directory.reload_errors == 1
+        assert directory.resolve("k").name == "acme"
+
+    def test_reload_in_open_mode_is_a_noop(self):
+        directory = TenantDirectory()
+        assert not directory.reload()
+
+
+class TestIntrospection:
+    def test_snapshot_never_leaks_keys(self, tmp_path):
+        path = _config(
+            tmp_path, {"acme": {"api_key": "super-secret", "rate": 5}}
+        )
+        directory = TenantDirectory(path)
+        snap = directory.snapshot()
+        assert snap["acme"]["rate"] == 5
+        assert "super-secret" not in json.dumps(snap)
+
+    def test_names_and_get(self, tmp_path):
+        path = _config(
+            tmp_path,
+            {"b": {"api_key": "1"}, "a": {"api_key": "2"}},
+        )
+        directory = TenantDirectory(path)
+        assert directory.names() == ["a", "b"]
+        assert directory.get("a").api_key == "2"
+        assert directory.get("ghost") is None
