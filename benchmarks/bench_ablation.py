@@ -236,6 +236,53 @@ def test_ablation_index_tier(benchmark, results_dir):
     )
 
 
+def test_ablation_pruning(benchmark, results_dir):
+    """Ablate the exact pruning bounds: the same high-min_score search
+    with the PruneContext threaded vs disabled must accept identical
+    tops while evaluating strictly fewer cells."""
+    from repro.core.api import RepeatFinder
+    from repro.scoring import GapPenalties, match_mismatch
+    from repro.sequences.alphabet import DNA
+    from repro.sequences.workloads import RepeatSpec, implant_repeats
+
+    benchmark.group = "ablation"
+    seq = implant_repeats(
+        240, RepeatSpec(unit_length=80, copies=2, substitution_rate=0.05),
+        DNA, seed=7,
+    ).sequence
+    exchange = match_mismatch(DNA, 2.0, -1.0)
+    gaps = GapPenalties(2.0, 1.0)
+
+    def run_both():
+        def finder(prune):
+            return RepeatFinder(
+                top_alignments=K,
+                min_score=100.0,
+                exchange=exchange,
+                gaps=gaps,
+                prune=prune,
+            )
+
+        return finder(False).find(seq), finder(True).find(seq)
+
+    off, on = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    key = [(a.index, a.r, a.score, a.pairs) for a in off.top_alignments]
+    pruned_key = [(a.index, a.r, a.score, a.pairs) for a in on.top_alignments]
+    assert pruned_key == key
+    assert on.stats.pruned_cells > 0
+    assert on.stats.cells < off.stats.cells
+    save_table(
+        results_dir,
+        "ablation-pruning",
+        "Ablation — exact pruning bounds (DNA 240 bp, min_score=100)\n"
+        f"cells evaluated, pruning off:  {off.stats.cells}\n"
+        f"cells evaluated, pruning on:   {on.stats.cells}\n"
+        f"cells provably skipped:        {on.stats.pruned_cells} "
+        f"({on.stats.pruned_lanes} lanes)\n"
+        "both variants return identical accepted tops",
+    )
+
+
 @pytest.mark.parametrize("triangle", ["dense", "sparse"])
 def test_triangle_storage(benchmark, seq_mod, scoring_mod, triangle):
     """Dense vs sparse override triangle: same results, different

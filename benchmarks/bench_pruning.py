@@ -1,0 +1,141 @@
+"""Exact pruning — effective throughput with provable score bounds.
+
+``repro.align.pruning`` derives per-row/per-column score upper bounds
+from the query profile and threads them through the best-first drivers
+as a :class:`~repro.align.pruning.PruneGate`: lanes whose bound cannot
+beat the live acceptance threshold are skipped before any cell is
+filled, and in-fill bounds stop hopeless matrices early.  Because a
+pruned fill records its *bound* as a stale heap score — never a fresh
+alignment — accepted tops are byte-identical with pruning on or off.
+
+This bench runs the same high-``min_score`` DNA search both ways and
+reports *effective* cells/s (pruning-off cell count over each run's
+wall time, so skipped cells count as delivered work).
+
+Run under pytest (``pytest benchmarks/bench_pruning.py``) for the full
+table, or directly for the CI prune-gate artifact::
+
+    python benchmarks/bench_pruning.py --out BENCH_pruning.json
+"""
+
+import argparse
+import json
+
+from repro.bench import pruning_report, pruning_rows
+
+LENGTH = 300
+UNIT = 100
+COPIES = 2
+SUBSTITUTION_RATE = 0.03
+MIN_SCORE = 140.0
+K = 4
+SEED = 7
+
+
+def _row(report, prune):
+    for row in report["rows"]:
+        if row["prune"] is prune:
+            return row
+    raise KeyError(prune)
+
+
+def test_pruning_speedup(benchmark, results_dir):
+    """Pruning skips work without changing a single accepted top."""
+    # Imported lazily: the __main__ smoke entry must run without pytest.
+    from conftest import save_table
+
+    benchmark.group = "pruning"
+    report = benchmark.pedantic(
+        lambda: pruning_report(
+            LENGTH,
+            K,
+            unit_length=UNIT,
+            copies=COPIES,
+            substitution_rate=SUBSTITUTION_RATE,
+            min_score=MIN_SCORE,
+            seed=SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_table(results_dir, "pruning", pruning_rows(report=report).render())
+    # The correctness bar: pruning never changes what the search accepts.
+    assert report["identical_tops"]
+    on = _row(report, True)
+    off = _row(report, False)
+    # Pruning must actually fire, and everything it skips must be
+    # accounted for — evaluated + skipped covers at least the baseline.
+    assert on["pruned_cells"] > 0
+    assert on["pruned_lanes"] > 0
+    assert off["pruned_cells"] == 0
+    assert on["cells"] + on["pruned_cells"] >= off["cells"]
+    # The acceptance bar: >= 1.3x effective throughput (the committed
+    # BENCH_pruning.json artifact shows >= 1.5x on the CI runner class).
+    assert report["speedup"] >= 1.3
+
+
+def test_pruning_cheap_when_it_cannot_fire():
+    """At min_score=0 nothing can prune, and nothing is charged for it."""
+    report = pruning_report(
+        LENGTH,
+        K,
+        unit_length=UNIT,
+        copies=COPIES,
+        substitution_rate=SUBSTITUTION_RATE,
+        min_score=0.0,
+        seed=SEED,
+    )
+    assert report["identical_tops"]
+    on = _row(report, True)
+    # With a zero floor every row cutoff is negative, so gates opt out
+    # (row_cutoffs() returns None) and only live-threshold lane prunes
+    # remain; the runs must stay within noise of each other.
+    assert on["cells"] + on["pruned_cells"] >= _row(report, False)["cells"]
+    assert report["speedup"] > 0.5
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--length", type=int, default=LENGTH)
+    parser.add_argument("--unit-length", type=int, default=UNIT)
+    parser.add_argument("--copies", type=int, default=COPIES)
+    parser.add_argument(
+        "--substitution-rate", type=float, default=SUBSTITUTION_RATE
+    )
+    parser.add_argument("--min-score", type=float, default=MIN_SCORE)
+    parser.add_argument("-k", "--top-alignments", type=int, default=K)
+    parser.add_argument("--seed", type=int, default=SEED)
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the raw numbers as JSON (BENCH_pruning.json)")
+    parser.add_argument("--emit-metrics", default=None, metavar="PATH",
+                        help="enable repro.obs and dump the registry snapshot "
+                             "+ trace trees as JSON after the run")
+    args = parser.parse_args()
+    if args.emit_metrics:
+        from repro import obs
+
+        obs.enable()
+    report = pruning_report(
+        args.length,
+        args.top_alignments,
+        unit_length=args.unit_length,
+        copies=args.copies,
+        substitution_rate=args.substitution_rate,
+        min_score=args.min_score,
+        seed=args.seed,
+    )
+    print(pruning_rows(report=report).render())
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"wrote {args.out}")
+    if args.emit_metrics:
+        from repro import obs
+
+        obs.write_snapshot(args.emit_metrics)
+        print(f"wrote {args.emit_metrics}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

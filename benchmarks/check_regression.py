@@ -44,9 +44,46 @@ IGNORED_METRIC_PREFIXES = (
     "repro_cluster_",
     "repro_http_",
     "repro_index_",
+    "repro_prune_",
     "repro_service_",
     "repro_worker_",
 )
+
+#: Minimum effective-throughput speedup a fresh pruning report must show
+#: for the prune gate to pass (the acceptance criterion is 1.3x; the
+#: committed artifact shows ~1.9x).
+PRUNING_MIN_SPEEDUP = 1.3
+
+
+def check_pruning_report(report: dict, min_speedup: float) -> list[str]:
+    """Gate a ``BENCH_pruning.json``-shaped report; returns failures.
+
+    The prune gate is absolute, not baseline-relative: correctness
+    (byte-identical accepted tops, pruning actually firing) and the
+    acceptance-criterion speedup must hold on every run.
+    """
+    failures: list[str] = []
+    if not report.get("identical_tops", False):
+        failures.append(
+            "pruning: accepted tops differ between prune=on and prune=off "
+            "(exactness contract broken)"
+        )
+    rows = {row["prune"]: row for row in report.get("rows", [])}
+    on, off = rows.get(True), rows.get(False)
+    if on is None or off is None:
+        failures.append("pruning: report is missing the prune=on/off rows")
+        return failures
+    if on["pruned_cells"] <= 0:
+        failures.append("pruning: pruned_cells is 0 — no pruning fired")
+    if off["pruned_cells"] != 0:
+        failures.append("pruning: the prune=off run reported pruned cells")
+    speedup = report.get("speedup", 0.0)
+    if speedup < min_speedup:
+        failures.append(
+            f"pruning: speedup {speedup:.2f}x below required "
+            f"{min_speedup:.2f}x"
+        )
+    return failures
 
 
 def check_metrics_snapshot(snapshot: dict) -> tuple[dict, list[str]]:
@@ -172,6 +209,23 @@ def main(argv: list[str] | None = None) -> int:
         "operational families (repro_cluster_* etc.) ignored",
     )
     parser.add_argument(
+        "--pruning",
+        default=None,
+        metavar="PATH",
+        help="optional fresh BENCH_pruning.json; gated absolutely "
+        "(identical tops, pruned_cells > 0, speedup >= "
+        f"{PRUNING_MIN_SPEEDUP}x)",
+    )
+    parser.add_argument(
+        "--pruning-min-speedup",
+        type=float,
+        default=float(
+            os.environ.get("REPRO_PRUNE_MIN_SPEEDUP", PRUNING_MIN_SPEEDUP)
+        ),
+        help="required pruning speedup (default %(default)s, "
+        "env REPRO_PRUNE_MIN_SPEEDUP)",
+    )
+    parser.add_argument(
         "--tolerance",
         type=float,
         default=float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE)),
@@ -196,6 +250,18 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"metrics snapshot: {len(summary['gated'])} perf families gated, "
             f"{len(summary['ignored'])} operational families ignored"
+        )
+    if args.pruning:
+        with open(args.pruning, encoding="utf-8") as fh:
+            pruning = json.load(fh)
+        prune_failures = check_pruning_report(
+            pruning, args.pruning_min_speedup
+        )
+        failures.extend(prune_failures)
+        print(
+            f"prune gate: speedup {pruning.get('speedup', 0.0):.2f}x, "
+            f"identical tops: {pruning.get('identical_tops')}, "
+            f"{'FAIL' if prune_failures else 'ok'}"
         )
     table = markdown_table(deltas, failures, args.tolerance)
     print(table)

@@ -14,6 +14,7 @@ from .gotoh import GotohEngine, gotoh_matrix
 from .lanes import INT16_MAX, LanesEngine
 from .matrix import full_matrix, matrix_for_texts
 from .profile import ProfileView, QueryProfile
+from .pruning import PruneContext, PruneGate
 from .scalar import ScalarEngine
 from .striped import StripedEngine
 from .traceback import (
@@ -43,6 +44,8 @@ __all__ = [
     "StripedEngine",
     "QueryProfile",
     "ProfileView",
+    "PruneContext",
+    "PruneGate",
     "full_matrix",
     "matrix_for_texts",
     "iter_rows",

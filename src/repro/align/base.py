@@ -32,6 +32,7 @@ from ..scoring.exchange import ExchangeMatrix
 from ..scoring.gaps import GapPenalties
 from ..sequences.sequence import Sequence
 from .profile import ProfileView
+from .pruning import PruneGate
 
 __all__ = [
     "NEG_INF",
@@ -73,7 +74,11 @@ class AlignmentProblem:
     top alignments.  The optional ``profile`` is a precomputed
     substitution gather for ``seq2`` (see :mod:`repro.align.profile`);
     engines that honour it slice views instead of re-gathering
-    ``exchange.scores[:, seq2]`` on every call.
+    ``exchange.scores[:, seq2]`` on every call.  The optional ``prune``
+    gate (see :mod:`repro.align.pruning`) lets engines stop the fill
+    the moment its score upper bound sinks below the acceptance
+    threshold; engines that ignore it simply compute the full matrix
+    (pruning is an optimisation, never a correctness requirement).
     """
 
     seq1: np.ndarray
@@ -82,6 +87,7 @@ class AlignmentProblem:
     gaps: GapPenalties
     override: OverrideProvider | None = None
     profile: ProfileView | None = None
+    prune: PruneGate | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "seq1", np.ascontiguousarray(self.seq1, dtype=np.int8))

@@ -266,6 +266,20 @@ class LanesEngine(AlignmentEngine):
             codes1[: p.rows, lane] = p.seq1
         lane_idx = np.arange(group)
 
+        # Per-lane prune gates (repro.align.pruning): lanes whose score
+        # upper bound sinks below the floor stop being harvested, and
+        # the batch ends early once every lane is harvested or pruned.
+        gates = [p.prune for p in problems]
+        has_gates = any(g is not None for g in gates)
+        pending = {lane for lane in range(group) if results[lane] is None}
+        if has_gates:
+            # Padded columns carry stale scratch garbage (harmless for
+            # results, see class docstring) — mask them out so per-lane
+            # row maxima, and therefore bounds, stay exact.
+            col_valid = np.zeros((max_cols, group), dtype=bool)
+            for lane, p in enumerate(problems):
+                col_valid[: p.cols, lane] = True
+
         # Interleaved working rows, Figure 7 style: shape (cols, lanes),
         # C-contiguous, so one cell's lane values are adjacent.
         prev = scratch.prev[: max_cols + 1]
@@ -309,10 +323,29 @@ class LanesEngine(AlignmentEngine):
                 out = np.zeros(p.cols + 1, dtype=np.float64)
                 out[1:] = curr[1 : p.cols + 1, lane]
                 results[lane] = out
+                pending.discard(lane)
+
+            if has_gates and pending:
+                lane_best = np.where(col_valid, curr[1:], 0).max(axis=0)
+                for lane in tuple(pending):
+                    gate = gates[lane]
+                    if (
+                        gate is not None
+                        and y < problems[lane].rows
+                        and gate.check_row(y, float(lane_best[lane]))
+                    ):
+                        # Lane provably below the floor: never harvested;
+                        # the driver records gate.bound for its task.
+                        results[lane] = np.zeros(
+                            problems[lane].cols + 1, dtype=np.float64
+                        )
+                        pending.discard(lane)
+                if not pending:
+                    break  # all lanes harvested or pruned — skip the tail
 
             prev, curr = curr, prev
 
-        return [r for r in results]  # every lane harvested by construction
+        return [r for r in results]  # every lane harvested or pruned
 
 
 def _sse() -> LanesEngine:

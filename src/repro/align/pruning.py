@@ -1,0 +1,276 @@
+"""Exact in-kernel pruning bounds (ALAE-style).
+
+The best-first heap already exploits stale scores as *cross-task* upper
+bounds (§3); this module pushes the same discipline *into* the matrix
+fill.  From the :class:`~repro.align.profile.QueryProfile` two bound
+tables are derived once per sequence:
+
+* ``sufmax[a, j] = max_{x >= j} max(P[a, x], 0)`` — the most a row of
+  residue ``a`` can contribute to any alignment using columns ``>= j``
+  (each matrix row matches at most one column, and gap penalties only
+  subtract);
+* ``col_suffix[j] = sum_{x >= j} max_a max(P[a, x], 0)`` — the most the
+  columns ``>= j`` can contribute in total (each column matches at most
+  one row).
+
+From these, split ``r`` gets three provable upper bounds on its task
+score (first pass *and* realignment — the override triangle and the
+Appendix A shadow test only ever lower scores, so profile-level bounds
+dominate both):
+
+* **lane bound** (before any cell is filled):
+  ``B0 = min(sum of per-row gains, col_suffix[r], cap)`` where ``cap``
+  is the task's previous heap score — itself a valid upper bound;
+* **row bound** (after filling row ``y``):
+  ``best-so-far + rem[y]`` where ``rem[y]`` sums the per-row gains of
+  the unfilled rows ``y+1..r`` (induction over the recurrence: every
+  cell's predecessor lives in an earlier row, and predecessors are
+  debited non-negative gap penalties);
+* **column bound** (after filling all rows of columns ``< j``, the
+  striped engine's traversal): ``max filled cell + col_suffix[r + j]``
+  (every path into the unfilled columns crosses the filled region).
+
+**Soundness of the skip.**  A pruned alignment never produces a score —
+it records its upper bound ``B`` as the task's heap score and leaves
+the task *stale* (``aligned_with`` untouched, no bottom row cached), so
+acceptance — which requires a fresh alignment — can never fire on a
+bound.  Accepted tops therefore stay bit-identical by the same argument
+that covers stale heap scores.  Two prune levels with different
+thresholds keep the search loop-free:
+
+* the **lane** level prunes against the *live* acceptance threshold
+  (the next-best heap score): a deferred task re-enters the heap at
+  ``B0`` strictly below that score, so the next pop makes progress, and
+  when the task eventually tops the heap again the threshold has sunk
+  to ``<= B0`` and it aligns for real — at most one deferral per
+  (task, triangle version);
+* the **row/column** levels prune only against the static ``floor``
+  (the run's ``min_score``): such prunes are *terminal* (the task sinks
+  below the acceptance cut-off and the loop's exhaustion test retires
+  it), so a partially filled matrix is never refilled from scratch in a
+  defer/refill ping-pong.
+
+Saturating integer engines stay covered: clamping values at
+``INT16_MAX`` only lowers them, and the induction above holds verbatim
+for the clamped recurrence.
+
+The :class:`~repro.analysis.invariants.InvariantChecker` (under
+``REPRO_CHECK_INVARIANTS``) additionally recomputes a sampled subset of
+pruned fills exhaustively and asserts each recorded bound dominated the
+true score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .profile import QueryProfile
+
+__all__ = ["PruneContext", "PruneGate"]
+
+
+class PruneContext:
+    """Per-sequence bound tables plus the live acceptance threshold.
+
+    One context is built per :class:`~repro.core.topalign.TopAlignmentState`
+    (O(n_symbols · m)); the best-first drivers thread the live
+    ``threshold`` through it and hand per-split :class:`PruneGate`
+    objects to the engines via
+    :attr:`~repro.align.base.AlignmentProblem.prune`.
+
+    Parameters
+    ----------
+    profile:
+        The sequence's precomputed substitution gather.
+    floor:
+        The run's ``min_score`` — scores at or below it are never
+        reported, so bounds at or below it prune terminally.
+    """
+
+    __slots__ = ("profile", "floor", "threshold", "gain", "col_suffix", "sufmax")
+
+    def __init__(self, profile: QueryProfile, *, floor: float = 0.0) -> None:
+        self.profile = profile
+        m = len(profile)
+        # Positive part of the gather: a cell can contribute at most its
+        # substitution score, and never less than 0 (local alignments
+        # restart rather than go negative).
+        positive = np.maximum(profile.scores, 0.0)
+        #: Per-column best possible contribution, ``max_a max(P[a, x], 0)``.
+        self.gain = positive.max(axis=0)
+        col_suffix = np.zeros(m + 1, dtype=np.float64)
+        np.cumsum(self.gain[::-1], out=col_suffix[:m][::-1])
+        #: ``col_suffix[j] = sum_{x >= j} gain[x]`` (length m + 1).
+        self.col_suffix = col_suffix
+        sufmax = np.zeros((positive.shape[0], m + 1), dtype=np.float64)
+        np.maximum.accumulate(positive[:, ::-1], axis=1, out=sufmax[:, :m][:, ::-1])
+        #: ``sufmax[a, j] = max_{x >= j} max(P[a, x], 0)``.
+        self.sufmax = sufmax
+        self.floor = float(floor)
+        #: Live acceptance threshold — the best score any *other* task
+        #: could still realise (drivers keep it at
+        #: ``max(floor, next-best heap score)``).
+        self.threshold = float(floor)
+
+    def configure(self, min_score: float) -> None:
+        """Reset ``floor``/``threshold`` for a run with ``min_score``."""
+        self.floor = float(max(min_score, 0.0))
+        self.threshold = self.floor
+
+    def gate_for(self, r: int, *, cap: float = np.inf) -> "PruneGate":
+        """A fresh per-fill gate for split ``r`` (rows 1..r, cols r+1..m).
+
+        ``cap`` is the task's previous heap score — a valid upper bound
+        on the fresh score (stale scores are upper bounds; a seed bound
+        is one by construction; ``+inf`` for never-touched tasks).
+        """
+        return PruneGate(self, r, cap=cap)
+
+
+class PruneGate:
+    """One fill's pruning state: bound tables sliced to split ``r``.
+
+    Engines call :meth:`check_row` (row-major fills) or
+    :meth:`check_columns` (the striped engine) and stop filling the
+    moment a call returns ``True``; drivers call
+    :meth:`prune_before_fill` to skip whole lanes without touching the
+    engine.  After a prune, :attr:`bound` carries the provable upper
+    bound the driver records as the task's (stale) heap score, and
+    :attr:`cells_filled`/:attr:`pruned_cells` split the matrix area
+    into evaluated and skipped work for ``RunStats``.
+    """
+
+    __slots__ = (
+        "context", "r", "rows", "cols", "cap", "rem",
+        "best", "pruned", "bound", "cells_filled", "pruned_cells",
+    )
+
+    #: Tail fraction below which :meth:`row_cutoffs` reports "not worth
+    #: gating": when fewer than this fraction of rows could ever prune,
+    #: the per-row bookkeeping costs more than the skipped cells.
+    MIN_PRUNABLE_TAIL = 0.15
+
+    def __init__(self, context: PruneContext, r: int, *, cap: float = np.inf) -> None:
+        m = len(context.profile)
+        if not 1 <= r < m:
+            raise ValueError(f"split r={r} outside 1..{m - 1}")
+        self.context = context
+        self.r = r
+        self.rows = r
+        self.cols = m - r
+        self.cap = float(cap)
+        # Per-row gains for rows 1..r: row y holds residue codes[y-1]
+        # and may only match columns >= r of the profile.
+        codes = context.profile.codes[:r].astype(np.int64)
+        rowgain = context.sufmax[codes, r]
+        rem = np.zeros(r + 1, dtype=np.float64)
+        np.cumsum(rowgain[::-1], out=rem[:r][::-1])
+        #: ``rem[y] = sum of gains of the unfilled rows y+1..r``.
+        self.rem = rem
+        self.best = 0.0
+        self.pruned = False
+        self.bound = 0.0
+        self.cells_filled = 0
+        self.pruned_cells = 0
+
+    # -- bound arithmetic --------------------------------------------------
+
+    @property
+    def upfront_bound(self) -> float:
+        """``B0``: the tightest pre-fill upper bound on the task score."""
+        return min(float(self.rem[0]), float(self.context.col_suffix[self.r]), self.cap)
+
+    def _record_prune(self, bound: float, cells_filled: int) -> bool:
+        # The recorded bound must stay a non-negative upper bound that
+        # never exceeds the task's previous score (heap monotonicity).
+        self.bound = max(min(bound, self.cap), 0.0)
+        self.pruned = True
+        self.cells_filled = cells_filled
+        self.pruned_cells = self.rows * self.cols - cells_filled
+        return True
+
+    # -- driver-level (lane) prune -----------------------------------------
+
+    def prune_before_fill(self) -> bool:
+        """Skip the whole fill when its bound provably cannot win *now*.
+
+        ``B0 < threshold`` defers the task below the next-best heap
+        score (it realigns if it ever tops the heap again);
+        ``B0 <= floor`` retires it outright.  Either way the prune must
+        *strictly* lower the task's heap score — a prune that leaves
+        the score unchanged could repeat on every pop, so it falls
+        through to a real fill instead (progress guarantee).
+        """
+        b0 = self.upfront_bound
+        if b0 >= self.cap:
+            return False
+        if b0 <= self.context.floor or b0 < self.context.threshold:
+            return self._record_prune(b0, 0)
+        return False
+
+    # -- in-fill prunes (floor-only, therefore terminal) -------------------
+
+    def row_cutoffs(self) -> list[float] | None:
+        """Per-row prune cutoffs for tight fill loops, or ``None``.
+
+        ``cutoffs[y] = floor - rem[y]``: after filling row ``y`` the
+        fill may stop iff its running best cell value is ``<=
+        cutoffs[y]`` — the plain-float restatement of :meth:`check_row`
+        (``best + rem[y] <= floor``), so engines can keep the per-row
+        work to one reduction and one comparison.  ``cutoffs[rows]`` is
+        ``-inf`` (a completed fill is returned, never pruned).  Returns
+        ``None`` when no prefix of the fill can possibly prune (every
+        cutoff negative) or the prunable tail is too short to pay for
+        the bookkeeping (:data:`MIN_PRUNABLE_TAIL`); callers then run
+        ungated.
+        """
+        floor = self.context.floor
+        # rem is non-increasing, so the prunable tail starts at the
+        # first y with rem[y] <= floor (best >= 0 always).
+        first = int(np.searchsorted(-self.rem, -floor))
+        if self.rows - first < self.rows * self.MIN_PRUNABLE_TAIL:
+            return None
+        cutoffs = (floor - self.rem).tolist()
+        cutoffs[self.rows] = float("-inf")
+        return cutoffs
+
+    def record_row_prune(self, y: int, best: float) -> None:
+        """Record an in-fill prune decided via :meth:`row_cutoffs`."""
+        if best > self.best:
+            self.best = best
+        self._record_prune(max(best, 0.0) + float(self.rem[y]), y * self.cols)
+
+    def check_row(self, y: int, row_max: float) -> bool:
+        """After filling row ``y`` (best cell value ``row_max``): stop?
+
+        Returns ``True`` — and marks the gate pruned — when not even
+        the per-row gains of the unfilled rows can lift the running
+        best above the floor.  Terminal by construction (see module
+        docstring), so engines never refill a pruned matrix.
+        """
+        if row_max > self.best:
+            self.best = row_max
+        self.cells_filled = y * self.cols
+        if y >= self.rows:
+            return False  # fill complete; nothing left to prune
+        bound = max(self.best, 0.0) + float(self.rem[y])
+        if min(bound, self.cap) <= self.context.floor:
+            return self._record_prune(bound, y * self.cols)
+        return False
+
+    def check_columns(self, cols_done: int, filled_max: float) -> bool:
+        """After filling all rows of the first ``cols_done`` columns: stop?
+
+        The striped engine's column-major analogue of :meth:`check_row`:
+        every path ending in an unfilled column crosses the filled
+        region (moves only go right/down), so ``filled_max`` plus the
+        remaining columns' gains bounds every remaining bottom-row cell
+        — and the filled bottom-row cells are already below the floor
+        or the fill would not be prunable.
+        """
+        if cols_done >= self.cols:
+            return False
+        bound = max(filled_max, 0.0) + float(self.context.col_suffix[self.r + cols_done])
+        if min(bound, self.cap) <= self.context.floor:
+            return self._record_prune(bound, cols_done * self.rows)
+        return False

@@ -64,6 +64,11 @@ class StripedEngine(AlignmentEngine):
         override = problem.override
         sub = problem.substitution_rows()
         seq1 = problem.seq1
+        gate = problem.prune
+        # Best cell value seen anywhere in the filled stripes: every
+        # path into the unfilled columns crosses this region, so it
+        # anchors the column-suffix prune bound.
+        filled_max = 0.0
 
         # Cross-stripe carry state, indexed by row y = 0..rows:
         # left_diag[y]  = M[y][x0-1] of the stripe being entered;
@@ -114,12 +119,20 @@ class StripedEngine(AlignmentEngine):
 
                 new_left[y] = curr[width]
                 new_pref[y] = b[-1]
+                if gate is not None:
+                    stripe_best = float(curr[1:].max())
+                    if stripe_best > filled_max:
+                        filled_max = stripe_best
                 if y == rows:
                     out[x0 : x1 + 1] = curr[1:]
                 prev, curr = curr, prev
 
             left_diag = new_left
             carry_pref = new_pref
+            if gate is not None and gate.check_columns(x1, filled_max):
+                # The unfilled stripes provably cannot reach the floor;
+                # the driver records gate.bound instead of this row.
+                return np.zeros(cols + 1, dtype=np.float64)
 
         return out
 

@@ -93,9 +93,23 @@ class VectorEngine(AlignmentEngine):
     def last_row(self, problem: AlignmentProblem) -> np.ndarray:
         if problem.rows == 0 or problem.cols == 0:
             return np.zeros(problem.cols + 1, dtype=np.float64)
+        gate = problem.prune
+        cutoffs = gate.row_cutoffs() if gate is not None else None
         row = np.zeros(problem.cols + 1, dtype=np.float64)
-        for _, row in iter_rows(problem):
-            pass
+        if cutoffs is None:
+            for _, row in iter_rows(problem):
+                pass
+            return row.copy()
+        best = 0.0
+        for y, row in iter_rows(problem):
+            row_max = row.max()
+            if row_max > best:
+                best = float(row_max)
+            if best <= cutoffs[y]:
+                # Provably below the floor: the unfilled rows stay
+                # unfilled and the driver records gate.bound instead.
+                gate.record_row_prune(y, best)
+                return np.zeros(problem.cols + 1, dtype=np.float64)
         return row.copy()
 
 

@@ -235,6 +235,8 @@ class InvariantChecker:
 
     * :meth:`guard_task` — structural checks on every queue insert;
     * :meth:`after_align` — score monotonicity + shadow-row validity;
+    * :meth:`after_prune` — pruned-bound dominance (sampled exhaustive
+      refill of the skipped matrix);
     * :meth:`after_accept` — triangle monotonicity + non-overlap;
     * :meth:`verify_upper_bounds` — full-mode fresh-score sweep.
     """
@@ -247,6 +249,8 @@ class InvariantChecker:
         self.triangle_validator = TriangleMonotonicityValidator(state.triangle)
         #: Number of individual invariant checks executed (observability).
         self.checks = 0
+        #: Prune events seen, for the cheap-mode sampling stride.
+        self._prunes_seen = 0
 
     # -- queue guard (wired into TaskQueue) --------------------------------
 
@@ -302,6 +306,44 @@ class InvariantChecker:
         if task.r in self.state.bottom_rows:
             validate_shadow_rows(
                 self.state.bottom_rows, task.r, row, claimed_score=task.score
+            )
+
+    # -- prune hook --------------------------------------------------------
+
+    def after_prune(self, task: "Task", gate, *, prev_score: float) -> None:
+        """Validate one pruned fill (see :mod:`repro.align.pruning`).
+
+        The cheap check — a prune may only *lower* the task's heap
+        score — always runs.  The expensive check refills the skipped
+        matrix exhaustively (gate-free, under the same triangle view
+        the pruned fill would have used) and asserts the recorded
+        bound dominates the true score; it runs on every prune in
+        ``full`` mode and on a deterministic 1-in-7 sample otherwise.
+        """
+        self.checks += 1
+        self._prunes_seen += 1
+        if task.score > prev_score + _TOL:
+            raise InvariantViolation(
+                "prune-bound",
+                f"task r={task.r}: prune raised the score {prev_score} -> "
+                f"{task.score}; a recorded bound must never exceed the "
+                "previous upper bound",
+            )
+        if self.mode != "full" and self._prunes_seen % 7 != 1:
+            return
+        state = self.state
+        first = task.r not in state.bottom_rows
+        row = state.engine.last_row(state.problem_for(task.r, with_override=not first))
+        true_score = (
+            float(row.max()) if first else state.bottom_rows.score_of(task.r, row)
+        )
+        if task.score + _TOL < true_score:
+            raise InvariantViolation(
+                "prune-bound",
+                f"task r={task.r}: recorded prune bound {task.score} is "
+                f"below the true fill score {true_score} (triangle version "
+                f"{state.n_found}); prune bounds must dominate the scores "
+                "they skip",
             )
 
     # -- acceptance hook ---------------------------------------------------

@@ -89,6 +89,8 @@ RULE_DOC: dict[str, str] = {
     "RPR015": "message kind/tag sent without a receiver dispatch arm, or consumer reads an unproduced field",
     "RPR016": "invariant violation caught-and-dropped / unpicklable exception in a worker path",
     "RPR017": "repro.align import inside the repro.index layer (index routes before alignment)",
+    "RPR018": "direct spool-queue write in repro.service (bypasses gateway admission)",
+    "RPR019": "ad-hoc threshold early-exit in align/ (skips must consult a PruneGate bound)",
 }
 
 

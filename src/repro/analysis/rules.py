@@ -20,6 +20,7 @@ Rule ids
 ``RPR012`` raw socket / unbounded ``recv``/``accept`` outside ``cluster/transport``
 ``RPR017`` ``repro.align`` import inside the ``repro.index`` layer
 ``RPR018`` direct spool-queue write in ``repro.service`` (bypasses the gateway)
+``RPR019`` ad-hoc threshold early-exit in ``align/`` (bypasses the PruneGate)
 """
 
 from __future__ import annotations
@@ -910,6 +911,96 @@ def rule_direct_queue_write(tree: ast.Module, path: str) -> list[Diagnostic]:
     return findings
 
 
+# ---------------------------------------------------------------------------
+# RPR019 — prune discipline: early exits in align/ must consult the gate
+# ---------------------------------------------------------------------------
+
+#: Identifier fragments that mark a score-threshold comparison.
+_THRESHOLD_WORDS = ("threshold", "min_score", "cutoff", "floor")
+
+#: Identifier fragments that mark a PruneContext/PruneGate consultation.
+_GATE_WORDS = ("gate", "prune")
+
+#: Ordering operators — identity/equality tests are not threshold checks.
+_ORDERING_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def _identifier_fragments(node: ast.AST) -> Iterator[str]:
+    """Every Name id and Attribute attr under ``node``, lowercased."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id.lower()
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr.lower()
+
+
+def _mentions(node: ast.AST, words: tuple[str, ...]) -> bool:
+    return any(
+        word in fragment
+        for fragment in _identifier_fragments(node)
+        for word in words
+    )
+
+
+def rule_ad_hoc_prune_branch(tree: ast.Module, path: str) -> list[Diagnostic]:
+    """RPR019: threshold early-exits in ``align/`` outside the PruneGate.
+
+    Every skipped cell in an alignment kernel must be *provably*
+    irrelevant, and the proofs all live in one place —
+    :mod:`repro.align.pruning`'s bound tables, threaded into engines as
+    a ``PruneGate``.  An ad-hoc ``if score < min_score: return``
+    sprinkled into a kernel has no such proof: it silently changes
+    accepted tops, and the invariant checker cannot audit a bound that
+    was never recorded.  Early-terminate branches that compare against
+    threshold-like values (``threshold``/``min_score``/``cutoff``/
+    ``floor``) must therefore consult the gate — reference a
+    ``gate``/``prune`` name in the condition or the branch body — so
+    the skip is recorded and verifiable.  A deliberate exception
+    carries a waiver: ``# repro-lint: allow[RPR019] reason``.
+    """
+    if not _in_dir(path, "align") or _is_test_file(path):
+        return []
+    if Path(path).name == "pruning.py":
+        return []  # the gate implementation is the one allowed home
+    findings: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.If):
+            continue
+        exits = any(
+            isinstance(sub, (ast.Break, ast.Continue, ast.Return))
+            for stmt in node.body
+            for sub in ast.walk(stmt)
+        )
+        if not exits:
+            continue
+        threshold_compare = any(
+            isinstance(sub, ast.Compare)
+            and any(isinstance(op, _ORDERING_OPS) for op in sub.ops)
+            and _mentions(sub, _THRESHOLD_WORDS)
+            for sub in ast.walk(node.test)
+        )
+        if not threshold_compare:
+            continue
+        if _mentions(node.test, _GATE_WORDS) or any(
+            _mentions(stmt, _GATE_WORDS) for stmt in node.body
+        ):
+            continue
+        findings.append(
+            Diagnostic(
+                rule="RPR019",
+                path=path,
+                line=node.lineno,
+                message="early-terminate branch compares against a "
+                "threshold without consulting a PruneContext bound; "
+                "route the skip through a PruneGate "
+                "(check_row/check_columns/row_cutoffs) so it is recorded "
+                "and provable, or waive with "
+                "`# repro-lint: allow[RPR019] reason`",
+            )
+        )
+    return findings
+
+
 #: Per-file rules, in reporting order.  Lock discipline (RPR003) and
 #: export consistency (RPR005) are registered by the linter driver.
 FILE_RULES: tuple[tuple[str, Rule], ...] = (
@@ -924,6 +1015,7 @@ FILE_RULES: tuple[tuple[str, Rule], ...] = (
     ("RPR012", rule_socket_discipline),
     ("RPR017", rule_index_layer_imports),
     ("RPR018", rule_direct_queue_write),
+    ("RPR019", rule_ad_hoc_prune_branch),
 )
 
 

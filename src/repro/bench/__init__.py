@@ -9,6 +9,8 @@ from .harness import (
     figure8_series,
     index_report,
     index_rows,
+    pruning_report,
+    pruning_rows,
     realignment_rows,
     table1_rows,
     table2_rows,
@@ -26,4 +28,6 @@ __all__ = [
     "batched_rows",
     "index_report",
     "index_rows",
+    "pruning_report",
+    "pruning_rows",
 ]

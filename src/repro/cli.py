@@ -79,6 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     find.add_argument("--min-score", type=float, default=0.0)
     find.add_argument(
+        "--prune",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="exact in-fill pruning bounds (bit-identical results; "
+        "--no-prune computes every matrix in full)",
+    )
+    find.add_argument(
         "--index",
         action=argparse.BooleanOptionalAction,
         default=False,
@@ -109,7 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="regenerate a paper artifact")
     bench.add_argument(
         "artifact",
-        choices=["table1", "table2", "figure8", "realign", "batched", "index"],
+        choices=["table1", "table2", "figure8", "realign", "batched", "index", "pruning"],
     )
     bench.add_argument("--length", type=int, default=None)
     bench.add_argument("-k", "--top-alignments", type=int, default=None)
@@ -117,7 +124,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         default=None,
         metavar="PATH",
-        help="also write the artifact's raw numbers as JSON (batched/index only)",
+        help="also write the artifact's raw numbers as JSON "
+        "(batched/index/pruning only)",
     )
     bench.add_argument(
         "--emit-metrics",
@@ -139,6 +147,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="speculative batch width G (1 = sequential best-first)",
+    )
+    scan.add_argument(
+        "--prune",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="exact in-fill pruning bounds (bit-identical results; "
+        "--no-prune computes every matrix in full)",
     )
     scan.add_argument("--limit", type=int, default=0, help="print only the top N")
     scan.add_argument(
@@ -442,6 +457,7 @@ def _cmd_find(args: argparse.Namespace) -> int:
             algorithm=args.algorithm,
             group=args.group,
             min_score=args.min_score,
+            prune=args.prune,
             max_gap=args.max_gap,
             seed_bounds=seed_bounds,
         )
@@ -510,6 +526,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         figure8_series,
         index_report,
         index_rows,
+        pruning_report,
+        pruning_rows,
         realignment_rows,
         table1_rows,
         table2_rows,
@@ -542,6 +560,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             kwargs["k"] = args.top_alignments
         report = index_report(**kwargs)
         print(index_rows(report=report).render())
+        if args.json:
+            import json
+
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=2)
+            print(f"wrote {args.json}")
+    elif args.artifact == "pruning":
+        kwargs = {}
+        if args.length:
+            kwargs["length"] = args.length
+        if args.top_alignments:
+            kwargs["k"] = args.top_alignments
+        report = pruning_report(**kwargs)
+        print(pruning_rows(report=report).render())
         if args.json:
             import json
 
@@ -603,6 +635,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         min_length=args.min_length,
         engine=args.engine,
         group=args.group,
+        prune=args.prune,
         index=index_config,
         index_store=index_store,
     )

@@ -62,6 +62,11 @@ class RepeatFinder:
         identical either way.
     min_score:
         Alignments scoring at or below this are not reported.
+    prune:
+        Enable the exact in-fill pruning bounds (default ``True``; see
+        :mod:`repro.align.pruning`).  Reported repeats are identical
+        either way — pruning only skips provably-losing fill work.
+        Ignored by the old O(n⁴) algorithm.
     min_copy_length, max_gap, min_score_fraction:
         Delineation knobs (see
         :func:`repro.core.delineate.delineate_repeats`).
@@ -74,6 +79,7 @@ class RepeatFinder:
     algorithm: str = "new"
     group: int = 1
     min_score: float = 0.0
+    prune: bool = True
     min_copy_length: int = 2
     max_gap: int = 0
     min_score_fraction: float = 0.25
@@ -154,6 +160,7 @@ class RepeatFinder:
                 min_score=self.min_score,
                 group=self.group,
                 seed_bounds=seed_bounds,
+                prune=self.prune,
             )
         else:
             alignments, stats = old_find_top_alignments(
@@ -178,6 +185,7 @@ def find_repeats(
     algorithm: str = "new",
     group: int = 1,
     min_score: float = 0.0,
+    prune: bool = True,
     min_copy_length: int = 2,
     max_gap: int = 0,
     min_score_fraction: float = 0.25,
@@ -192,6 +200,7 @@ def find_repeats(
         algorithm=algorithm,
         group=group,
         min_score=min_score,
+        prune=prune,
         min_copy_length=min_copy_length,
         max_gap=max_gap,
         min_score_fraction=min_score_fraction,

@@ -126,6 +126,9 @@ class BatchedTopAlignmentRunner:
         queue = TaskQueue(guard=checker.guard_task if checker is not None else None)
         for task in state.make_tasks():
             queue.insert(task)
+        prune_ctx = state.prune_context
+        if prune_ctx is not None:
+            prune_ctx.configure(self.min_score)
         registry = get_registry()
         if registry.collecting:
             heap_gauge = registry.gauge(
@@ -171,13 +174,31 @@ class BatchedTopAlignmentRunner:
                     continue
 
                 batch, blocked = self._gather_batch(head, queue)
-                for task in batch[1:]:
-                    if task.r in state.bottom_rows:
-                        self.speculative_lanes += 1
-                        pending.add(task.r)
+                # Non-head lanes with a cached first pass are speculative
+                # realignment *candidates*; they only count (below) if the
+                # batch actually realigned them — a lane the prune bounds
+                # skip performs no work that could be wasted.
+                speculative = [t for t in batch[1:] if t.r in state.bottom_rows]
                 if batch_histogram is not None:
                     batch_histogram.observe(len(batch))
+                if prune_ctx is not None:
+                    # Live acceptance threshold for every lane in the
+                    # batch: the best score *outside* it — what a lane
+                    # must beat to top the heap after reinsertion.
+                    if blocked is not None:
+                        outside = blocked.score
+                    elif queue:
+                        outside = queue.peek_score()
+                    else:
+                        outside = prune_ctx.floor
+                    prune_ctx.threshold = max(prune_ctx.floor, outside)
                 state.align_tasks_batch(batch)
+                for task in speculative:
+                    # A fresh version stamp means the lane really realigned
+                    # (pruned lanes stay stale at their old version).
+                    if task.aligned_with == state.n_found:
+                        self.speculative_lanes += 1
+                        pending.add(task.r)
                 for task in batch:
                     queue.insert(task)
                 if blocked is not None:

@@ -111,6 +111,14 @@ _STAT_MIRRORS: dict[str, tuple[str, str]] = {
         "repro_engine_seconds_total",
         "Monotonic seconds spent inside engine calls",
     ),
+    "pruned_cells": (
+        "repro_prune_cells_total",
+        "Matrix cells skipped because a prune bound proved them unnecessary",
+    ),
+    "pruned_lanes": (
+        "repro_prune_lanes_total",
+        "Fills cut short (or skipped outright) by the exact pruning bounds",
+    ),
 }
 
 
@@ -166,6 +174,8 @@ class RunStats:
         "tracebacks",
         "engine_seconds",
         "speculative_waste",
+        "pruned_cells",
+        "pruned_lanes",
     )
 
     def __init__(
@@ -179,6 +189,8 @@ class RunStats:
         engine: str = "",
         group: int = 1,
         speculative_waste: int = 0,
+        pruned_cells: int = 0,
+        pruned_lanes: int = 0,
     ) -> None:
         self._values: dict[str, Any] = {
             "alignments": alignments,
@@ -187,6 +199,8 @@ class RunStats:
             "tracebacks": tracebacks,
             "engine_seconds": engine_seconds,
             "speculative_waste": speculative_waste,
+            "pruned_cells": pruned_cells,
+            "pruned_lanes": pruned_lanes,
         }
         #: Realignments performed between consecutive acceptances,
         #: indexed by the top-alignment number being searched for.
@@ -230,6 +244,12 @@ class RunStats:
     #: Speculative lane realignments invalidated by an acceptance before
     #: their fresh score was ever consumed (§5.1-style waste).
     speculative_waste = _stat_property("speculative_waste")
+    #: Matrix cells never evaluated because a prune bound proved the
+    #: fill could not beat the acceptance threshold (align.pruning).
+    pruned_cells = _stat_property("pruned_cells")
+    #: Fills cut short by a bound — skipped outright (lane-level) or
+    #: terminated mid-fill (row/column-level).
+    pruned_lanes = _stat_property("pruned_lanes")
 
     # -- serialisation support (checkpoints, multiprocessing) -------------
 
@@ -242,7 +262,8 @@ class RunStats:
         }
 
     def __setstate__(self, state: dict[str, Any]) -> None:
-        self._values = {name: state[name] for name in self._COUNTER_FIELDS}
+        # .get(): checkpoints written before a counter existed load as 0.
+        self._values = {name: state.get(name, 0) for name in self._COUNTER_FIELDS}
         self.realignments_per_top = state["realignments_per_top"]
         self.engine = state["engine"]
         self.group = state["group"]

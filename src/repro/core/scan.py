@@ -103,10 +103,11 @@ class DatabaseScanner:
     min_length:
         Sequences shorter than this are skipped (a split needs at least
         two residues; realistic repeats need far more).
-    engine / group:
+    engine / group / prune:
         Optional overrides applied to ``finder`` — convenience knobs so
-        callers (the CLI ``scan`` command) can pick the lane engine and
-        the speculative batch width without building a finder by hand.
+        callers (the CLI ``scan`` command) can pick the lane engine,
+        the speculative batch width and the exact-pruning toggle
+        without building a finder by hand.
     index:
         Optional :class:`repro.index.IndexConfig`.  When set, every
         record is profiled by the k-mer tier first: *skip*-class
@@ -128,6 +129,7 @@ class DatabaseScanner:
     min_length: int = 10
     engine: str | None = None
     group: int | None = None
+    prune: bool | None = None
     index: "IndexConfig | None" = None
     index_store: "IndexStore | None" = None
 
@@ -137,6 +139,8 @@ class DatabaseScanner:
             overrides["engine"] = self.engine
         if self.group is not None:
             overrides["group"] = self.group
+        if self.prune is not None:
+            overrides["prune"] = self.prune
         if overrides:
             self.finder = dataclasses.replace(self.finder, **overrides)
         #: Per-scan index-tier statistics (populated by indexed scans).

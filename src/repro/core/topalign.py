@@ -29,6 +29,7 @@ import numpy as np
 from ..align.base import AlignmentProblem, get_engine
 from ..align.matrix import full_matrix
 from ..align.profile import QueryProfile
+from ..align.pruning import PruneContext, PruneGate
 from ..align.traceback import traceback
 from ..obs import get_registry
 from ..obs import span as obs_span
@@ -74,6 +75,11 @@ class TopAlignmentState:
         because acceptance always compares freshly-aligned scores.
         Bounds **must** dominate the true first-pass scores; the
         invariant checker verifies this on every alignment.
+    prune:
+        Enable the exact in-fill pruning bounds (default ``True``; see
+        :mod:`repro.align.pruning`).  Accepted tops are bit-identical
+        either way — pruned fills only ever record provable upper
+        bounds as *stale* heap scores, never fresh alignments.
     """
 
     def __init__(
@@ -87,6 +93,7 @@ class TopAlignmentState:
         memory: str = "full",
         linear_capacity: int = 32,
         seed_bounds: np.ndarray | None = None,
+        prune: bool = True,
     ) -> None:
         if len(sequence) < 2:
             raise ValueError("sequence must have at least 2 residues")
@@ -105,6 +112,9 @@ class TopAlignmentState:
         # computed once here so every problem's seq2 block is a zero-copy
         # suffix view (the SSW-style precomputation; see align.profile).
         self.profile = QueryProfile(self.codes, exchange)
+        # Exact-pruning bound tables (align.pruning); None disables all
+        # pruning and every fill runs to completion.
+        self.prune_context = PruneContext(self.profile) if prune else None
         if triangle == "dense":
             self.triangle: OverrideTriangle = DenseOverrideTriangle(self.m)
         elif triangle == "sparse":
@@ -157,7 +167,13 @@ class TopAlignmentState:
         """Number of accepted top alignments (== triangle version)."""
         return len(self.found)
 
-    def problem_for(self, r: int, *, with_override: bool = True) -> AlignmentProblem:
+    def problem_for(
+        self,
+        r: int,
+        *,
+        with_override: bool = True,
+        prune: PruneGate | None = None,
+    ) -> AlignmentProblem:
         """The alignment problem of split ``r`` under the current triangle."""
         override = self.triangle.view_for_split(r) if with_override else None
         return AlignmentProblem(
@@ -167,6 +183,7 @@ class TopAlignmentState:
             self.gaps,
             override,
             profile=self.profile.suffix(r),
+            prune=prune,
         )
 
     # -- Figure 5 operations ----------------------------------------------
@@ -205,8 +222,44 @@ class TopAlignmentState:
         stay bit-identical to an unseeded run.
         """
         first = task.r not in self.bottom_rows
-        row = self._engine_row(self.problem_for(task.r, with_override=not first))
+        gate = self._gate_for(task)
+        if gate is not None and gate.prune_before_fill():
+            return self._record_pruned(task, gate)
+        row = self._engine_row(
+            self.problem_for(task.r, with_override=not first, prune=gate)
+        )
+        if gate is not None and gate.pruned:
+            return self._record_pruned(task, gate)
         return self._record_row(task, row)
+
+    def _gate_for(self, task: Task) -> PruneGate | None:
+        """A per-fill prune gate for ``task``, or ``None`` (pruning off).
+
+        Tasks at or below the floor get no gate: they are about to be
+        retired by the drivers' exhaustion test, and an unprunable full
+        fill is the only transition guaranteed to make progress on them
+        (a prune could leave their score unchanged).
+        """
+        ctx = self.prune_context
+        if ctx is None or task.score <= ctx.floor:
+            return None
+        return ctx.gate_for(task.r, cap=task.score)
+
+    def _record_pruned(self, task: Task, gate: PruneGate) -> float:
+        """Record a pruned fill: the bound becomes the stale heap score.
+
+        ``aligned_with`` is untouched and no bottom row is cached, so
+        acceptance — which requires a fresh alignment — can never fire
+        on a bound; accepted tops stay bit-identical (see
+        :mod:`repro.align.pruning`).
+        """
+        prev_score = task.score
+        task.score = min(gate.bound, prev_score)
+        self.stats.pruned_lanes += 1
+        self.stats.pruned_cells += gate.pruned_cells
+        if self.invariants is not None:
+            self.invariants.after_prune(task, gate, prev_score=prev_score)
+        return task.score
 
     def _record_row(self, task: Task, row: np.ndarray) -> float:
         """Put-or-shadow-score bookkeeping shared by both alignment paths.
@@ -288,7 +341,12 @@ class TopAlignmentState:
         row = self.engine.last_row(problem)
         self.stats.engine_seconds += time.perf_counter() - start
         self.stats.alignments += 1
-        self.stats.cells += problem.cells
+        gate = problem.prune
+        if gate is not None and gate.pruned:
+            # The fill stopped early; only the evaluated rows count.
+            self.stats.cells += gate.cells_filled
+        else:
+            self.stats.cells += problem.cells
         return row
 
     def align_tasks_batch(self, tasks: list[Task]) -> list[float]:
@@ -298,16 +356,33 @@ class TopAlignmentState:
         engines with a true batched implementation (the lane engine)
         compute them in lockstep.
         """
-        problems = [
-            self.problem_for(t.r, with_override=t.r in self.bottom_rows)
-            for t in tasks
-        ]
-        start = time.perf_counter()
-        rows = self.engine.last_rows_batch(problems)
-        self.stats.engine_seconds += time.perf_counter() - start
-        self.stats.alignments += len(tasks)
-        self.stats.cells += sum(p.cells for p in problems)
-        return [self._record_row(task, row) for task, row in zip(tasks, rows)]
+        scores = [0.0] * len(tasks)
+        fill: list[tuple[int, Task, AlignmentProblem]] = []
+        for i, task in enumerate(tasks):
+            gate = self._gate_for(task)
+            if gate is not None and gate.prune_before_fill():
+                # Lane-level prune: the split never reaches the engine.
+                scores[i] = self._record_pruned(task, gate)
+                continue
+            problem = self.problem_for(
+                task.r, with_override=task.r in self.bottom_rows, prune=gate
+            )
+            fill.append((i, task, problem))
+        if fill:
+            problems = [problem for _, _, problem in fill]
+            start = time.perf_counter()
+            rows = self.engine.last_rows_batch(problems)
+            self.stats.engine_seconds += time.perf_counter() - start
+            self.stats.alignments += len(problems)
+            for (i, task, problem), row in zip(fill, rows):
+                gate = problem.prune
+                if gate is not None and gate.pruned:
+                    self.stats.cells += gate.cells_filled
+                    scores[i] = self._record_pruned(task, gate)
+                else:
+                    self.stats.cells += problem.cells
+                    scores[i] = self._record_row(task, row)
+        return scores
 
 
 def find_top_alignments(
@@ -322,6 +397,7 @@ def find_top_alignments(
     group: int = 1,
     state: TopAlignmentState | None = None,
     seed_bounds: np.ndarray | None = None,
+    prune: bool = True,
 ) -> tuple[list[TopAlignment], RunStats]:
     """Compute up to ``k`` nonoverlapping top alignments (Figure 5).
 
@@ -340,7 +416,10 @@ def find_top_alignments(
     inspect internals afterwards; otherwise one is created.
     ``seed_bounds`` (ignored when ``state`` is passed) seeds the heap
     with finite per-split upper bounds — see
-    :class:`TopAlignmentState`.
+    :class:`TopAlignmentState`.  ``prune`` (also ignored when ``state``
+    is passed, which carries its own context) toggles the exact in-fill
+    pruning bounds of :mod:`repro.align.pruning`; accepted tops are
+    bit-identical either way.
     """
     if k < 1:
         raise ValueError("k must be >= 1")
@@ -354,6 +433,7 @@ def find_top_alignments(
             engine=engine,
             triangle=triangle,
             seed_bounds=seed_bounds,
+            prune=prune,
         )
     if group > 1:
         from .batched import BatchedTopAlignmentRunner
@@ -364,6 +444,9 @@ def find_top_alignments(
     queue = TaskQueue(guard=checker.guard_task if checker is not None else None)
     for task in state.make_tasks():
         queue.insert(task)
+    prune_ctx = state.prune_context
+    if prune_ctx is not None:
+        prune_ctx.configure(min_score)
     registry = get_registry()
     heap_gauge = (
         registry.gauge(
@@ -391,6 +474,13 @@ def find_top_alignments(
                     # score under the just-grown triangle.
                     checker.verify_upper_bounds(queue.tasks())
             else:
+                if prune_ctx is not None:
+                    # Live acceptance threshold: the next-best heap score
+                    # is what this fill must beat to stay at the head.
+                    prune_ctx.threshold = max(
+                        prune_ctx.floor,
+                        queue.peek_score() if queue else prune_ctx.floor,
+                    )
                 state.align_task(task)
             queue.insert(task)
 

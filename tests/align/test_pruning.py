@@ -1,0 +1,283 @@
+"""Tests for the exact in-fill pruning bounds (:mod:`repro.align.pruning`).
+
+The contract under test is absolute: pruning may only skip work it can
+*prove* is irrelevant, so accepted top alignments must be byte-identical
+with pruning on or off — across engines, group widths, saturating
+integer modes, wildcard-bearing sequences and the linear-memory store —
+and every bound the gate ever computes must dominate the exhaustively
+computed true score of the fill it skipped.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.align import INT16_MAX, PruneContext, PruneGate
+from repro.align.vector import iter_rows
+from repro.core import TopAlignmentState, find_top_alignments
+from repro.scoring import GapPenalties, match_mismatch
+from repro.sequences import DNA, RepeatSpec, Sequence, implant_repeats, pseudo_titin
+
+
+def _key(tops):
+    return [(a.r, a.score, a.pairs) for a in tops]
+
+
+@pytest.fixture(scope="module")
+def repeat_dna():
+    """DNA with one strong implanted repeat — the pruning-friendly regime."""
+    return implant_repeats(
+        200,
+        RepeatSpec(unit_length=60, copies=2, substitution_rate=0.05),
+        DNA,
+        seed=3,
+    ).sequence
+
+
+class TestByteEquality:
+    """Pruning must change the work done, never the answer."""
+
+    @pytest.mark.parametrize("engine", ["vector", "striped", "lanes", "scalar"])
+    @pytest.mark.parametrize("group", [1, 4])
+    @pytest.mark.parametrize("min_score", [0.0, 60.0])
+    def test_tops_identical_on_vs_off(
+        self, repeat_dna, dna_scoring, engine, group, min_score
+    ):
+        exchange, gaps = dna_scoring
+        off, _ = find_top_alignments(
+            repeat_dna, 5, exchange, gaps,
+            engine=engine, group=group, min_score=min_score, prune=False,
+        )
+        on, stats = find_top_alignments(
+            repeat_dna, 5, exchange, gaps,
+            engine=engine, group=group, min_score=min_score, prune=True,
+        )
+        assert _key(on) == _key(off)
+        # Skipped + evaluated work must never lose cells relative to the
+        # exhaustive run (a pruned lane accounts for its whole matrix).
+        assert stats.pruned_cells >= 0
+        assert stats.pruned_lanes >= 0
+
+    def test_pruning_actually_fires(self, repeat_dna, dna_scoring):
+        exchange, gaps = dna_scoring
+        _, stats = find_top_alignments(
+            repeat_dna, 5, exchange, gaps, min_score=60.0, prune=True
+        )
+        assert stats.pruned_lanes > 0
+        assert stats.pruned_cells > 0
+        # The counters are mirrored into the repro_prune_* metric family.
+        from repro.core.result import _STAT_MIRRORS
+
+        assert _STAT_MIRRORS["pruned_cells"][0] == "repro_prune_cells_total"
+        assert _STAT_MIRRORS["pruned_lanes"][0] == "repro_prune_lanes_total"
+
+    def test_prune_off_runs_clean(self, repeat_dna, dna_scoring):
+        exchange, gaps = dna_scoring
+        _, stats = find_top_alignments(
+            repeat_dna, 5, exchange, gaps, min_score=60.0, prune=False
+        )
+        assert stats.pruned_lanes == 0
+        assert stats.pruned_cells == 0
+
+
+class TestSaturation:
+    """Bounds stay sound as scores approach and hit INT16_MAX."""
+
+    def test_tops_identical_near_int16_max(self):
+        # +270 per match on a pure tandem pushes accepted scores to
+        # within ~10 % of the signed-short ceiling without crossing it
+        # (the accept path's exact recompute forbids clamped tops), so
+        # this drives the int16 lanes engine through the whole search
+        # at the top of its representable range.
+        seq = Sequence("ATGC" * 60, DNA, id="tandem")
+        exchange = match_mismatch(DNA, 270.0, -1.0)
+        gaps = GapPenalties(2.0, 1.0)
+        off, off_stats = find_top_alignments(
+            seq, 4, exchange, gaps,
+            engine="lanes-sse", min_score=500.0, prune=False,
+        )
+        on, on_stats = find_top_alignments(
+            seq, 4, exchange, gaps,
+            engine="lanes-sse", min_score=500.0, prune=True,
+        )
+        assert _key(on) == _key(off)
+        assert off and INT16_MAX * 0.8 < off[0].score < INT16_MAX
+        assert on_stats.cells <= off_stats.cells
+
+    def test_bounds_dominate_saturated_scores(self):
+        # Genuine saturation: +30000 per match clamps every deep cell
+        # at INT16_MAX.  Clamping only lowers values, so the float
+        # bound tables (computed from the unsaturated profile) must
+        # still dominate the saturated fill — a gate with the floor
+        # above the clamp prunes, and its bound covers the true row.
+        from repro.align import LanesEngine
+
+        exchange = match_mismatch(DNA, 30000.0, -1.0, wildcard_score=None)
+        gaps = GapPenalties(2.0, 1.0)
+        seq = Sequence("AAAAAAAA", DNA, id="sat")
+        state = TopAlignmentState(seq, exchange, gaps, engine="lanes-sse")
+        r = 4
+        truth = LanesEngine(dtype="int16").last_row(
+            state.problem_for(r, with_override=False)
+        )
+        assert truth.max() == INT16_MAX  # clamp engaged
+        ctx = state.prune_context
+        ctx.configure(INT16_MAX + 1.0)
+        gate = ctx.gate_for(r)
+        assert gate.upfront_bound >= truth.max()
+        row = state.engine.last_row(
+            state.problem_for(r, with_override=False, prune=gate)
+        )
+        if gate.pruned:
+            assert gate.bound >= truth.max()
+        else:
+            assert np.array_equal(row, truth)
+
+
+class TestWildcards:
+    """Wildcard columns (all entries <= 0) contribute zero gain, not noise."""
+
+    def test_wildcard_columns_have_zero_gain(self, dna_scoring):
+        exchange, gaps = dna_scoring  # wildcard pairings score 0.0
+        seq = Sequence("ATGCATGC" + "N" * 24 + "ATGCATGC" * 3, DNA, id="wc")
+        state = TopAlignmentState(seq, exchange, gaps)
+        ctx = state.prune_context
+        wc = DNA.wildcard_code
+        wildcard_cols = seq.codes == wc
+        assert wildcard_cols.any()
+        # max(P[a, x], 0) is 0 everywhere in a wildcard column, so the
+        # per-column gain — and hence its term in every bound — is 0.
+        assert np.all(ctx.gain[wildcard_cols] == 0.0)
+        # col_suffix is flat across the wildcard run (no gain accrues).
+        run = np.flatnonzero(wildcard_cols)
+        assert ctx.col_suffix[run[0]] == ctx.col_suffix[run[0] + 1] + 0.0
+
+    def test_tops_identical_with_wildcards(self, dna_scoring):
+        exchange, gaps = dna_scoring
+        seq = Sequence("ATGCATGC" + "N" * 24 + "ATGCATGC" * 3, DNA, id="wc")
+        off, _ = find_top_alignments(seq, 4, exchange, gaps, prune=False)
+        on, _ = find_top_alignments(seq, 4, exchange, gaps, prune=True)
+        assert _key(on) == _key(off)
+
+
+class TestLinearMemory:
+    """Pruned tasks cache no bottom row; the linear store must cope."""
+
+    def test_linear_space_recompute_of_pruned_search(self, repeat_dna, dna_scoring):
+        exchange, gaps = dna_scoring
+        baseline, _ = find_top_alignments(
+            repeat_dna, 5, exchange, gaps, min_score=60.0, prune=False
+        )
+        state = TopAlignmentState(
+            repeat_dna, exchange, gaps,
+            memory="linear", linear_capacity=2, prune=True,
+        )
+        linear, stats = find_top_alignments(
+            repeat_dna, 5, exchange, gaps, min_score=60.0, state=state
+        )
+        assert _key(linear) == _key(baseline)
+        assert stats.pruned_lanes > 0
+        assert state.bottom_rows.resident_rows <= 2
+        # The store's gate-free recompute path produced exact rows even
+        # though the first pass pruned some of the splits it re-derives.
+        assert state.bottom_rows.recomputations >= 0
+
+
+class TestGateMechanics:
+    def _context(self, text="ATGCATGCATGC", match=2.0, mismatch=-1.0):
+        seq = Sequence(text, DNA)
+        exchange = match_mismatch(DNA, match, mismatch)
+        state = TopAlignmentState(seq, exchange, GapPenalties(2.0, 1.0))
+        return state.prune_context
+
+    def test_invalid_split_rejected(self):
+        ctx = self._context()
+        with pytest.raises(ValueError, match="split"):
+            ctx.gate_for(0)
+        with pytest.raises(ValueError, match="split"):
+            ctx.gate_for(12)
+
+    def test_prune_requires_strict_progress(self):
+        # A prune that would not lower the task's heap score must fall
+        # through to a real fill (livelock guard), no matter how high
+        # the live threshold is.
+        ctx = self._context()
+        ctx.configure(0.0)
+        ctx.threshold = float("inf")
+        gate = ctx.gate_for(6)
+        gate_at_bound = ctx.gate_for(6, cap=gate.upfront_bound)
+        assert gate_at_bound.prune_before_fill() is False
+        assert not gate_at_bound.pruned
+
+    def test_lane_prune_defers_below_threshold(self):
+        ctx = self._context()
+        ctx.configure(0.0)
+        gate = ctx.gate_for(6)
+        ctx.threshold = gate.upfront_bound + 1.0
+        gate = ctx.gate_for(6)  # cap=inf > bound: strict progress holds
+        assert gate.prune_before_fill() is True
+        assert gate.pruned
+        assert gate.bound == gate.upfront_bound
+        assert gate.cells_filled == 0
+        assert gate.pruned_cells == gate.rows * gate.cols
+
+    def test_row_cutoffs_opt_out_at_zero_floor(self):
+        # floor=0 makes every cutoff negative (best >= 0 always), so
+        # gating a fill could never fire — the gate must opt out.
+        ctx = self._context()
+        ctx.configure(0.0)
+        assert ctx.gate_for(6).row_cutoffs() is None
+
+    def test_counters_cover_the_matrix(self):
+        ctx = self._context()
+        ctx.configure(10.0)
+        gate = ctx.gate_for(6)
+        gate.record_row_prune(2, 1.0)
+        assert gate.pruned
+        assert gate.cells_filled == 2 * gate.cols
+        assert gate.cells_filled + gate.pruned_cells == gate.rows * gate.cols
+
+
+# No max_examples pin: the nightly ci-deep profile deepens this sweep.
+@given(
+    codes=st.lists(st.integers(0, 3), min_size=8, max_size=36),
+    r_frac=st.floats(0.05, 0.95),
+    match=st.integers(1, 5),
+    mismatch=st.integers(-4, 0),
+)
+@settings(deadline=None)
+def test_every_bound_dominates_the_true_score(codes, r_frac, match, mismatch):
+    """Exhaustively fill each sampled block; every gate bound dominates.
+
+    This is the pruning soundness theorem stated as a property: for a
+    random sequence, scoring and split, the pre-fill bound, every
+    per-row bound and every per-column bound is >= the true task score
+    (the bottom-row maximum of the fully computed matrix).
+    """
+    seq = Sequence("".join("ACGT"[c] for c in codes), DNA)
+    exchange = match_mismatch(DNA, float(match), float(mismatch))
+    state = TopAlignmentState(seq, exchange, GapPenalties(2.0, 1.0))
+    ctx = state.prune_context
+    m = len(seq)
+    r = min(m - 1, max(1, round(r_frac * m)))
+    gate = ctx.gate_for(r)
+
+    problem = state.problem_for(r, with_override=False)
+    filled = [row.copy() for _, row in iter_rows(problem)]
+    matrix = np.stack(filled)  # matrix[y - 1] is row y, cols 0..m-r
+    true_score = float(matrix[r - 1].max())
+
+    assert gate.upfront_bound >= true_score - 1e-9
+
+    best = 0.0
+    for y in range(1, r + 1):
+        best = max(best, float(matrix[y - 1].max()))
+        row_bound = max(best, 0.0) + float(gate.rem[y])
+        assert row_bound >= true_score - 1e-9
+
+    cols = m - r
+    for cols_done in range(1, cols):
+        filled_max = float(matrix[:, : cols_done + 1].max())
+        col_bound = max(filled_max, 0.0) + float(ctx.col_suffix[r + cols_done])
+        assert col_bound >= true_score - 1e-9

@@ -822,3 +822,97 @@ def test_rpr018_clean_on_the_real_service_package(tmp_path):
     package = Path(__file__).resolve().parents[2] / "src" / "repro" / "service"
     for module in sorted(package.glob("*.py")):
         assert "RPR018" not in _rules_hit(module), module.name
+
+
+# ---------------------------------------------------------------------------
+# RPR019 — prune discipline in align/ kernels
+# ---------------------------------------------------------------------------
+
+AD_HOC_THRESHOLD_EXIT = """
+    def last_row(problem, min_score):
+        best = 0.0
+        for y, row in iter_rows(problem):
+            best = max(best, row.max())
+            if best < min_score:
+                return None
+        return row
+"""
+
+
+def test_rpr019_flags_seeded_ad_hoc_threshold_exit(tmp_path):
+    path = _write(tmp_path, "align/bad_engine.py", AD_HOC_THRESHOLD_EXIT)
+    findings = [d for d in lint_file(path) if d.rule == "RPR019"]
+    assert len(findings) == 1
+    assert "PruneGate" in findings[0].message
+
+
+def test_rpr019_quiet_when_the_gate_is_consulted(tmp_path):
+    path = _write(
+        tmp_path,
+        "align/good_engine.py",
+        """
+        def last_row(problem):
+            gate = problem.prune
+            cutoffs = gate.row_cutoffs() if gate is not None else None
+            best = 0.0
+            for y, row in iter_rows(problem):
+                best = max(best, row.max())
+                if cutoffs is not None and best <= cutoffs[y]:
+                    gate.record_row_prune(y, best)
+                    return None
+            return row
+        """,
+    )
+    assert "RPR019" not in _rules_hit(path)
+
+
+def test_rpr019_ignores_identity_tests_and_plain_breaks(tmp_path):
+    path = _write(
+        tmp_path,
+        "align/loop_engine.py",
+        """
+        def fill(problem, cutoffs, pending):
+            for y, row in iter_rows(problem):
+                if cutoffs is None:
+                    continue
+                if not pending:
+                    break
+            return row
+        """,
+    )
+    assert "RPR019" not in _rules_hit(path)
+
+
+def test_rpr019_scoped_to_align_and_skips_tests(tmp_path):
+    outside = _write(tmp_path, "core/driver.py", AD_HOC_THRESHOLD_EXIT)
+    assert "RPR019" not in _rules_hit(outside)
+    testfile = _write(tmp_path, "align/test_engine.py", AD_HOC_THRESHOLD_EXIT)
+    assert "RPR019" not in _rules_hit(testfile)
+
+
+def test_rpr019_exempts_the_pruning_module_itself(tmp_path):
+    path = _write(tmp_path, "align/pruning.py", AD_HOC_THRESHOLD_EXIT)
+    assert "RPR019" not in _rules_hit(path)
+
+
+def test_rpr019_waivable_with_reason(tmp_path):
+    path = _write(
+        tmp_path,
+        "align/reference.py",
+        """
+        def reference_fill(problem, min_score):
+            best = 0.0
+            for y, row in iter_rows(problem):
+                best = max(best, row.max())
+                if best < min_score:  # repro-lint: allow[RPR019] reference kernel mirrors the unpruned paper recurrence
+                    return None
+            return row
+        """,
+    )
+    assert "RPR019" not in _rules_hit(path)
+
+
+def test_rpr019_clean_on_the_real_align_package(tmp_path):
+    package = Path(__file__).resolve().parents[2] / "src" / "repro" / "align"
+    for module in sorted(package.glob("*.py")):
+        assert "RPR019" not in _rules_hit(module), module.name

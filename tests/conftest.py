@@ -8,11 +8,30 @@ code with the engines, so engine/reference agreement is meaningful.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings as hypothesis_settings
 
 from repro.scoring import GapPenalties, blosum62, match_mismatch
 from repro.sequences import DNA, PROTEIN, Sequence
+
+# Deep property-testing profile for the nightly ``hypothesis-deep`` CI
+# job: many more examples, no deadline (CI runners stall unpredictably),
+# and the example database kept so failures upload as an artifact.
+# Individual tests that pin ``max_examples`` via ``@settings`` keep
+# their pin — the profile only changes the defaults.
+hypothesis_settings.register_profile(
+    "ci-deep",
+    max_examples=1000,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+_profile = os.environ.get("REPRO_HYPOTHESIS_PROFILE")
+if _profile:
+    hypothesis_settings.load_profile(_profile)
 
 
 def brute_force_matrix(problem) -> np.ndarray:

@@ -132,8 +132,11 @@ class TestSeededEquivalence:
         ).sequence
         exchange, gaps = _dna_scoring()
         bounds = seed_score_bounds(seq, exchange)
-        _, plain_stats = find_top_alignments(seq, 10, exchange, gaps)
+        # prune=False isolates the seeding effect: exact in-kernel pruning
+        # (repro.align.pruning) also skips fills and would otherwise
+        # shrink the plain run's alignment count too.
+        _, plain_stats = find_top_alignments(seq, 10, exchange, gaps, prune=False)
         _, seeded_stats = find_top_alignments(
-            seq, 10, exchange, gaps, seed_bounds=bounds
+            seq, 10, exchange, gaps, seed_bounds=bounds, prune=False
         )
         assert seeded_stats.alignments < plain_stats.alignments

@@ -126,10 +126,24 @@ class TestStatsConsistency:
     def test_cells_match_alignment_sizes(self, small_repeat_protein, protein_scoring):
         ex, gaps = protein_scoring
         m = len(small_repeat_protein)
-        _, stats = find_top_alignments(small_repeat_protein, 1, ex, gaps)
+        # prune=False: the exact closed form only holds for the exhaustive
+        # first pass; in-kernel pruning skips cells by design.
+        _, stats = find_top_alignments(small_repeat_protein, 1, ex, gaps, prune=False)
         # First pass only: cells = sum over r of r*(m-r).
         expected = sum(r * (m - r) for r in range(1, m))
         assert stats.cells == expected
+
+    def test_pruning_evaluates_fewer_cells(self, small_repeat_protein, protein_scoring):
+        ex, gaps = protein_scoring
+        m = len(small_repeat_protein)
+        first_pass_area = sum(r * (m - r) for r in range(1, m))
+        tops_off, _ = find_top_alignments(small_repeat_protein, 1, ex, gaps, prune=False)
+        tops_on, stats = find_top_alignments(small_repeat_protein, 1, ex, gaps)
+        assert [(a.r, a.score, a.pairs) for a in tops_on] == [
+            (a.r, a.score, a.pairs) for a in tops_off
+        ]
+        assert stats.cells < first_pass_area
+        assert stats.pruned_cells > 0
 
     def test_realignments_per_top_sums(self, small_repeat_protein, protein_scoring):
         ex, gaps = protein_scoring
