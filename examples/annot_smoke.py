@@ -1,0 +1,307 @@
+#!/usr/bin/env python
+"""Annotation smoke test: scan -> artifacts offline, report endpoint live.
+
+Two phases:
+
+**Offline drill** — seed a small repetitive database, ``repro scan
+--json``, then ``repro annotate`` the saved document (both as real
+subprocesses) and check the artifact contracts:
+
+* the GFF3 track passes the in-repo validator and its ``repeat_unit``
+  spans round-trip the scan's copy coordinates exactly;
+* the profile JSON satisfies the weighted-sum identity — mean window
+  depths times window widths add up to the total copy residue count;
+* the HTML report is one self-contained file: zero ``http(s)``
+  references, no ``<script src>``, no ``<link>``.
+
+**Service drill** — ``repro serve --tenants`` on an ephemeral port:
+the owning tenant fetches ``GET /jobs/<id>/report`` in all three
+formats (200 with the right content types); a *different* tenant gets
+``403`` on the same URL; ``/metrics`` carries ``repro_annot_*``
+families.
+
+Exits non-zero on any failure, so CI can run it directly::
+
+    python examples/annot_smoke.py --artifact-dir annot-artifacts
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.annot import validate_gff3
+from repro.sequences import Sequence, write_fasta
+from repro.sequences.workloads import RepeatSpec, implant_repeats
+
+TENANTS = {
+    "tenants": {
+        "owner": {"api_key": "smoke-owner-key"},
+        "stranger": {"api_key": "smoke-stranger-key"},
+    }
+}
+
+
+def _seed_database(path: Path) -> None:
+    records = [
+        implant_repeats(
+            160,
+            RepeatSpec(unit_length=24, copies=4, substitution_rate=0.1),
+            seed=7 + i,
+            id=f"rep{i:02d}",
+        ).sequence
+        for i in range(3)
+    ]
+    records.append(Sequence("ACDEFGHIKLMNPQRSTVWY" * 3, id="plain"))
+    write_fasta(records, path)
+
+
+def _run_cli(args: list[str], log_path: Path) -> None:
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    log_path.write_text(completed.stdout + completed.stderr, encoding="utf-8")
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"repro {' '.join(args)} exited {completed.returncode}:\n"
+            f"{completed.stdout}{completed.stderr}"
+        )
+
+
+def _spawn(cmd: list[str], log_path: Path) -> subprocess.Popen:
+    log = open(log_path, "w")  # noqa: SIM115 - lives as long as the process
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *cmd],
+        stdout=log,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=dict(os.environ),
+    )
+
+
+def _await_banner(proc: subprocess.Popen, log_path: Path, banner: str) -> str:
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        text = log_path.read_text() if log_path.exists() else ""
+        for line in text.splitlines():
+            if banner in line:
+                return line.split(banner, 1)[1].split()[0]
+        if proc.poll() is not None:
+            raise RuntimeError(f"process exited {proc.returncode}: {text}")
+        time.sleep(0.1)
+    proc.kill()
+    raise RuntimeError(f"no {banner!r} banner in {log_path}")
+
+
+def _get(url: str, path: str, key: str | None = None):
+    request = urllib.request.Request(f"{url}{path}")
+    if key:
+        request.add_header("Authorization", f"Bearer {key}")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return (
+            response.status,
+            response.headers.get("Content-Type") or "",
+            response.read().decode("utf-8"),
+        )
+
+
+def _post_json(url: str, path: str, payload: dict, key: str) -> dict:
+    request = urllib.request.Request(
+        f"{url}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={
+            "Content-Type": "application/json",
+            "Authorization": f"Bearer {key}",
+        },
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.load(response)
+
+
+def check_gff3(gff_path: Path, scan_path: Path) -> None:
+    text = gff_path.read_text(encoding="utf-8")
+    errors = validate_gff3(text)
+    assert not errors, "GFF3 validation failed:\n" + "\n".join(errors)
+    # Every repeat_unit span must be one of the scan's copy coordinates.
+    document = json.loads(scan_path.read_text(encoding="utf-8"))
+    copy_spans = {
+        (record["id"], start, end)
+        for record in document["records"]
+        if record["result"]
+        for repeat in record["result"]["repeats"]
+        for start, end in repeat["copies"]
+    }
+    gff_spans = set()
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        cols = line.split("\t")
+        if cols[2] == "repeat_unit":
+            gff_spans.add((cols[0], int(cols[3]), int(cols[4])))
+    assert copy_spans, "seeded database produced no repeat copies"
+    assert gff_spans == copy_spans, (
+        f"GFF3 repeat_unit spans diverge from the scan document: "
+        f"{gff_spans ^ copy_spans}"
+    )
+    print(
+        f"gff3: valid, all {len(gff_spans)} repeat_unit spans "
+        "round-trip the scan"
+    )
+
+
+def check_profile(profile_path: Path) -> None:
+    payload = json.loads(profile_path.read_text(encoding="utf-8"))
+    weighted = 0.0
+    for record in payload["sequences"]:
+        if "values" not in record:
+            continue
+        window, length = record["window"], record["length"]
+        for i, value in enumerate(record["values"]):
+            weighted += value * min(window, length - i * window)
+    declared = payload["total_copy_residues"]
+    assert abs(weighted - declared) < 1e-6, (weighted, declared)
+    assert declared > 0, "seeded repeats produced an empty profile"
+    print(
+        f"profile: weighted window sums == {declared} copy residues "
+        f"({len(payload['sequences'])} sequences)"
+    )
+
+
+def check_html(html_path: Path) -> None:
+    text = html_path.read_text(encoding="utf-8")
+    for needle in ("http://", "https://", "<script src", "<link"):
+        assert needle not in text, f"HTML report carries {needle!r}"
+    assert text.startswith("<!DOCTYPE html>")
+    assert "<svg" in text and "<details>" in text
+    print(f"html: self-contained ({len(text)} bytes, no external references)")
+
+
+def phase_offline(work: Path, artifact_dir: Path) -> None:
+    fasta = work / "db.fasta"
+    _seed_database(fasta)
+    scan_json = artifact_dir / "scan.json"
+    _run_cli(
+        ["scan", str(fasta), "--json", str(scan_json), "-k", "6"],
+        artifact_dir / "scan.log",
+    )
+    prefix = artifact_dir / "annot"
+    _run_cli(
+        ["annotate", str(scan_json), "--prefix", str(prefix)],
+        artifact_dir / "annotate.log",
+    )
+    check_gff3(Path(f"{prefix}.gff3"), scan_json)
+    check_profile(Path(f"{prefix}.profile.json"))
+    check_html(Path(f"{prefix}.html"))
+
+
+def phase_service(work: Path, artifact_dir: Path) -> None:
+    tenants_file = work / "tenants.json"
+    tenants_file.write_text(json.dumps(TENANTS), encoding="utf-8")
+    serve_log = artifact_dir / "serve.log"
+    proc = _spawn(
+        [
+            "serve",
+            "--port", "0",
+            "--workers", "1",
+            "--data-dir", str(work / "data"),
+            "--tenants", str(tenants_file),
+        ],
+        serve_log,
+    )
+    try:
+        url = _await_banner(proc, serve_log, "repro service listening on")
+        workload = implant_repeats(
+            140,
+            RepeatSpec(unit_length=20, copies=4, substitution_rate=0.1),
+            seed=41,
+        )
+        job = _post_json(
+            url,
+            "/jobs",
+            {
+                "sequence": workload.sequence.text,
+                "seq_id": "smoke-rep",
+                "top_alignments": 6,
+            },
+            "smoke-owner-key",
+        )
+        job_id = job["id"]
+        deadline = time.monotonic() + 120
+        while True:
+            _, _, body = _get(url, f"/jobs/{job_id}", "smoke-owner-key")
+            state = json.loads(body)["state"]
+            if state == "done":
+                break
+            assert state in ("queued", "running"), state
+            assert time.monotonic() < deadline, "job never finished"
+            time.sleep(0.2)
+
+        expectations = {
+            "gff3": "text/plain",
+            "json": "application/json",
+            "html": "text/html",
+        }
+        for fmt, content_type in expectations.items():
+            status, ctype, body = _get(
+                url, f"/jobs/{job_id}/report?format={fmt}", "smoke-owner-key"
+            )
+            assert status == 200, (fmt, status)
+            assert ctype.startswith(content_type), (fmt, ctype)
+            (artifact_dir / f"report.{fmt}").write_text(body, encoding="utf-8")
+        assert validate_gff3((artifact_dir / "report.gff3").read_text()) == []
+        assert "http" not in (artifact_dir / "report.html").read_text()
+        print(f"service: owner fetched all 3 report formats for {job_id}")
+
+        try:
+            _get(url, f"/jobs/{job_id}/report", "smoke-stranger-key")
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 403, exc.code
+        else:
+            raise AssertionError("stranger's report request was not refused")
+        print("service: non-owning tenant refused with 403")
+
+        _, _, metrics = _get(url, "/metrics")
+        assert 'repro_annot_reports_total{format="gff3"}' in metrics
+        assert "repro_annot_render_seconds" in metrics
+        assert "repro_annot_reports_denied_total 1" in metrics
+        print("service: repro_annot_* metric families present")
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+    assert proc.returncode == 0, f"service exited {proc.returncode}"
+    print("service shut down cleanly")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="directory for emitted artifacts and logs (CI upload)",
+    )
+    args = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory(prefix="repro-annot-smoke-") as tmp:
+        work = Path(tmp)
+        artifact_dir = (
+            Path(args.artifact_dir) if args.artifact_dir else work / "artifacts"
+        )
+        artifact_dir.mkdir(parents=True, exist_ok=True)
+        phase_offline(work, artifact_dir)
+        phase_service(work, artifact_dir)
+    print("annot smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

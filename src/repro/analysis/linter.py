@@ -91,6 +91,7 @@ RULE_DOC: dict[str, str] = {
     "RPR017": "repro.align import inside the repro.index layer (index routes before alignment)",
     "RPR018": "direct spool-queue write in repro.service (bypasses gateway admission)",
     "RPR019": "ad-hoc threshold early-exit in align/ (skips must consult a PruneGate bound)",
+    "RPR020": "repro.align import inside the repro.annot layer (annotation renders cached results only)",
 }
 
 

@@ -21,6 +21,7 @@ Rule ids
 ``RPR017`` ``repro.align`` import inside the ``repro.index`` layer
 ``RPR018`` direct spool-queue write in ``repro.service`` (bypasses the gateway)
 ``RPR019`` ad-hoc threshold early-exit in ``align/`` (bypasses the PruneGate)
+``RPR020`` ``repro.align`` import inside the ``repro.annot`` layer
 """
 
 from __future__ import annotations
@@ -857,6 +858,69 @@ def rule_index_layer_imports(tree: ast.Module, path: str) -> list[Diagnostic]:
 
 
 # ---------------------------------------------------------------------------
+# RPR020 — layering: the annotation layer must not reach into align/
+# ---------------------------------------------------------------------------
+
+
+def _align_imports(tree: ast.Module) -> list[tuple[ast.AST, str]]:
+    """Every ``repro.align`` import in ``tree`` (absolute or relative)."""
+    hits: list[tuple[ast.AST, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.align" or alias.name.startswith(
+                    "repro.align."
+                ):
+                    hits.append((node, alias.name))
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0 and (
+                module == "repro.align" or module.startswith("repro.align.")
+            ):
+                hits.append((node, module))
+            elif node.level >= 2 and (
+                module == "align" or module.startswith("align.")
+            ):
+                hits.append((node, f"{'.' * node.level}{module}"))
+            elif node.level >= 2 and not module:
+                for alias in node.names:
+                    if alias.name == "align":
+                        hits.append((node, f"{'.' * node.level} align"))
+    return hits
+
+
+def rule_annot_layer_imports(tree: ast.Module, path: str) -> list[Diagnostic]:
+    """RPR020: ``repro.align`` imports inside ``repro/annot/``.
+
+    The annotation layer is a pure *renderer*: it turns finished scan
+    results and the structured family models of ``repro.core.report``
+    into GFF3 / profile / HTML artifacts.  It must never be able to
+    re-run or re-score an alignment — the service serves reports
+    straight from the result cache, and an ``align/`` import here would
+    let a render path silently pay O(n^3) (or drift from the cached
+    result it claims to describe).  Anything needing alignment data
+    must receive it through ``FamilyModel`` / ``RepeatResult``.  A
+    deliberate exception carries a waiver:
+    ``# repro-lint: allow[RPR020] reason``.
+    """
+    if not _in_dir(path, "annot") or _is_test_file(path):
+        return []
+    return [
+        Diagnostic(
+            rule="RPR020",
+            path=path,
+            line=node.lineno,
+            message=f"import of {imported} inside the repro.annot layer; "
+            "annotation renders cached results and must consume "
+            "repro.core report models only — never the alignment "
+            "kernels (or waive with `# repro-lint: allow[RPR020] "
+            "reason`)",
+        )
+        for node, imported in _align_imports(tree)
+    ]
+
+
+# ---------------------------------------------------------------------------
 # RPR018 — admission discipline: service code must not write the queue
 # ---------------------------------------------------------------------------
 
@@ -1016,6 +1080,7 @@ FILE_RULES: tuple[tuple[str, Rule], ...] = (
     ("RPR017", rule_index_layer_imports),
     ("RPR018", rule_direct_queue_write),
     ("RPR019", rule_ad_hoc_prune_branch),
+    ("RPR020", rule_annot_layer_imports),
 )
 
 

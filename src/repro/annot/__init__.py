@@ -1,0 +1,44 @@
+"""repro.annot — the annotation product surface.
+
+Turns scan results plus the core consensus/MSA machinery into the
+artifacts a downstream consumer actually ingests: per-sequence
+repetitiveness profile tracks (:mod:`~repro.annot.tracks`), validated
+GFF3 repeat annotations (:mod:`~repro.annot.gff`) and a self-contained
+single-file HTML report (:mod:`~repro.annot.report_html`), tied
+together by the :class:`~repro.annot.model.Annotation` object model.
+
+This layer consumes :class:`repro.core.report.FamilyModel` and scan
+results only — it never reaches into the alignment kernels (lint rule
+RPR020 enforces that boundary).
+"""
+
+from .gff import escape_attribute, escape_seqid, render_gff3, validate_gff3
+from .model import (
+    PROFILE_FORMAT,
+    PROFILE_FORMAT_VERSION,
+    Annotation,
+    SequenceAnnotation,
+    annotate_document,
+    annotate_result,
+    annotate_scan,
+)
+from .report_html import render_html
+from .tracks import ProfileTrack, build_track, render_wig
+
+__all__ = [
+    "Annotation",
+    "PROFILE_FORMAT",
+    "PROFILE_FORMAT_VERSION",
+    "ProfileTrack",
+    "SequenceAnnotation",
+    "annotate_document",
+    "annotate_result",
+    "annotate_scan",
+    "build_track",
+    "escape_attribute",
+    "escape_seqid",
+    "render_gff3",
+    "render_html",
+    "render_wig",
+    "validate_gff3",
+]

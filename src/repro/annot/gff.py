@@ -1,0 +1,270 @@
+"""GFF3 emission and validation for repeat annotations.
+
+One ``repeat_region`` feature per family (the ``ID`` anchor) and one
+``repeat_unit`` child per delineated copy (``Parent`` linkage), with
+1-based *closed* intervals — exactly the coordinate convention of
+:class:`repro.core.result.Repeat.copies`, so spans round-trip without
+off-by-one adjustment.  Attributes carry the family's score, MSA
+identity, consensus length and copy count.
+
+The validator is deliberately in-repo and dependency-free: CI's
+``annot-smoke`` job runs every emitted track through it, so the writer
+cannot drift from the subset of the spec we rely on (version pragma,
+``##sequence-region`` bounds, 9 tab-separated columns, escaped
+attributes, resolvable ``Parent`` references).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..core.report import FamilyModel
+
+__all__ = ["escape_attribute", "escape_seqid", "render_gff3", "validate_gff3"]
+
+#: Characters that must be percent-encoded inside attribute *values*
+#: (the GFF3 structural characters, plus the escape char itself and
+#: whitespace control characters).
+_ATTRIBUTE_UNSAFE = {
+    "%": "%25",
+    ";": "%3B",
+    "=": "%3D",
+    "&": "%26",
+    ",": "%2C",
+    "\t": "%09",
+    "\n": "%0A",
+    "\r": "%0D",
+}
+
+#: Characters a seqid (column 1) may contain unescaped, per the spec.
+_SEQID_SAFE = frozenset(
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789.:^*$@!+_?-|"
+)
+
+
+def escape_attribute(value: str) -> str:
+    """Percent-encode the GFF3-structural characters in ``value``."""
+    # '%' must be first so already-escaped output never double-escapes.
+    out = value.replace("%", "%25")
+    for raw, escaped in _ATTRIBUTE_UNSAFE.items():
+        if raw != "%":
+            out = out.replace(raw, escaped)
+    return out
+
+
+def unescape_attribute(value: str) -> str:
+    """Inverse of :func:`escape_attribute` (used by the validator/tests)."""
+    for raw, escaped in _ATTRIBUTE_UNSAFE.items():
+        if raw != "%":
+            value = value.replace(escaped, raw)
+    return value.replace("%25", "%")
+
+
+def escape_seqid(seqid: str) -> str:
+    """Percent-encode every character outside the seqid-safe set."""
+    return "".join(
+        c if c in _SEQID_SAFE else f"%{ord(c):02X}" for c in seqid
+    )
+
+
+def _feature_line(
+    seqid: str,
+    ftype: str,
+    start: int,
+    end: int,
+    score: float | None,
+    attributes: list[tuple[str, str]],
+) -> str:
+    attr_text = ";".join(
+        f"{key}={escape_attribute(value)}" for key, value in attributes
+    )
+    score_text = "." if score is None else f"{score:g}"
+    return "\t".join(
+        [
+            escape_seqid(seqid),
+            "repro",
+            ftype,
+            str(start),
+            str(end),
+            score_text,
+            "+",
+            ".",
+            attr_text,
+        ]
+    )
+
+
+def render_gff3(
+    sequences: Iterable[tuple[str, int, list["FamilyModel"]]],
+) -> str:
+    """The GFF3 document for ``(seq_id, length, families)`` triples.
+
+    Emits the ``##gff-version 3`` pragma, one ``##sequence-region``
+    pragma per sequence, then per family a ``repeat_region`` parent
+    spanning all copies and one ``repeat_unit`` child per copy.
+    """
+    entries = list(sequences)
+    lines = ["##gff-version 3"]
+    for seq_id, length, _families in entries:
+        name = escape_seqid(seq_id or "unnamed")
+        lines.append(f"##sequence-region {name} 1 {length}")
+    for seq_id, _length, families in entries:
+        seqid = seq_id or "unnamed"
+        for model in families:
+            region_start, region_end = model.region
+            family_id = f"{escape_seqid(seqid)}.family{model.family}"
+            parent_attrs = [
+                ("ID", family_id),
+                ("Name", f"repeat family {model.family}"),
+                ("n_copies", str(model.n_copies)),
+                ("consensus_length", str(len(model.consensus))),
+                ("identity", f"{model.identity:.3f}"),
+                ("columns", str(model.columns)),
+                ("unit_length", f"{model.unit_length:g}"),
+            ]
+            lines.append(
+                _feature_line(
+                    seqid,
+                    "repeat_region",
+                    region_start,
+                    region_end,
+                    model.score or None,
+                    parent_attrs,
+                )
+            )
+            for copy_index, (start, end) in enumerate(model.copies):
+                lines.append(
+                    _feature_line(
+                        seqid,
+                        "repeat_unit",
+                        start,
+                        end,
+                        model.score or None,
+                        [
+                            ("ID", f"{family_id}.copy{copy_index}"),
+                            ("Parent", family_id),
+                            ("consensus", model.consensus),
+                        ],
+                    )
+                )
+    return "\n".join(lines) + "\n"
+
+
+_STRANDS = frozenset({"+", "-", ".", "?"})
+_PHASES = frozenset({".", "0", "1", "2"})
+
+
+def validate_gff3(text: str) -> list[str]:
+    """Structural errors in ``text`` (empty list = valid).
+
+    Checks the subset of the GFF3 spec the writer relies on: leading
+    version pragma, well-formed ``##sequence-region`` pragmas, nine
+    tab-separated columns, 1-based closed intervals inside the declared
+    region bounds, numeric-or-dot score, legal strand/phase, attribute
+    ``key=value`` syntax free of unescaped structural characters, and
+    ``Parent`` references resolving to an earlier ``ID``.
+    """
+    errors: list[str] = []
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != "##gff-version 3":
+        errors.append("line 1: missing '##gff-version 3' pragma")
+    regions: dict[str, tuple[int, int]] = {}
+    seen_ids: set[str] = set()
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        if line.startswith("##sequence-region"):
+            parts = line.split()
+            if len(parts) != 4:
+                errors.append(
+                    f"line {lineno}: sequence-region needs "
+                    "'##sequence-region <seqid> <start> <end>'"
+                )
+                continue
+            try:
+                start, end = int(parts[2]), int(parts[3])
+            except ValueError:
+                errors.append(
+                    f"line {lineno}: sequence-region bounds must be integers"
+                )
+                continue
+            if start < 1 or end < start:
+                errors.append(
+                    f"line {lineno}: sequence-region bounds must satisfy "
+                    "1 <= start <= end"
+                )
+            regions[parts[1]] = (start, end)
+            continue
+        if line.startswith("#"):
+            continue
+        columns = line.split("\t")
+        if len(columns) != 9:
+            errors.append(
+                f"line {lineno}: expected 9 tab-separated columns, "
+                f"got {len(columns)}"
+            )
+            continue
+        seqid, _source, _ftype, start_s, end_s, score, strand, phase, attrs = (
+            columns
+        )
+        try:
+            start, end = int(start_s), int(end_s)
+        except ValueError:
+            errors.append(f"line {lineno}: start/end must be integers")
+            continue
+        if start < 1:
+            errors.append(f"line {lineno}: start must be >= 1 (1-based)")
+        if end < start:
+            errors.append(f"line {lineno}: end {end} < start {start}")
+        bounds = regions.get(seqid)
+        if bounds is None:
+            errors.append(
+                f"line {lineno}: seqid {seqid!r} has no "
+                "##sequence-region pragma"
+            )
+        elif not (bounds[0] <= start and end <= bounds[1]):
+            errors.append(
+                f"line {lineno}: feature {start}..{end} outside "
+                f"sequence-region {bounds[0]}..{bounds[1]}"
+            )
+        if score != ".":
+            try:
+                float(score)
+            except ValueError:
+                errors.append(
+                    f"line {lineno}: score must be '.' or numeric, "
+                    f"got {score!r}"
+                )
+        if strand not in _STRANDS:
+            errors.append(f"line {lineno}: bad strand {strand!r}")
+        if phase not in _PHASES:
+            errors.append(f"line {lineno}: bad phase {phase!r}")
+        parsed: dict[str, str] = {}
+        for item in attrs.split(";"):
+            if not item:
+                errors.append(f"line {lineno}: empty attribute entry")
+                continue
+            key, eq, value = item.partition("=")
+            if not eq or not key:
+                errors.append(
+                    f"line {lineno}: attribute {item!r} is not key=value"
+                )
+                continue
+            if any(c in value for c in ("=", ";", ",", "\t")):
+                errors.append(
+                    f"line {lineno}: attribute {key} value carries an "
+                    "unescaped structural character"
+                )
+            parsed[key] = value
+        if "ID" in parsed:
+            seen_ids.add(parsed["ID"])
+        parent = parsed.get("Parent")
+        if parent is not None and parent not in seen_ids:
+            errors.append(
+                f"line {lineno}: Parent={parent!r} does not reference an "
+                "earlier ID"
+            )
+    return errors

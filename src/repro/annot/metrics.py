@@ -1,0 +1,49 @@
+"""``repro_annot_*`` metric families.
+
+Same shape as the index tier's helpers: one ``collecting`` check per
+call site, zero cost when metrics are off.
+"""
+
+from __future__ import annotations
+
+from ..obs import get_registry
+
+__all__ = [
+    "observe_render_seconds",
+    "record_report",
+    "record_report_denied",
+]
+
+#: Render-time buckets (seconds): GFF3/JSON render in microseconds,
+#: HTML with MSA blocks can take longer on repeat-dense databases.
+RENDER_BUCKETS = (0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+def record_report(fmt: str) -> None:
+    registry = get_registry()
+    if registry.collecting:
+        registry.counter(
+            "repro_annot_reports_total",
+            help="Annotation reports rendered, by output format",
+            format=fmt,
+        ).inc()
+
+
+def record_report_denied() -> None:
+    registry = get_registry()
+    if registry.collecting:
+        registry.counter(
+            "repro_annot_reports_denied_total",
+            help="Report requests refused for lack of tenant ownership",
+        ).inc()
+
+
+def observe_render_seconds(fmt: str, seconds: float) -> None:
+    registry = get_registry()
+    if registry.collecting:
+        registry.histogram(
+            "repro_annot_render_seconds",
+            buckets=RENDER_BUCKETS,
+            help="Wall time spent rendering one annotation artifact",
+            format=fmt,
+        ).observe(seconds)

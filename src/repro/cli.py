@@ -4,6 +4,7 @@ Subcommands
 -----------
 ``find``       run repeat detection on a FASTA file (or stdin)
 ``scan``       rank the records of a FASTA file by repeat content
+``annotate``   render scan results as GFF3 + profile JSON + HTML report
 ``align``      align two sequences and render the superposition (§2.1 style)
 ``search``     rank FASTA records by best local alignment to a query
 ``generate``   emit synthetic workloads (pseudo-titin, implanted repeats)
@@ -180,6 +181,53 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="content-addressed index store (warm reruns rebuild nothing)",
     )
+    scan.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the machine-readable scan document (copy "
+        "coordinates, scores, routing, residues) — the input that "
+        "'repro annotate' consumes offline",
+    )
+
+    annotate = sub.add_parser(
+        "annotate",
+        help="render scan results as GFF3 + profile JSON + HTML report",
+    )
+    annotate.add_argument(
+        "source",
+        help="a 'repro scan --json' document, or a FASTA file to scan "
+        "first ('-' = FASTA on stdin)",
+    )
+    annotate.add_argument(
+        "--prefix",
+        default="repro-annot",
+        help="output prefix: writes <prefix>.gff3, <prefix>.profile.json, "
+        "<prefix>.html and <prefix>.wig",
+    )
+    annotate.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        help="profile window width in residues (0 = auto, ~120 windows)",
+    )
+    annotate.add_argument(
+        "--title", default="repro repeat annotation", help="HTML report title"
+    )
+    annotate.add_argument(
+        "--no-msa",
+        action="store_true",
+        help="skip per-family multiple alignments in the HTML report",
+    )
+    annotate.add_argument("-k", "--top-alignments", type=int, default=10)
+    annotate.add_argument(
+        "--alphabet", default="protein", choices=["protein", "dna", "rna"]
+    )
+    annotate.add_argument(
+        "--mask", action="store_true", help="mask low-complexity tracts"
+    )
+    annotate.add_argument("--min-length", type=int, default=10)
+    annotate.add_argument("--engine", default="vector")
 
     align = sub.add_parser("align", help="align two sequences and render them")
     align.add_argument("seq1", help="first sequence (text, vertical)")
@@ -640,6 +688,20 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         index_store=index_store,
     )
     reports = scanner.rank(records)
+    if args.json:
+        import json
+
+        from .core.scan import scan_to_payload
+
+        payload = scan_to_payload(
+            reports,
+            records,
+            alphabet=args.alphabet,
+            index_stats=scanner.index_stats or None,
+        )
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
     if args.limit:
         reports = reports[: args.limit]
     routed_col = "  routed" if args.index else ""
@@ -668,6 +730,78 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     if failures:
         print(f"{len(failures)} of {len(reports)} record(s) failed", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_annotate(args: argparse.Namespace) -> int:
+    import json
+
+    from .annot import annotate_document, annotate_scan, validate_gff3
+    from .core.api import RepeatFinder
+    from .core.scan import DatabaseScanner, load_scan_payload
+
+    # A scan document starts with '{'; anything else is treated as FASTA.
+    is_json = False
+    if args.source != "-":
+        with open(args.source, "r", encoding="utf-8") as fh:
+            head = fh.read(64).lstrip()
+        is_json = head.startswith("{")
+    if is_json:
+        with open(args.source, "r", encoding="utf-8") as fh:
+            try:
+                document = load_scan_payload(json.load(fh))
+            except (ValueError, KeyError) as exc:
+                raise SystemExit(f"bad scan document {args.source}: {exc}")
+        annotation = annotate_document(
+            document, window=args.window, msa=not args.no_msa
+        )
+    else:
+        alphabet = alphabet_for(args.alphabet)
+        source = sys.stdin if args.source == "-" else args.source
+        records = read_fasta(source, alphabet)
+        if not records:
+            raise SystemExit("no FASTA records found")
+        scanner = DatabaseScanner(
+            finder=RepeatFinder(top_alignments=args.top_alignments),
+            mask=args.mask,
+            min_length=args.min_length,
+            engine=args.engine,
+        )
+        reports = scanner.scan(records)
+        by_id: dict[str, list] = {}
+        for record in records:
+            by_id.setdefault(record.id, []).append(record)
+        ordered = [
+            (by_id[rep.id].pop(0) if by_id.get(rep.id) else None)
+            for rep in reports
+        ]
+        annotation = annotate_scan(
+            reports, ordered, window=args.window, msa=not args.no_msa
+        )
+
+    gff_text = annotation.gff3()
+    problems = validate_gff3(gff_text)
+    if problems:
+        for problem in problems:
+            print(f"gff3 validation: {problem}", file=sys.stderr)
+        return 1
+    outputs = {
+        f"{args.prefix}.gff3": gff_text,
+        f"{args.prefix}.profile.json": annotation.profile_json(),
+        f"{args.prefix}.html": annotation.html(title=args.title),
+        f"{args.prefix}.wig": annotation.wig(),
+    }
+    for path, text in outputs.items():
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {path}")
+    n_ok = sum(1 for entry in annotation.sequences if entry.ok)
+    n_failed = len(annotation.sequences) - n_ok
+    print(
+        f"annotated {n_ok} sequence(s), {annotation.n_families} repeat "
+        f"famil{'y' if annotation.n_families == 1 else 'ies'}"
+        + (f"; {n_failed} record(s) failed" if n_failed else "")
+    )
     return 0
 
 
@@ -1090,6 +1224,7 @@ def main(argv: Seq[str] | None = None) -> int:
     handlers = {
         "find": _cmd_find,
         "scan": _cmd_scan,
+        "annotate": _cmd_annotate,
         "align": _cmd_align,
         "search": _cmd_search,
         "generate": _cmd_generate,

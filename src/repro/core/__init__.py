@@ -22,9 +22,17 @@ from .override import (
     SparseOverrideTriangle,
     SplitOverrideView,
 )
-from .report import AnalysisReport, analyze
+from .report import AnalysisReport, FamilyModel, analyze, extract_families
 from .result import Repeat, RepeatResult, RunStats, TopAlignment
-from .scan import DatabaseScanner, SequenceReport, scan_fasta
+from .scan import (
+    DatabaseScanner,
+    SequenceReport,
+    load_scan_payload,
+    result_from_dict,
+    result_to_dict,
+    scan_fasta,
+    scan_to_payload,
+)
 from .session import TopAlignmentSession
 from .significance import (
     NullDistribution,
@@ -79,5 +87,11 @@ __all__ = [
     "align_family",
     "render_msa",
     "AnalysisReport",
+    "FamilyModel",
     "analyze",
+    "extract_families",
+    "result_to_dict",
+    "result_from_dict",
+    "scan_to_payload",
+    "load_scan_payload",
 ]

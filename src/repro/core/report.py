@@ -18,13 +18,120 @@ from ..scoring.exchange import ExchangeMatrix
 from ..scoring.gaps import GapPenalties
 from ..sequences.sequence import Sequence
 from .api import RepeatFinder, _default_exchange
-from .consensus import consensus_of_copies, select_unit_length
+from .consensus import UnitChoice, consensus_of_copies, select_unit_length
 from .dotplot import render_dotplot
-from .msa import align_family, render_msa
-from .result import RepeatResult
+from .msa import RepeatAlignment, align_family, render_msa
+from .result import RepeatResult, TopAlignment
 from .significance import estimate_null
 
-__all__ = ["AnalysisReport", "analyze"]
+__all__ = ["AnalysisReport", "FamilyModel", "analyze", "extract_families"]
+
+
+@dataclass(frozen=True)
+class FamilyModel:
+    """Everything downstream consumers need about one repeat family.
+
+    This is the single family-assembly path shared by the text renderer
+    (:meth:`AnalysisReport.render`) and the annotation layer
+    (:mod:`repro.annot`): consensus, unit analysis and the explicit MSA
+    are derived here exactly once, as data rather than rendered strings.
+    """
+
+    family: int
+    #: 1-based inclusive ``(start, end)`` span of each detected copy.
+    copies: tuple[tuple[int, int], ...]
+    #: Equivalence classes (alignment columns) supporting the family.
+    columns: int
+    #: Mean copy length in residues.
+    unit_length: float
+    #: Majority consensus text of the copies.
+    consensus: str
+    #: Best score among top alignments touching the family region
+    #: (0.0 when none intersects — should not happen for real families).
+    score: float
+    #: Mean per-column identity of the explicit MSA (0.0 when the MSA
+    #: could not be built).
+    identity: float
+    #: §6 period selection over the family region (``None`` when the
+    #: region is too short to analyse).
+    unit_choice: UnitChoice | None = None
+    #: Explicit multiple alignment of the copies (``None`` when the
+    #: family shares no columns with the alignments, or when extraction
+    #: ran with ``msa=False``).
+    msa: RepeatAlignment | None = None
+
+    @property
+    def n_copies(self) -> int:
+        """Number of detected copies."""
+        return len(self.copies)
+
+    @property
+    def region(self) -> tuple[int, int]:
+        """1-based inclusive span covering every copy of the family."""
+        return (
+            min(s for s, _ in self.copies),
+            max(e for _, e in self.copies),
+        )
+
+
+def _family_score(
+    copies: tuple[tuple[int, int], ...], alignments: list[TopAlignment]
+) -> float:
+    """Best top-alignment score whose intervals touch the family's copies."""
+    best = 0.0
+    for aln in alignments:
+        for lo, hi in (aln.prefix_interval, aln.suffix_interval):
+            if any(lo <= e and s <= hi for s, e in copies):
+                best = max(best, float(aln.score))
+                break
+    return best
+
+
+def extract_families(
+    sequence: Sequence,
+    result: RepeatResult,
+    *,
+    msa: bool = True,
+    min_unit_region: int = 4,
+) -> list[FamilyModel]:
+    """Assemble the structured :class:`FamilyModel` for every family.
+
+    ``msa=False`` skips the explicit multiple alignment (the most
+    expensive derivation) — the corresponding fields come back as
+    ``None``/0.0, matching what ``render(msa=False)`` shows.
+    """
+    models: list[FamilyModel] = []
+    for repeat in result.repeats:
+        region_start = min(s for s, _ in repeat.copies)
+        region_end = max(e for _, e in repeat.copies)
+        unit_choice = None
+        if region_end - region_start + 1 >= min_unit_region:
+            unit_choice = select_unit_length(
+                sequence[region_start - 1 : region_end]
+            )
+        consensus = consensus_of_copies(sequence, list(repeat.copies))
+        family_msa = None
+        if msa:
+            try:
+                family_msa = align_family(
+                    sequence, repeat, result.top_alignments
+                )
+            except ValueError:
+                family_msa = None
+        models.append(
+            FamilyModel(
+                family=repeat.family,
+                copies=repeat.copies,
+                columns=repeat.columns,
+                unit_length=repeat.unit_length,
+                consensus=consensus.text,
+                score=_family_score(repeat.copies, result.top_alignments),
+                identity=family_msa.mean_identity if family_msa else 0.0,
+                unit_choice=unit_choice,
+                msa=family_msa,
+            )
+        )
+    return models
 
 
 @dataclass
@@ -67,38 +174,28 @@ class AnalysisReport:
                 f"significance vs shuffle null: p = {self.pvalue:.3g} ({verdict})",
             ]
         lines += ["", f"repeat families ({len(result.repeats)}):"]
-        for repeat in result.repeats:
-            spans = ", ".join(f"{s}..{e}" for s, e in repeat.copies[:8])
-            if repeat.n_copies > 8:
-                spans += f", ... ({repeat.n_copies} total)"
+        for model in extract_families(seq, result, msa=msa):
+            spans = ", ".join(f"{s}..{e}" for s, e in model.copies[:8])
+            if model.n_copies > 8:
+                spans += f", ... ({model.n_copies} total)"
             lines.append(
-                f"  family {repeat.family}: {repeat.n_copies} copies, "
-                f"~{repeat.unit_length:.0f} residues, "
-                f"{repeat.columns} conserved columns: {spans}"
+                f"  family {model.family}: {model.n_copies} copies, "
+                f"~{model.unit_length:.0f} residues, "
+                f"{model.columns} conserved columns: {spans}"
             )
-            region_start = min(s for s, _ in repeat.copies)
-            region_end = max(e for _, e in repeat.copies)
-            if region_end - region_start + 1 >= 4:
-                choice = select_unit_length(seq[region_start - 1 : region_end])
+            if model.unit_choice is not None:
+                choice = model.unit_choice
                 lines.append(
                     f"    unit analysis: best period {choice.unit_length} "
                     f"({choice.copies} blocks, {choice.identity:.0%} identity)"
                 )
-            consensus = consensus_of_copies(seq, list(repeat.copies))
-            lines.append(f"    consensus: {consensus.text}")
-            if msa:
-                try:
-                    family_msa = align_family(
-                        seq, repeat, result.top_alignments
-                    )
-                except ValueError:
-                    pass
-                else:
-                    lines.append(
-                        f"    alignment ({family_msa.mean_identity:.0%} identity):"
-                    )
-                    for line in render_msa(family_msa).splitlines():
-                        lines.append(f"      {line}")
+            lines.append(f"    consensus: {model.consensus}")
+            if model.msa is not None:
+                lines.append(
+                    f"    alignment ({model.msa.mean_identity:.0%} identity):"
+                )
+                for line in render_msa(model.msa).splitlines():
+                    lines.append(f"      {line}")
             lines.append("")
         if dotplot:
             lines.append(

@@ -20,13 +20,28 @@ from ..sequences.fasta import iter_fasta
 from ..sequences.sequence import Sequence
 from ..sequences.stats import mask_low_complexity
 from .api import RepeatFinder
-from .result import RepeatResult, RunStats
+from .result import Repeat, RepeatResult, RunStats, TopAlignment
 
 if TYPE_CHECKING:  # imported lazily at runtime (see _scan_indexed)
     from ..index.routing import IndexConfig
     from ..index.store import IndexStore
 
-__all__ = ["SequenceReport", "DatabaseScanner", "scan_fasta"]
+__all__ = [
+    "SCAN_FORMAT",
+    "SCAN_FORMAT_VERSION",
+    "SequenceReport",
+    "DatabaseScanner",
+    "ScanDocument",
+    "scan_fasta",
+    "result_to_dict",
+    "result_from_dict",
+    "scan_to_payload",
+    "load_scan_payload",
+]
+
+#: Format marker / schema version of the ``repro scan --json`` payload.
+SCAN_FORMAT = "repro-scan"
+SCAN_FORMAT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -312,6 +327,202 @@ class DatabaseScanner:
         """
         reports = self.scan(sequences)
         return sorted(reports, key=lambda r: (r.failed, -r.best_score, r.id))
+
+    def annotate_scan(
+        self,
+        sequences: Iterable[Sequence],
+        *,
+        window: int = 0,
+        msa: bool = True,
+    ):
+        """Scan ``sequences`` and build the annotation product surface.
+
+        Returns a :class:`repro.annot.Annotation` — profile tracks,
+        GFF3 and the HTML report are then pure renders of that object.
+        The import is deferred so ``repro.core`` keeps no static
+        dependency on the annotation layer.
+        """
+        from ..annot import annotate_scan as _annotate
+
+        sequence_list = list(sequences)
+        reports = self.scan(sequence_list)
+        by_id: dict[str, list[Sequence]] = {}
+        for seq in sequence_list:
+            by_id.setdefault(seq.id, []).append(seq)
+        ordered: list[Sequence | None] = []
+        for report in reports:
+            pool = by_id.get(report.id)
+            ordered.append(pool.pop(0) if pool else None)
+        return _annotate(reports, ordered, window=window, msa=msa)
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable scan output (``repro scan --json``)
+# ---------------------------------------------------------------------------
+
+
+def result_to_dict(result: RepeatResult) -> dict[str, Any]:
+    """Plain-JSON form of a :class:`RepeatResult` (inverse of
+    :func:`result_from_dict`).
+
+    Floats round-trip exactly through ``json`` (shortest-repr), so a
+    loaded result compares equal to the original.
+    """
+    return {
+        "top_alignments": [
+            {
+                "index": int(a.index),
+                "r": int(a.r),
+                "score": float(a.score),
+                "pairs": [[int(i), int(j)] for i, j in a.pairs],
+            }
+            for a in result.top_alignments
+        ],
+        "repeats": [
+            {
+                "family": int(rep.family),
+                "copies": [[int(s), int(e)] for s, e in rep.copies],
+                "columns": int(rep.columns),
+            }
+            for rep in result.repeats
+        ],
+        "stats": result.stats.__getstate__(),
+    }
+
+
+def result_from_dict(payload: dict[str, Any]) -> RepeatResult:
+    """Rebuild a :class:`RepeatResult` from its JSON form.
+
+    Accepts both the :func:`result_to_dict` shape and the service's
+    result-cache payload (:func:`repro.service.protocol.result_to_dict`)
+    — extra keys are ignored and missing stats counters default to 0,
+    so either source of truth feeds the annotation layer.
+    """
+    alignments = [
+        TopAlignment(
+            index=int(a["index"]),
+            r=int(a["r"]),
+            score=float(a["score"]),
+            pairs=tuple((int(i), int(j)) for i, j in a["pairs"]),
+        )
+        for a in payload.get("top_alignments", [])
+    ]
+    repeats = [
+        Repeat(
+            family=int(rep["family"]),
+            copies=tuple((int(s), int(e)) for s, e in rep["copies"]),
+            columns=int(rep["columns"]),
+        )
+        for rep in payload.get("repeats", [])
+    ]
+    raw_stats = payload.get("stats", {})
+    known = set(RunStats._COUNTER_FIELDS) | {
+        "realignments_per_top",
+        "engine",
+        "group",
+    }
+    stats = RunStats(**{k: v for k, v in raw_stats.items() if k in known})
+    return RepeatResult(top_alignments=alignments, repeats=repeats, stats=stats)
+
+
+def scan_to_payload(
+    reports: list[SequenceReport],
+    sequences: Iterable[Sequence] = (),
+    *,
+    alphabet: str = "protein",
+    index_stats: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The ``repro scan --json`` document for ``reports``.
+
+    ``sequences`` (matched to reports by record id, first-unused-wins)
+    embeds each record's residue text so ``repro annotate`` can rebuild
+    consensus/MSA views offline, without the original FASTA.
+    """
+    by_id: dict[str, list[Sequence]] = {}
+    for seq in sequences:
+        by_id.setdefault(seq.id, []).append(seq)
+    records = []
+    for report in reports:
+        pool = by_id.get(report.id)
+        seq = pool.pop(0) if pool else None
+        records.append(
+            {
+                "id": report.id,
+                "length": report.length,
+                "sequence": seq.text if seq is not None else None,
+                "routed": report.routed,
+                "error": report.error,
+                "result": (
+                    None if report.result is None
+                    else result_to_dict(report.result)
+                ),
+            }
+        )
+    payload: dict[str, Any] = {
+        "format": SCAN_FORMAT,
+        "version": SCAN_FORMAT_VERSION,
+        "alphabet": alphabet,
+        "records": records,
+    }
+    if index_stats:
+        payload["index_stats"] = index_stats
+    return payload
+
+
+@dataclass(frozen=True)
+class ScanDocument:
+    """A parsed ``repro scan --json`` payload.
+
+    ``sequences`` parallels ``reports``; an entry is ``None`` when the
+    document was written without residue text for that record (the
+    annotation layer then falls back to coordinate-only artifacts).
+    """
+
+    alphabet: str
+    reports: tuple[SequenceReport, ...]
+    sequences: tuple[Sequence | None, ...]
+
+
+def load_scan_payload(payload: dict[str, Any]) -> ScanDocument:
+    """Validate and rebuild a scan document (inverse of
+    :func:`scan_to_payload`)."""
+    if not isinstance(payload, dict) or payload.get("format") != SCAN_FORMAT:
+        raise ValueError(
+            f"not a {SCAN_FORMAT} document (missing format marker)"
+        )
+    version = payload.get("version")
+    if version != SCAN_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported {SCAN_FORMAT} version {version!r} "
+            f"(expected {SCAN_FORMAT_VERSION})"
+        )
+    alphabet = payload.get("alphabet", "protein")
+    reports: list[SequenceReport] = []
+    sequences: list[Sequence | None] = []
+    for record in payload.get("records", []):
+        result = (
+            None if record.get("result") is None
+            else result_from_dict(record["result"])
+        )
+        reports.append(
+            SequenceReport(
+                id=record.get("id", ""),
+                length=int(record["length"]),
+                result=result,
+                error=record.get("error"),
+                routed=record.get("routed"),
+            )
+        )
+        text = record.get("sequence")
+        sequences.append(
+            None if text is None
+            else Sequence(text, alphabet, id=record.get("id", ""))
+        )
+    return ScanDocument(
+        alphabet=alphabet,
+        reports=tuple(reports),
+        sequences=tuple(sequences),
+    )
 
 
 def scan_fasta(

@@ -19,6 +19,12 @@ Endpoints
     their next chunk boundary).
 ``GET /results/<digest>``
     the content-addressed result payload.
+``GET /jobs/<id>/report?format=gff3|json|html``
+    the job's annotation artifact, rendered from the cached result
+    (no re-alignment): GFF3 repeat track, repeat-profile JSON or the
+    self-contained HTML report.  Tenant-scoped: the owning tenant (or
+    a holder of the digest's ownership grant) gets ``200``, any other
+    tenant ``403``.
 ``GET /stats``
     queue depth, job states, cache counters, per-worker counters.
 ``GET /healthz``
@@ -264,6 +270,73 @@ class ReproService:
             return None
         return payload
 
+    #: Report formats and the content type each is served under.
+    REPORT_FORMATS = {
+        "gff3": "text/plain; charset=utf-8",
+        "json": "application/json",
+        "html": "text/html; charset=utf-8",
+    }
+
+    def report(
+        self, job_id: str, fmt: str = "gff3", *, tenant: str | None = None
+    ) -> tuple[str, str] | None:
+        """Render a job's annotation artifact from the cached result.
+
+        Returns ``(body, content_type)``, or ``None`` (404) when the
+        job or its cached result does not exist.  Unlike :meth:`status`
+        — where a foreign tenant cannot even learn a job id exists — a
+        report on a *known* job that the tenant does not own raises
+        ``ForbiddenError`` (403): the CI smoke drill and clients rely
+        on that distinction to tell "not yet done" from "not yours".
+        Never re-runs alignment: the result payload and the spec's
+        residue text are everything the annotation layer needs.
+        """
+        from ..annot import annotate_scan
+        from ..annot.metrics import record_report_denied
+        from ..core.scan import SequenceReport, result_from_dict
+        from ..sequences.sequence import Sequence
+
+        if fmt not in self.REPORT_FORMATS:
+            raise SpecError(
+                f"unknown report format {fmt!r} "
+                f"(expected one of {sorted(self.REPORT_FORMATS)})"
+            )
+        record = self.store.get(job_id)
+        if record is None:
+            return None
+        if tenant is not None and record.tenant != tenant and not (
+            self.store.result_access(record.digest, tenant)
+        ):
+            record_report_denied()
+            raise ForbiddenError(
+                f"tenant {tenant!r} does not own job {job_id}"
+            )
+        payload = self.cache.get(record.digest)
+        if payload is None:
+            return None
+        spec = record.spec or {}
+        seq_id = spec.get("seq_id") or payload.get("sequence_id") or job_id
+        text = (spec.get("sequence") or "").upper()
+        sequence = (
+            Sequence(text, spec.get("alphabet", "protein"), id=seq_id)
+            if text
+            else None
+        )
+        length = len(sequence) if sequence is not None else int(
+            payload.get("length", 0)
+        )
+        seq_report = SequenceReport(
+            id=seq_id, length=length, result=result_from_dict(payload)
+        )
+        annotation = annotate_scan([seq_report], [sequence])
+        if fmt == "gff3":
+            body = annotation.gff3()
+        elif fmt == "json":
+            body = annotation.profile_json()
+        else:
+            body = annotation.html(title=f"repro job {job_id} ({seq_id})")
+        return body, self.REPORT_FORMATS[fmt]
+
     def stats(self) -> dict:
         workers = self.store.worker_stats()
         stats = {
@@ -470,6 +543,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, record.to_dict())
         elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "events":
             self._get_events(parts[1], query)
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "report":
+            self._get_report(parts[1], query)
         elif len(parts) == 2 and parts[0] == "results":
             payload = self.svc.result(parts[1], tenant=self._tenant_name())
             if payload is None:
@@ -478,6 +553,21 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(200, payload)
         else:
             self._error(404, f"no such endpoint: GET {url.path}")
+
+    def _get_report(self, job_id: str, query: dict) -> None:
+        fmt = (query.get("format") or ["gff3"])[0]
+        try:
+            rendered = self.svc.report(
+                job_id, fmt, tenant=self._tenant_name()
+            )
+        except SpecError as exc:
+            self._error(400, str(exc))
+            return
+        if rendered is None:
+            self._error(404, f"no reportable result for job: {job_id}")
+        else:
+            body, content_type = rendered
+            self._send_text(200, body, content_type)
 
     def _get_events(self, job_id: str, query: dict) -> None:
         store = self.svc.store

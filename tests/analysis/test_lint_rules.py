@@ -916,3 +916,63 @@ def test_rpr019_clean_on_the_real_align_package(tmp_path):
     package = Path(__file__).resolve().parents[2] / "src" / "repro" / "align"
     for module in sorted(package.glob("*.py")):
         assert "RPR019" not in _rules_hit(module), module.name
+
+
+# ---------------------------------------------------------------------------
+# RPR020 — align/ imports banned inside the repro.annot layer
+# ---------------------------------------------------------------------------
+
+ANNOT_ALIGN_IMPORTS = """
+    import repro.align
+    from repro.align import AlignmentProblem
+    from repro.align.engine import VectorEngine
+    from ..align import full_matrix
+    from .. import align
+"""
+
+
+def test_rpr020_flags_seeded_align_imports(tmp_path):
+    path = _write(tmp_path, "annot/bad_renderer.py", ANNOT_ALIGN_IMPORTS)
+    findings = [d for d in lint_file(path) if d.rule == "RPR020"]
+    assert len(findings) == 5
+    assert all("repro.annot layer" in d.message for d in findings)
+
+
+def test_rpr020_quiet_on_core_model_imports(tmp_path):
+    path = _write(
+        tmp_path,
+        "annot/good_renderer.py",
+        """
+        from ..core.report import FamilyModel, extract_families
+        from ..core.result import RepeatResult
+        from .tracks import build_track
+        """,
+    )
+    assert "RPR020" not in _rules_hit(path)
+
+
+def test_rpr020_scoped_to_annot_dir(tmp_path):
+    path = _write(tmp_path, "core/uses_align.py", ANNOT_ALIGN_IMPORTS)
+    assert "RPR020" not in _rules_hit(path)
+
+
+def test_rpr020_skips_test_files(tmp_path):
+    path = _write(tmp_path, "annot/test_renderer.py", ANNOT_ALIGN_IMPORTS)
+    assert "RPR020" not in _rules_hit(path)
+
+
+def test_rpr020_waivable_with_reason(tmp_path):
+    path = _write(
+        tmp_path,
+        "annot/probe.py",
+        """
+        from ..align import AlignmentProblem  # repro-lint: allow[RPR020] offline debugging helper, never on a render path
+        """,
+    )
+    assert "RPR020" not in _rules_hit(path)
+
+
+def test_rpr020_clean_on_the_real_annot_package(tmp_path):
+    package = Path(__file__).resolve().parents[2] / "src" / "repro" / "annot"
+    for module in sorted(package.glob("*.py")):
+        assert "RPR020" not in _rules_hit(module), module.name

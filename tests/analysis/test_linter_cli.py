@@ -58,7 +58,7 @@ class TestLintMain:
         assert lint_main([str(SRC / "analysis")]) == 0
         err = capsys.readouterr().err
         assert "0 finding(s)" in err
-        assert "19 rules active" in err
+        assert "20 rules active" in err
 
     def test_violations_exit_one_with_rendered_findings(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
@@ -89,7 +89,7 @@ class TestLintMain:
 class TestCliIntegration:
     def test_repro_lint_subcommand(self, capsys):
         assert cli_main(["lint", str(SRC / "analysis")]) == 0
-        assert "19 rules active" in capsys.readouterr().err
+        assert "20 rules active" in capsys.readouterr().err
 
     def test_repro_lint_propagates_failure(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"
@@ -113,4 +113,4 @@ class TestCliIntegration:
             env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
         )
         assert proc.returncode == 0, proc.stderr
-        assert "19 rules active" in proc.stderr
+        assert "20 rules active" in proc.stderr

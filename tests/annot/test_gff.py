@@ -1,0 +1,201 @@
+"""GFF3 writer/validator: coordinates, escaping, pragmas, hierarchy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.annot.gff import (
+    escape_attribute,
+    escape_seqid,
+    render_gff3,
+    unescape_attribute,
+    validate_gff3,
+)
+from repro.core.report import FamilyModel
+
+
+def _family(family=0, copies=((3, 12), (15, 24)), **overrides):
+    kwargs = dict(
+        family=family,
+        copies=tuple(copies),
+        columns=10,
+        unit_length=10.0,
+        consensus="MKTAYIAKQR",
+        score=42.5,
+        identity=0.9,
+    )
+    kwargs.update(overrides)
+    return FamilyModel(**kwargs)
+
+
+class TestEscaping:
+    @pytest.mark.parametrize("raw", [";", "=", "%", "&", ",", "\t", "\n"])
+    def test_structural_characters_round_trip(self, raw):
+        value = f"a{raw}b"
+        escaped = escape_attribute(value)
+        if raw != "%":  # the escape character itself must remain, encoded
+            assert raw not in escaped
+        assert escaped != value
+        assert unescape_attribute(escaped) == value
+
+    def test_all_structural_characters_at_once(self):
+        value = "x;=%&,\ty"
+        escaped = escape_attribute(value)
+        for ch in ";=&,\t":
+            assert ch not in escaped
+        assert unescape_attribute(escaped) == value
+
+    def test_percent_never_double_escapes(self):
+        assert escape_attribute("50%") == "50%25"
+        assert unescape_attribute("50%25") == "50%"
+        assert unescape_attribute(escape_attribute("%3B")) == "%3B"
+
+    def test_seqid_escaping(self):
+        assert escape_seqid("sp|P12345|TITIN_HUMAN") == "sp|P12345|TITIN_HUMAN"
+        assert escape_seqid("my seq") == "my%20seq"
+        assert escape_seqid("a>b") == "a%3Eb"
+
+
+class TestRenderGff3:
+    def test_version_pragma_first(self):
+        text = render_gff3([("s", 30, [_family()])])
+        assert text.splitlines()[0] == "##gff-version 3"
+
+    def test_sequence_region_pragma_per_sequence(self):
+        text = render_gff3([("alpha", 30, []), ("beta", 99, [])])
+        lines = text.splitlines()
+        assert "##sequence-region alpha 1 30" in lines
+        assert "##sequence-region beta 1 99" in lines
+
+    def test_copy_coordinates_round_trip_one_based_closed(self):
+        copies = ((3, 12), (15, 24), (27, 30))
+        text = render_gff3([("s", 40, [_family(copies=copies)])])
+        units = [
+            line.split("\t")
+            for line in text.splitlines()
+            if not line.startswith("#") and line.split("\t")[2] == "repeat_unit"
+        ]
+        assert [(int(u[3]), int(u[4])) for u in units] == list(copies)
+
+    def test_region_spans_all_copies(self):
+        text = render_gff3([("s", 40, [_family(copies=((5, 9), (20, 31)))])])
+        region = next(
+            line.split("\t")
+            for line in text.splitlines()
+            if not line.startswith("#")
+            and line.split("\t")[2] == "repeat_region"
+        )
+        assert (int(region[3]), int(region[4])) == (5, 31)
+
+    def test_family_hierarchy_via_id_parent(self):
+        text = render_gff3([("s", 40, [_family(family=7)])])
+        lines = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert "ID=s.family7" in lines[0]
+        assert all("Parent=s.family7" in line for line in lines[1:])
+
+    def test_attributes_carry_family_stats(self):
+        text = render_gff3([("s", 40, [_family()])])
+        region_attrs = next(
+            line.split("\t")[8]
+            for line in text.splitlines()
+            if "\trepeat_region\t" in line
+        )
+        assert "n_copies=2" in region_attrs
+        assert "consensus_length=10" in region_attrs
+        assert "identity=0.900" in region_attrs
+        assert "unit_length=10" in region_attrs
+
+    def test_awkward_seqid_and_consensus_validate(self):
+        model = _family(consensus="MK;TA=YI,AK%QR")
+        text = render_gff3([("my seq;1", 40, [model])])
+        assert validate_gff3(text) == []
+
+    def test_emitted_document_is_valid(self):
+        text = render_gff3(
+            [
+                ("alpha", 40, [_family(), _family(family=1, copies=((30, 39),))]),
+                ("beta", 25, []),
+            ]
+        )
+        assert validate_gff3(text) == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(data=st.data())
+    def test_every_feature_lies_within_sequence_bounds(self, data):
+        length = data.draw(st.integers(4, 300))
+        n_families = data.draw(st.integers(0, 4))
+        families = []
+        for fam in range(n_families):
+            n_copies = data.draw(st.integers(1, 5))
+            copies = []
+            for _ in range(n_copies):
+                start = data.draw(st.integers(1, length))
+                end = data.draw(st.integers(start, length))
+                copies.append((start, end))
+            families.append(_family(family=fam, copies=tuple(copies)))
+        text = render_gff3([("s", length, families)])
+        assert validate_gff3(text) == []
+        for line in text.splitlines():
+            if line.startswith("#") or not line.strip():
+                continue
+            cols = line.split("\t")
+            assert 1 <= int(cols[3]) <= int(cols[4]) <= length
+
+
+class TestValidator:
+    def test_missing_version_pragma(self):
+        errors = validate_gff3("s\trepro\trepeat_region\t1\t5\t.\t+\t.\tID=x\n")
+        assert any("gff-version" in e for e in errors)
+
+    def test_wrong_column_count(self):
+        errors = validate_gff3("##gff-version 3\ns\trepro\tonly4\t1\n")
+        assert any("9 tab-separated columns" in e for e in errors)
+
+    def test_feature_outside_declared_region(self):
+        text = (
+            "##gff-version 3\n"
+            "##sequence-region s 1 10\n"
+            "s\trepro\trepeat_region\t5\t11\t.\t+\t.\tID=x\n"
+        )
+        errors = validate_gff3(text)
+        assert any("outside sequence-region" in e for e in errors)
+
+    def test_zero_based_start_rejected(self):
+        text = (
+            "##gff-version 3\n"
+            "##sequence-region s 1 10\n"
+            "s\trepro\trepeat_region\t0\t5\t.\t+\t.\tID=x\n"
+        )
+        errors = validate_gff3(text)
+        assert any("1-based" in e for e in errors)
+
+    def test_unescaped_structural_character_in_value(self):
+        text = (
+            "##gff-version 3\n"
+            "##sequence-region s 1 10\n"
+            "s\trepro\trepeat_region\t1\t5\t.\t+\t.\tID=x;Name=a,b\n"
+        )
+        errors = validate_gff3(text)
+        assert any("unescaped structural" in e for e in errors)
+
+    def test_orphan_parent_reference(self):
+        text = (
+            "##gff-version 3\n"
+            "##sequence-region s 1 10\n"
+            "s\trepro\trepeat_unit\t1\t5\t.\t+\t.\tID=c;Parent=ghost\n"
+        )
+        errors = validate_gff3(text)
+        assert any("does not reference an earlier ID" in e for e in errors)
+
+    def test_bad_score_strand_phase(self):
+        text = (
+            "##gff-version 3\n"
+            "##sequence-region s 1 10\n"
+            "s\trepro\trepeat_region\t1\t5\thigh\t*\t7\tID=x\n"
+        )
+        errors = validate_gff3(text)
+        assert any("score" in e for e in errors)
+        assert any("strand" in e for e in errors)
+        assert any("phase" in e for e in errors)

@@ -64,3 +64,41 @@ class TestRender:
         )
         text = report.render()
         assert "repeat families (0):" in text
+
+
+class TestExtractFamilies:
+    def test_structured_models(self, tandem_report):
+        from repro.core.report import FamilyModel, extract_families
+
+        families = extract_families(
+            tandem_report.sequence, tandem_report.result
+        )
+        assert families
+        for model in families:
+            assert isinstance(model, FamilyModel)
+            assert model.n_copies == len(model.copies)
+            start, end = model.region
+            assert start == min(s for s, _ in model.copies)
+            assert end == max(e for _, e in model.copies)
+            assert model.consensus
+            assert 0.0 <= model.identity <= 1.0
+
+    def test_render_consumes_same_models(self, tandem_report):
+        from repro.core.report import extract_families
+
+        families = extract_families(
+            tandem_report.sequence, tandem_report.result, msa=True
+        )
+        text = tandem_report.render(msa=True)
+        for model in families:
+            assert model.consensus in text
+            if model.msa is not None:
+                assert f"({model.msa.mean_identity:.0%} identity)" in text
+
+    def test_msa_flag_skips_alignment(self, tandem_report):
+        from repro.core.report import extract_families
+
+        families = extract_families(
+            tandem_report.sequence, tandem_report.result, msa=False
+        )
+        assert all(model.msa is None for model in families)

@@ -172,3 +172,42 @@ class TestScanFasta:
         reports = scan_fasta(path, finder=RepeatFinder(top_alignments=3))
         assert len(reports) == 1
         assert reports[0].length == 80
+
+
+class TestScanPayloadRoundTrip:
+    def test_result_round_trips(self, mixed_records):
+        from repro.core.scan import result_from_dict, result_to_dict
+
+        scanner = DatabaseScanner(finder=RepeatFinder(top_alignments=4))
+        report = scanner.scan(mixed_records)[0]
+        rebuilt = result_from_dict(result_to_dict(report.result))
+        assert rebuilt.top_alignments == report.result.top_alignments
+        assert rebuilt.repeats == report.result.repeats
+        assert rebuilt.stats.alignments == report.result.stats.alignments
+
+    def test_document_round_trips_through_json(self, mixed_records):
+        import json
+
+        from repro.core.scan import load_scan_payload, scan_to_payload
+
+        scanner = DatabaseScanner(finder=RepeatFinder(top_alignments=4))
+        reports = scanner.scan(mixed_records)
+        payload = scan_to_payload(reports, mixed_records, alphabet="dna")
+        document = load_scan_payload(json.loads(json.dumps(payload)))
+        assert [r.id for r in document.reports] == [r.id for r in reports]
+        assert all(
+            seq is not None and seq.text == orig.text
+            for seq, orig in zip(
+                document.sequences,
+                [s for s in mixed_records if len(s) >= scanner.min_length],
+            )
+        )
+        assert document.reports[0].result == reports[0].result
+
+    def test_payload_without_sequences(self, mixed_records):
+        from repro.core.scan import load_scan_payload, scan_to_payload
+
+        scanner = DatabaseScanner(finder=RepeatFinder(top_alignments=4))
+        reports = scanner.scan(mixed_records)
+        document = load_scan_payload(scan_to_payload(reports, alphabet="dna"))
+        assert all(seq is None for seq in document.sequences)

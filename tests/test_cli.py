@@ -365,3 +365,49 @@ class TestBenchCommand:
                 "cells_per_second", "speculative_waste", "waste_ratio",
                 "speedup_vs_g1",
             }
+
+
+class TestAnnotate:
+    @pytest.fixture()
+    def repeat_fasta(self, tmp_path):
+        path = tmp_path / "rep.fasta"
+        write_fasta(Sequence("MKTAYIAKQR" * 5, id="rep"), path)
+        return str(path)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["annotate", "scan.json"])
+        assert args.prefix == "repro-annot"
+        assert args.window == 0
+
+    def test_fasta_to_artifacts(self, repeat_fasta, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["annotate", repeat_fasta, "--prefix", "out"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote out.gff3" in out
+        for suffix in (".gff3", ".profile.json", ".html", ".wig"):
+            assert (tmp_path / f"out{suffix}").exists()
+        from repro.annot import validate_gff3
+
+        assert validate_gff3((tmp_path / "out.gff3").read_text()) == []
+        assert "http" not in (tmp_path / "out.html").read_text()
+
+    def test_scan_json_then_annotate_offline(
+        self, repeat_fasta, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["scan", repeat_fasta, "--json", "scan.json", "-k", "5"]
+        ) == 0
+        assert (tmp_path / "scan.json").exists()
+        capsys.readouterr()
+        assert main(["annotate", "scan.json", "--prefix", "off"]) == 0
+        out = capsys.readouterr().out
+        assert "annotated 1 sequence(s)" in out
+        gff = (tmp_path / "off.gff3").read_text()
+        assert "repeat_region" in gff
+
+    def test_bad_scan_document(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": "other"}', encoding="utf-8")
+        with pytest.raises(SystemExit, match="bad scan document"):
+            main(["annotate", str(bad)])
